@@ -1,0 +1,149 @@
+// Command loadex regenerates the tables and figures of "A study of
+// various load information exchange mechanisms for a distributed
+// application using dynamic scheduling" (Guermouche & L'Excellent,
+// RR-5478, 2005).
+//
+// Usage:
+//
+//	loadex [flags] <table1|table3|table4|table5|table6|table7|fig1|fig2|ablations|all>
+//
+// Flags:
+//
+//	-scale f     global matrix scale multiplier (default 1.0; the
+//	             per-processor-count factors of the experiment suite
+//	             apply on top)
+//	-seed n      generator seed (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "global matrix scale multiplier")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	lab := experiments.NewLab(cfg)
+	w := os.Stdout
+
+	var run func(what string) error
+	run = func(what string) error {
+		switch what {
+		case "table1", "table2", "matrices":
+			rows, err := lab.Matrices(32)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "== Tables 1-2: test problems (paper matrices vs synthetic analogues at 32p scale) ==")
+			experiments.WriteMatrices(w, rows)
+		case "table3":
+			rows, err := lab.Table3()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "== Table 3: number of dynamic decisions ==")
+			experiments.WriteTable3(w, rows)
+		case "table4":
+			rows, err := lab.Table4(nil)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "== Table 4: peak of active memory, memory-based strategy ==")
+			experiments.WriteTable4(w, rows)
+		case "table5", "table6", "table7":
+			rows, err := lab.Table567(nil, what == "table7")
+			if err != nil {
+				return err
+			}
+			switch what {
+			case "table5":
+				fmt.Fprintln(w, "== Table 5: factorization time, workload-based strategy ==")
+				experiments.WriteTable5(w, rows)
+			case "table6":
+				fmt.Fprintln(w, "== Table 6: load-exchange messages ==")
+				experiments.WriteTable6(w, rows)
+			case "table7":
+				fmt.Fprintln(w, "== Table 7: threaded load-exchange, factorization time ==")
+				experiments.WriteTable7(w, rows)
+			}
+		case "fig1":
+			fmt.Fprintln(w, "== Figure 1: coherence of the view under concurrent selections ==")
+			for _, mech := range []core.Mech{core.MechNaive, core.MechIncrements, core.MechSnapshot} {
+				if err := experiments.Figure1(w, mech); err != nil {
+					return err
+				}
+			}
+		case "fig2":
+			fmt.Fprintln(w, "== Figure 2: assembly tree distribution ==")
+			if err := lab.Figure2(w, "BMWCRA_1"); err != nil {
+				return err
+			}
+		case "ablations":
+			fmt.Fprintln(w, "== Ablation: No_more_master (§2.3) ==")
+			nm, err := lab.AblationNoMoreMaster(64)
+			if err != nil {
+				return err
+			}
+			experiments.WriteAblationNoMoreMaster(w, nm)
+			fmt.Fprintln(w, "== Ablation: snapshot leader-election criterion (§5) ==")
+			le, err := lab.AblationLeaderElection(64)
+			if err != nil {
+				return err
+			}
+			experiments.WriteAblationLeaderElection(w, le)
+			fmt.Fprintln(w, "== Ablation: increments broadcast threshold (§2.3) ==")
+			th, err := lab.AblationThreshold("AUDIKW_1", 64, nil)
+			if err != nil {
+				return err
+			}
+			experiments.WriteAblationThreshold(w, th)
+			fmt.Fprintln(w, "== Ablation: partial snapshots (§5) ==")
+			ps, err := lab.AblationPartialSnapshot(64)
+			if err != nil {
+				return err
+			}
+			experiments.WriteAblationPartialSnapshot(w, ps)
+			fmt.Fprintln(w, "== Ablation: high-latency interconnect (§5) ==")
+			nw, err := lab.AblationNetwork(64)
+			if err != nil {
+				return err
+			}
+			experiments.WriteAblationNetwork(w, nw)
+		case "all":
+			for _, t := range []string{"table1", "table3", "table4", "table5", "table6", "table7", "fig1", "fig2", "ablations"} {
+				if err := run(t); err != nil {
+					return err
+				}
+				fmt.Fprintln(w)
+			}
+		default:
+			usage()
+			return fmt.Errorf("unknown experiment %q", what)
+		}
+		return nil
+	}
+
+	for _, what := range flag.Args() {
+		if err := run(what); err != nil {
+			fmt.Fprintln(os.Stderr, "loadex:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: loadex [-scale f] [-seed n] <table1|table3|table4|table5|table6|table7|fig1|fig2|ablations|all>")
+}

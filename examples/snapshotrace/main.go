@@ -1,0 +1,24 @@
+// Snapshotrace replays the paper's Figure 1 race: two masters take
+// dynamic decisions in quick succession while the selected slave is busy
+// computing. It prints, for each mechanism, what the second master
+// believed about the slave — the coherence problem that motivates the
+// increment (Master_To_All) and snapshot mechanisms.
+//
+//	go run ./examples/snapshotrace
+package main
+
+import (
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	for _, mech := range []core.Mech{core.MechNaive, core.MechIncrements, core.MechSnapshot} {
+		if err := experiments.Figure1(os.Stdout, mech); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

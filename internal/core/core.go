@@ -1,0 +1,323 @@
+// Package core implements the paper's contribution: mechanisms giving
+// every process of a distributed asynchronous message-passing application
+// a coherent view of the load (workload, memory) of all other processes,
+// so that dynamic scheduling decisions ("slave selections") can be taken.
+//
+// Three mechanisms are provided:
+//
+//   - Naive (§2.1, Algorithm 2): broadcast the absolute load whenever it
+//     drifted by more than a threshold since the last broadcast.
+//   - Increments (§2.2-2.3, Algorithm 3): broadcast accumulated load
+//     deltas above a threshold, announce every slave selection to all
+//     processes in a Master_To_All reservation message, and optionally
+//     stop informing processes that declared No_more_master.
+//   - Snapshot (§3): demand-driven Chandy-Lamport-style snapshot with a
+//     distributed leader election that sequentializes concurrent
+//     snapshots.
+//
+// Mechanisms are transport-agnostic state machines: they interact with
+// the world only through the Context interface and never block, so the
+// same code runs under the deterministic simulator (internal/sim) and the
+// live goroutine runtime (internal/live).
+package core
+
+import "fmt"
+
+// Metric indexes the load quantities a view tracks. The paper's
+// application exchanges both the remaining floating-point work and the
+// active memory (§4).
+type Metric int
+
+// The tracked metrics.
+const (
+	Workload Metric = iota
+	Memory
+	NumMetrics
+)
+
+func (m Metric) String() string {
+	switch m {
+	case Workload:
+		return "workload"
+	case Memory:
+		return "memory"
+	}
+	return fmt.Sprintf("metric(%d)", int(m))
+}
+
+// Load is a vector of load values, one per metric.
+type Load [NumMetrics]float64
+
+// Add returns l + d.
+func (l Load) Add(d Load) Load {
+	for i := range l {
+		l[i] += d[i]
+	}
+	return l
+}
+
+// Sub returns l - d.
+func (l Load) Sub(d Load) Load {
+	for i := range l {
+		l[i] -= d[i]
+	}
+	return l
+}
+
+// ExceedsAny reports whether |l[m]| > thr[m] for any metric m with a
+// positive threshold, or — when all thresholds are zero — whether any
+// component is nonzero.
+func (l Load) ExceedsAny(thr Load) bool {
+	for i := range l {
+		v := l[i]
+		if v < 0 {
+			v = -v
+		}
+		if v > thr[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Message kinds on the state-information channel. They live in core (not
+// the transport) because they are protocol constants shared by all
+// mechanisms and counted by the experiments.
+const (
+	// KindUpdate carries an absolute load (naive) or a load delta
+	// (increments).
+	KindUpdate = 1 + iota
+	// KindMasterToAll is the increments reservation broadcast announcing
+	// a slave selection (Algorithm 3).
+	KindMasterToAll
+	// KindNoMoreMaster announces the sender will never select slaves
+	// again (§2.3).
+	KindNoMoreMaster
+	// KindStartSnp / KindSnp / KindEndSnp are the snapshot protocol (§3).
+	KindStartSnp
+	KindSnp
+	KindEndSnp
+	// KindMasterToSlave is the snapshot scheme's state update sent to
+	// each selected slave before the snapshot is finalized (Algorithm 4),
+	// so the next snapshot observes the decision.
+	KindMasterToSlave
+)
+
+// KindName returns a short name for a state-message kind.
+func KindName(kind int) string {
+	switch kind {
+	case KindUpdate:
+		return "update"
+	case KindMasterToAll:
+		return "master_to_all"
+	case KindNoMoreMaster:
+		return "no_more_master"
+	case KindStartSnp:
+		return "start_snp"
+	case KindSnp:
+		return "snp"
+	case KindEndSnp:
+		return "end_snp"
+	case KindMasterToSlave:
+		return "master_to_slave"
+	}
+	return fmt.Sprintf("kind(%d)", kind)
+}
+
+// Approximate on-wire sizes in bytes, used for bandwidth accounting. A
+// snapshot reply carries every metric at once (the paper notes snapshot
+// messages are larger, §4.5).
+const (
+	BytesUpdate        = 8 + 8*float64(NumMetrics)
+	BytesMasterToAll   = 16 // + 16 per assignment, see MasterToAllBytes
+	BytesNoMoreMaster  = 8
+	BytesStartSnp      = 12
+	BytesSnp           = 12 + 8*float64(NumMetrics)
+	BytesEndSnp        = 8
+	BytesMasterToSlave = 8 + 8*float64(NumMetrics)
+)
+
+// MasterToAllBytes returns the size of a Master_To_All message with k
+// assignments.
+func MasterToAllBytes(k int) float64 { return BytesMasterToAll + 16*float64(k) }
+
+// Assignment is one slave's share in a dynamic decision: the load delta
+// the master reserves on processor Proc.
+type Assignment struct {
+	Proc  int32
+	Delta Load
+}
+
+// Payload types for the state-channel messages.
+type (
+	// UpdatePayload carries an absolute load (naive) or delta
+	// (increments).
+	UpdatePayload struct{ Load Load }
+	// MasterToAllPayload announces a selection to everyone.
+	MasterToAllPayload struct{ Assignments []Assignment }
+	// StartSnpPayload opens a snapshot round.
+	StartSnpPayload struct{ Req int32 }
+	// SnpPayload answers a snapshot round with the sender's state.
+	SnpPayload struct {
+		Req  int32
+		Load Load
+	}
+	// MasterToSlavePayload updates a selected slave's state (snapshot
+	// scheme).
+	MasterToSlavePayload struct{ Delta Load }
+)
+
+// Context is the mechanism's window on the transport. Send and Broadcast
+// are asynchronous and must deliver on the prioritized state channel;
+// Now returns virtual (or wall-clock) seconds for statistics.
+type Context interface {
+	Rank() int
+	N() int
+	Now() float64
+	Send(to int, kind int, payload any, bytes float64)
+	Broadcast(kind int, payload any, bytes float64)
+}
+
+// Exchanger is a load-information exchange mechanism. Implementations
+// must be used from a single goroutine (the owning process); they never
+// block — waiting states are exposed through Busy.
+type Exchanger interface {
+	// Name identifies the mechanism ("naive", "increments", "snapshot").
+	Name() string
+	// Init sets the initial local load (e.g. the cost of the subtrees
+	// mapped to this process) and prepares the view.
+	Init(ctx Context, initial Load)
+	// LocalChange records a local load variation. asSlave must be true
+	// when the variation concerns a task this process received as a
+	// slave: positive such variations were already accounted by the
+	// master's reservation and are skipped (Algorithm 3, step (1)).
+	LocalChange(ctx Context, delta Load, asSlave bool)
+	// Local returns the process's own current load.
+	Local() Load
+	// View returns the current estimates of everyone's load. The entry
+	// for the local rank is always exact.
+	View() *View
+	// Acquire prepares a coherent view for a dynamic decision and calls
+	// ready when it is usable. Maintained mechanisms call ready
+	// synchronously; the snapshot mechanism calls it after the snapshot
+	// completes.
+	Acquire(ctx Context, ready func())
+	// Commit publishes the decision taken after Acquire: the load the
+	// master assigned to each selected slave. For the snapshot mechanism
+	// this also finalizes the snapshot.
+	Commit(ctx Context, assignments []Assignment)
+	// NoMoreMaster announces that this process will never take a dynamic
+	// decision again (§2.3); peers may stop sending it load information.
+	NoMoreMaster(ctx Context)
+	// HandleMessage processes one state-channel message addressed to
+	// this process.
+	HandleMessage(ctx Context, from int, kind int, payload any)
+	// Busy reports whether the process must pause application work
+	// because a snapshot involving it is in progress.
+	Busy() bool
+	// Stats returns mechanism counters.
+	Stats() Stats
+}
+
+// Stats aggregates mechanism-level counters (network-level message counts
+// live in the transport).
+type Stats struct {
+	// UpdatesSent counts Update unicasts (after No_more_master pruning).
+	UpdatesSent int64
+	// ReservationsSent counts Master_To_All broadcasts.
+	ReservationsSent int64
+	// SnapshotsInitiated counts Acquire calls that ran a snapshot.
+	SnapshotsInitiated int64
+	// SnapshotRestarts counts re-broadcast rounds forced by losing a
+	// leader election.
+	SnapshotRestarts int64
+	// SnapshotTime is the total time from Acquire to view-ready over all
+	// snapshots initiated by this process (the paper's "time spent to
+	// perform the snapshot operations").
+	SnapshotTime float64
+	// MaxConcurrentSnapshots is the largest number of simultaneously
+	// active snapshots observed by this process (paper: "at most 5").
+	MaxConcurrentSnapshots int
+}
+
+// View stores per-process load estimates.
+type View struct {
+	loads []Load
+}
+
+// NewView returns a view over n processes with zero estimates.
+func NewView(n int) *View { return &View{loads: make([]Load, n)} }
+
+// N returns the number of processes.
+func (v *View) N() int { return len(v.loads) }
+
+// Load returns the estimate for process p.
+func (v *View) Load(p int) Load { return v.loads[p] }
+
+// Metric returns the estimate of one metric for process p.
+func (v *View) Metric(p int, m Metric) float64 { return v.loads[p][m] }
+
+// Set overwrites the estimate for p.
+func (v *View) Set(p int, l Load) { v.loads[p] = l }
+
+// AddTo adds a delta to the estimate for p.
+func (v *View) AddTo(p int, d Load) { v.loads[p] = v.loads[p].Add(d) }
+
+// Snapshot returns a copy of all estimates.
+func (v *View) Snapshot() []Load {
+	out := make([]Load, len(v.loads))
+	copy(out, v.loads)
+	return out
+}
+
+// ScopedExchanger is implemented by mechanisms that can restrict a
+// demand-driven view acquisition to a subset of processes — the paper's
+// §5 perspective of partial snapshots, with the "double objective of
+// reducing the amount of messages and having a weaker synchronization".
+type ScopedExchanger interface {
+	Exchanger
+	// AcquireScoped behaves like Acquire but consults only the listed
+	// peers; everyone else is neither messaged nor blocked.
+	AcquireScoped(ctx Context, scope []int32, ready func())
+}
+
+// Mech names a mechanism for construction and reporting.
+type Mech string
+
+// The available mechanisms.
+const (
+	MechNaive      Mech = "naive"
+	MechIncrements Mech = "increments"
+	MechSnapshot   Mech = "snapshot"
+)
+
+// Mechanisms lists all mechanisms in the order the paper's tables use.
+func Mechanisms() []Mech { return []Mech{MechIncrements, MechSnapshot, MechNaive} }
+
+// Config tunes mechanism construction.
+type Config struct {
+	// Threshold is the per-metric broadcast threshold of the maintained
+	// mechanisms (Algorithm 2 line 3, Algorithm 3 line 8). The paper
+	// recommends "a threshold of the same order as the granularity of
+	// the tasks appearing in the slave selections" (§2.3).
+	Threshold Load
+	// NoMoreMasterOpt enables the §2.3 optimization (the paper's
+	// experiments use it).
+	NoMoreMasterOpt bool
+	// Elect is the snapshot leader-election criterion; nil means lowest
+	// rank (the paper's choice).
+	Elect Elector
+}
+
+// New constructs a mechanism for a process of rank within n processes.
+func New(m Mech, n, rank int, cfg Config) (Exchanger, error) {
+	switch m {
+	case MechNaive:
+		return NewNaive(n, rank, cfg), nil
+	case MechIncrements:
+		return NewIncrements(n, rank, cfg), nil
+	case MechSnapshot:
+		return NewSnapshot(n, rank, cfg), nil
+	}
+	return nil, fmt.Errorf("core: unknown mechanism %q", m)
+}

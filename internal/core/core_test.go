@@ -1,0 +1,248 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadArithmetic(t *testing.T) {
+	a := Load{Workload: 3, Memory: 5}
+	b := Load{Workload: 1, Memory: 2}
+	if got := a.Add(b); got[Workload] != 4 || got[Memory] != 7 {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := a.Sub(b); got[Workload] != 2 || got[Memory] != 3 {
+		t.Fatalf("Sub = %v", got)
+	}
+	// Value semantics: a unchanged.
+	if a[Workload] != 3 {
+		t.Fatal("Load mutated by Add/Sub")
+	}
+}
+
+func TestLoadAddSubInverseProperty(t *testing.T) {
+	f := func(aw, am, bw, bm float64) bool {
+		a := Load{Workload: aw, Memory: am}
+		b := Load{Workload: bw, Memory: bm}
+		r := a.Add(b).Sub(b)
+		return r[Workload] == aw+bw-bw && r[Memory] == am+bm-bm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExceedsAny(t *testing.T) {
+	thr := Load{Workload: 10, Memory: 100}
+	if (Load{Workload: 5, Memory: 50}).ExceedsAny(thr) {
+		t.Fatal("below thresholds must not trigger")
+	}
+	if !(Load{Workload: -11, Memory: 0}).ExceedsAny(thr) {
+		t.Fatal("negative variation must trigger on magnitude")
+	}
+	if !(Load{Workload: 0, Memory: 101}).ExceedsAny(thr) {
+		t.Fatal("second metric must trigger independently")
+	}
+	// Zero threshold: any nonzero triggers.
+	if !(Load{Workload: 0.001}).ExceedsAny(Load{}) {
+		t.Fatal("zero threshold must trigger on any change")
+	}
+	if (Load{}).ExceedsAny(Load{}) {
+		t.Fatal("zero change must not trigger")
+	}
+}
+
+func TestKindNamesAndMetricNames(t *testing.T) {
+	for kind := KindUpdate; kind <= KindMasterToSlave; kind++ {
+		if strings.HasPrefix(KindName(kind), "kind(") {
+			t.Fatalf("kind %d has no name", kind)
+		}
+	}
+	if !strings.HasPrefix(KindName(999), "kind(") {
+		t.Fatal("unknown kind not flagged")
+	}
+	if Workload.String() != "workload" || Memory.String() != "memory" {
+		t.Fatal("metric names wrong")
+	}
+	if !strings.HasPrefix(Metric(9).String(), "metric(") {
+		t.Fatal("unknown metric not flagged")
+	}
+}
+
+func TestMasterToAllBytesGrowsWithAssignments(t *testing.T) {
+	if MasterToAllBytes(0) >= MasterToAllBytes(5) {
+		t.Fatal("size must grow with assignment count")
+	}
+}
+
+func TestViewOperations(t *testing.T) {
+	v := NewView(3)
+	if v.N() != 3 {
+		t.Fatal("N wrong")
+	}
+	v.Set(1, Load{Workload: 7})
+	v.AddTo(1, Load{Workload: 3, Memory: 2})
+	if v.Metric(1, Workload) != 10 || v.Metric(1, Memory) != 2 {
+		t.Fatalf("view = %v", v.Load(1))
+	}
+	snap := v.Snapshot()
+	v.Set(1, Load{})
+	if snap[1][Workload] != 10 {
+		t.Fatal("snapshot not a copy")
+	}
+}
+
+func TestElectorsAreConsistentTotalOrders(t *testing.T) {
+	// For liveness the election must be associative/commutative over
+	// candidate sets: folding in any order yields the same leader.
+	electors := map[string]Elector{
+		"min": ElectMinRank,
+		"max": ElectMaxRank,
+		"key": ElectByKey([]float64{5, 3, 3, 9, 1, 2, 7, 8}),
+	}
+	for name, el := range electors {
+		f := func(raw []uint8) bool {
+			var cands []int32
+			for _, r := range raw {
+				cands = append(cands, int32(r%8))
+			}
+			if len(cands) == 0 {
+				return true
+			}
+			fold := func(order []int32) int32 {
+				leader := int32(-1)
+				for _, c := range order {
+					leader = el(c, leader, nil)
+				}
+				return leader
+			}
+			a := fold(cands)
+			rev := make([]int32, len(cands))
+			for i, c := range cands {
+				rev[len(cands)-1-i] = c
+			}
+			return a == fold(rev)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestElectByKeyPrefersSmallestKey(t *testing.T) {
+	el := ElectByKey([]float64{9, 1, 5})
+	if got := el(0, 1, nil); got != 1 {
+		t.Fatalf("elect(0, 1) = %d, want 1 (smaller key)", got)
+	}
+	if got := el(2, -1, nil); got != 2 {
+		t.Fatal("undefined leader must yield candidate")
+	}
+	// Equal keys tie-break by rank.
+	el2 := ElectByKey([]float64{4, 4})
+	if got := el2(1, 0, nil); got != 0 {
+		t.Fatal("tie must break by min rank")
+	}
+}
+
+// drainRandom delivers queued messages in pseudo-random order while
+// preserving per-ordered-pair FIFO (the only guarantee real links give).
+func (f *fakeNet) drainRandom(seed uint64, limit int) int {
+	steps := 0
+	for len(f.queue) > 0 {
+		steps++
+		if steps > limit {
+			panic("fakeNet: message storm under random delivery")
+		}
+		// Pick a random message whose (from,to) pair has no earlier
+		// queued message.
+		seed = seed*6364136223846793005 + 1442695040888963407
+		idx := int(seed>>33) % len(f.queue)
+		m := f.queue[idx]
+		ok := true
+		for _, e := range f.queue[:idx] {
+			if e.from == m.from && e.to == m.to {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue // retry with the next random draw
+		}
+		f.queue = append(f.queue[:idx], f.queue[idx+1:]...)
+		f.now += 0.001
+		f.exs[m.to].HandleMessage(f.ctx(m.to), m.from, m.kind, m.payload)
+	}
+	return steps
+}
+
+func TestIncrementsConvergesUnderRandomDelivery(t *testing.T) {
+	// Increments compose: whatever FIFO-per-pair delivery order the
+	// network chooses, quiescent views agree with the true loads.
+	f := func(seed uint64, nRaw uint8, opsRaw uint8) bool {
+		n := int(nRaw)%5 + 2
+		ops := int(opsRaw)%20 + 1
+		net := newFakeNet(n)
+		for r := 0; r < n; r++ {
+			x := NewIncrements(n, r, Config{})
+			net.exs[r] = x
+			x.Init(net.ctx(r), Load{})
+		}
+		truth := make([]float64, n)
+		rng := seed
+		for i := 0; i < ops; i++ {
+			rng = rng*6364136223846793005 + 1
+			r := int(rng>>33) % n
+			rng = rng*6364136223846793005 + 1
+			d := float64(int(rng>>40)%200 - 100)
+			net.exs[r].LocalChange(net.ctx(r), Load{Workload: d}, false)
+			truth[r] += d
+		}
+		net.drainRandom(seed^0xabcdef, 1_000_000)
+		for viewer := 0; viewer < n; viewer++ {
+			for p := 0; p < n; p++ {
+				if net.exs[viewer].View().Metric(p, Workload) != truth[p] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotQuiescenceUnderRandomDelivery(t *testing.T) {
+	// The snapshot protocol terminates under any FIFO-per-pair delivery
+	// order, not just the global-FIFO one.
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%5 + 3
+		net := newFakeNet(n)
+		exs := make([]*Snapshot, n)
+		for r := 0; r < n; r++ {
+			x := NewSnapshot(n, r, Config{})
+			net.exs[r] = x
+			exs[r] = x
+			x.Init(net.ctx(r), Load{})
+		}
+		completions := 0
+		for _, r := range []int{0, n - 1} {
+			r := r
+			exs[r].Acquire(net.ctx(r), func() {
+				completions++
+				exs[r].Commit(net.ctx(r), nil)
+			})
+		}
+		net.drainRandom(seed, 1_000_000)
+		for r := 0; r < n; r++ {
+			if exs[r].Busy() {
+				return false
+			}
+		}
+		return completions == 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScopedSnapshotConsultsOnlyScope(t *testing.T) {
+	net, exs := mkSnapshot(t, 6, nil)
+	done := false
+	// Rank 0 snapshots only {1, 2}.
+	exs[0].AcquireScoped(net.ctx(0), []int32{1, 2}, func() {
+		done = true
+		exs[0].Commit(net.ctx(0), nil)
+	})
+	net.drain(1000)
+	if !done {
+		t.Fatal("scoped snapshot never completed")
+	}
+	// Ranks 3-5 never saw a protocol message and were never busy.
+	for r := 3; r < 6; r++ {
+		if exs[r].Busy() {
+			t.Fatalf("out-of-scope rank %d is busy", r)
+		}
+		if exs[r].Stats().MaxConcurrentSnapshots != 0 {
+			t.Fatalf("out-of-scope rank %d observed a snapshot", r)
+		}
+	}
+	// Message economy: one round over a scope of 2 costs 3*2 messages.
+	total := net.sent[KindStartSnp] + net.sent[KindSnp] + net.sent[KindEndSnp]
+	if total != 6 {
+		t.Fatalf("scoped snapshot used %d messages, want 6", total)
+	}
+}
+
+func TestScopedSnapshotViewFreshness(t *testing.T) {
+	net, exs := mkSnapshot(t, 5, nil)
+	// Give rank 3 some load that rank 0 cannot know yet.
+	exs[3].LocalChange(net.ctx(3), Load{Workload: 55}, false)
+	saw := -1.0
+	exs[0].AcquireScoped(net.ctx(0), []int32{3}, func() {
+		saw = exs[0].View().Metric(3, Workload)
+		exs[0].Commit(net.ctx(0), nil)
+	})
+	net.drain(1000)
+	if saw != 30+55 {
+		t.Fatalf("scoped snapshot saw %v for rank 3, want 85 (init 30 + 55)", saw)
+	}
+}
+
+func TestScopedSnapshotEmptyAndSelfScope(t *testing.T) {
+	net, exs := mkSnapshot(t, 3, nil)
+	ran := false
+	exs[1].AcquireScoped(net.ctx(1), []int32{}, func() { ran = true })
+	if !ran {
+		t.Fatal("empty scope must complete synchronously")
+	}
+	exs[1].Commit(net.ctx(1), nil)
+	ran = false
+	// Scope containing only the initiator normalizes to empty.
+	exs[1].AcquireScoped(net.ctx(1), []int32{1}, func() { ran = true })
+	if !ran {
+		t.Fatal("self-only scope must complete synchronously")
+	}
+	exs[1].Commit(net.ctx(1), nil)
+	if exs[1].Busy() {
+		t.Fatal("degenerate scope left the process busy")
+	}
+	net.drain(100)
+}
+
+func TestScopedDisjointSnapshotsRunConcurrently(t *testing.T) {
+	// Disjoint scopes must not serialize: this is the "weaker
+	// synchronization" the paper's §5 asks for.
+	net, exs := mkSnapshot(t, 6, nil)
+	var order []int
+	exs[0].AcquireScoped(net.ctx(0), []int32{1, 2}, func() {
+		order = append(order, 0)
+		exs[0].Commit(net.ctx(0), nil)
+	})
+	exs[3].AcquireScoped(net.ctx(3), []int32{4, 5}, func() {
+		order = append(order, 3)
+		exs[3].Commit(net.ctx(3), nil)
+	})
+	// Deliver rank 3's snapshot completely before rank 0's: with full
+	// snapshots the rank-0 leader election would delay rank 3.
+	for net.deliverNext(func(m fakeMsg) bool { return m.from >= 3 || m.to >= 3 }) {
+	}
+	if len(order) != 1 || order[0] != 3 {
+		t.Fatalf("disjoint snapshot was serialized: order=%v", order)
+	}
+	net.drain(1000)
+	if len(order) != 2 {
+		t.Fatalf("snapshots incomplete: %v", order)
+	}
+	if exs[3].Stats().SnapshotRestarts != 0 {
+		t.Fatal("disjoint scope should never restart")
+	}
+}
+
+func TestScopedOverlappingSnapshotsSequentialize(t *testing.T) {
+	// Overlapping scopes share rank 2: the election must serialize them
+	// and the later one must observe the earlier commit.
+	net, exs := mkSnapshot(t, 5, nil)
+	var order []int
+	exs[0].AcquireScoped(net.ctx(0), []int32{2, 3}, func() {
+		order = append(order, 0)
+		exs[0].Commit(net.ctx(0), []Assignment{{Proc: 2, Delta: Load{Workload: 40}}})
+	})
+	saw := -1.0
+	exs[1].AcquireScoped(net.ctx(1), []int32{2, 4}, func() {
+		order = append(order, 1)
+		saw = exs[1].View().Metric(2, Workload)
+		exs[1].Commit(net.ctx(1), nil)
+	})
+	net.drain(5000)
+	if len(order) != 2 {
+		t.Fatalf("snapshots incomplete: %v", order)
+	}
+	if order[0] != 0 {
+		t.Fatalf("rank 0 should win the election: %v", order)
+	}
+	if saw != 20+40 {
+		t.Fatalf("overlapping snapshot saw %v for rank 2, want 60 (init 20 + 40)", saw)
+	}
+}
+
+func TestScopedSnapshotQuiescenceProperty(t *testing.T) {
+	// Random scoped initiations always terminate with nobody busy.
+	f := func(seed uint64, nRaw, kRaw uint8) bool {
+		n := int(nRaw)%6 + 3
+		k := int(kRaw)%4 + 1
+		net := newFakeNet(n)
+		exs := make([]*Snapshot, n)
+		for r := 0; r < n; r++ {
+			x := NewSnapshot(n, r, Config{})
+			net.exs[r] = x
+			exs[r] = x
+			x.Init(net.ctx(r), Load{})
+		}
+		completions := 0
+		rng := seed
+		for i := 0; i < k; i++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			r := int(rng>>33) % n
+			if exs[r].initiating || exs[r].Busy() {
+				continue
+			}
+			// Random scope of 1..n-1 members.
+			var scope []int32
+			for p := 0; p < n; p++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				if p != r && rng>>62 != 0 {
+					scope = append(scope, int32(p))
+				}
+			}
+			if scope == nil {
+				scope = []int32{int32((r + 1) % n)}
+			}
+			exs[r].AcquireScoped(net.ctx(r), scope, func() {
+				completions++
+				exs[r].Commit(net.ctx(r), nil)
+			})
+		}
+		net.drain(100000)
+		for r := 0; r < n; r++ {
+			if exs[r].Busy() {
+				return false
+			}
+		}
+		return completions > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/solver"
+)
+
+// AblationNoMoreMaster quantifies the §2.3 optimization: increments with
+// and without No_more_master pruning. The paper observed the message
+// count roughly halving on MUMPS.
+type AblationNoMoreMasterRow struct {
+	Name            string
+	Procs           int
+	MsgsWith        int64
+	MsgsWithout     int64
+	ReductionFactor float64
+}
+
+// AblationNoMoreMaster runs the comparison on the large problem set.
+func (l *Lab) AblationNoMoreMaster(procs int) ([]AblationNoMoreMasterRow, error) {
+	var rows []AblationNoMoreMasterRow
+	for _, name := range set2Names() {
+		with, err := l.RunOne(name, procs, core.MechIncrements, sched.Workload(), nil)
+		if err != nil {
+			return nil, err
+		}
+		without, err := l.RunOne(name, procs, core.MechIncrements, sched.Workload(), func(p *solver.Params) {
+			p.MechConfig.NoMoreMasterOpt = false
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationNoMoreMasterRow{
+			Name: name, Procs: procs,
+			MsgsWith: with.StateMsgs, MsgsWithout: without.StateMsgs,
+			ReductionFactor: float64(without.StateMsgs) / float64(with.StateMsgs),
+		})
+	}
+	return rows, nil
+}
+
+// WriteAblationNoMoreMaster prints the §2.3 comparison.
+func WriteAblationNoMoreMaster(w io.Writer, rows []AblationNoMoreMasterRow) {
+	fmt.Fprintf(w, "%-13s %5s %12s %12s %10s\n", "Matrix", "procs", "with §2.3", "without", "factor")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-13s %5d %12d %12d %9.2fx\n", r.Name, r.Procs, r.MsgsWith, r.MsgsWithout, r.ReductionFactor)
+	}
+}
+
+// AblationElectionRow compares leader-election criteria for the snapshot
+// algorithm (the paper's conclusion flags the criterion as a lever worth
+// studying).
+type AblationElectionRow struct {
+	Name      string
+	Procs     int
+	MinRank   float64 // factorization time, seconds
+	MaxRank   float64
+	ByLoadKey float64
+}
+
+// AblationLeaderElection runs the snapshot mechanism under three
+// consistent election orders: lowest rank (the paper's), highest rank,
+// and lowest static initial load.
+func (l *Lab) AblationLeaderElection(procs int) ([]AblationElectionRow, error) {
+	var rows []AblationElectionRow
+	for _, name := range set2Names() {
+		row := AblationElectionRow{Name: name, Procs: procs}
+		run := func(elect core.Elector) (float64, error) {
+			res, err := l.RunOne(name, procs, core.MechSnapshot, sched.Workload(), func(p *solver.Params) {
+				p.MechConfig.Elect = elect
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.Time, nil
+		}
+		var err error
+		if row.MinRank, err = run(core.ElectMinRank); err != nil {
+			return nil, err
+		}
+		if row.MaxRank, err = run(core.ElectMaxRank); err != nil {
+			return nil, err
+		}
+		m, err := l.Mapping(name, procs)
+		if err != nil {
+			return nil, err
+		}
+		if row.ByLoadKey, err = run(core.ElectByKey(m.InitialLoad)); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteAblationLeaderElection prints the election comparison.
+func WriteAblationLeaderElection(w io.Writer, rows []AblationElectionRow) {
+	fmt.Fprintf(w, "%-13s %5s %12s %12s %12s\n", "Matrix", "procs", "min-rank(s)", "max-rank(s)", "by-load(s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-13s %5d %12.2f %12.2f %12.2f\n", r.Name, r.Procs, r.MinRank, r.MaxRank, r.ByLoadKey)
+	}
+}
+
+// AblationPartialRow compares full snapshots against the §5 partial
+// snapshots (scoped to the master's candidate slaves): the paper
+// conjectures partial snapshots reduce messages and weaken the
+// synchronization.
+type AblationPartialRow struct {
+	Name         string
+	Procs        int
+	FullTime     float64
+	PartialTime  float64
+	FullMsgs     int64
+	PartialMsgs  int64
+	FullPeakM    float64
+	PartialPeakM float64
+}
+
+// AblationPartialSnapshot runs the comparison on the large set.
+func (l *Lab) AblationPartialSnapshot(procs int) ([]AblationPartialRow, error) {
+	var rows []AblationPartialRow
+	for _, name := range set2Names() {
+		full, err := l.RunOne(name, procs, core.MechSnapshot, sched.Workload(), nil)
+		if err != nil {
+			return nil, err
+		}
+		part, err := l.RunOne(name, procs, core.MechSnapshot, sched.Workload(), func(p *solver.Params) {
+			p.PartialSnapshots = true
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationPartialRow{
+			Name: name, Procs: procs,
+			FullTime: full.Time, PartialTime: part.Time,
+			FullMsgs: full.StateMsgs, PartialMsgs: part.StateMsgs,
+			FullPeakM: full.MaxPeakMem / 1e6, PartialPeakM: part.MaxPeakMem / 1e6,
+		})
+	}
+	return rows, nil
+}
+
+// WriteAblationPartialSnapshot prints the §5 partial-snapshot comparison.
+func WriteAblationPartialSnapshot(w io.Writer, rows []AblationPartialRow) {
+	fmt.Fprintf(w, "%-13s %5s | %10s %10s | %10s %10s | %10s %10s\n",
+		"Matrix", "procs", "full t(s)", "part t(s)", "full msgs", "part msgs", "full peak", "part peak")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-13s %5d | %10.2f %10.2f | %10d %10d | %10.3f %10.3f\n",
+			r.Name, r.Procs, r.FullTime, r.PartialTime, r.FullMsgs, r.PartialMsgs,
+			r.FullPeakM, r.PartialPeakM)
+	}
+}
+
+// AblationNetworkRow compares the mechanisms on the default (fast) and a
+// high-latency/low-bandwidth interconnect — the paper's closing remark
+// that snapshots "could still be well adapted" to such systems.
+type AblationNetworkRow struct {
+	Name          string
+	Procs         int
+	FastIncr      float64
+	FastSnap      float64
+	SlowIncr      float64
+	SlowSnap      float64
+	SlowIncrBytes float64
+	SlowSnapBytes float64
+}
+
+// AblationNetwork runs the interconnect comparison.
+func (l *Lab) AblationNetwork(procs int) ([]AblationNetworkRow, error) {
+	var rows []AblationNetworkRow
+	for _, name := range set2Names() {
+		row := AblationNetworkRow{Name: name, Procs: procs}
+		for _, mech := range []core.Mech{core.MechIncrements, core.MechSnapshot} {
+			fast, err := l.RunOne(name, procs, mech, sched.Workload(), nil)
+			if err != nil {
+				return nil, err
+			}
+			slow, err := l.RunOne(name, procs, mech, sched.Workload(), func(p *solver.Params) {
+				p.Net = sim.HighLatencyNetwork()
+			})
+			if err != nil {
+				return nil, err
+			}
+			if mech == core.MechIncrements {
+				row.FastIncr, row.SlowIncr, row.SlowIncrBytes = fast.Time, slow.Time, slow.StateBytes
+			} else {
+				row.FastSnap, row.SlowSnap, row.SlowSnapBytes = fast.Time, slow.Time, slow.StateBytes
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteAblationNetwork prints the interconnect comparison.
+func WriteAblationNetwork(w io.Writer, rows []AblationNetworkRow) {
+	fmt.Fprintf(w, "%-13s %5s | %10s %10s | %10s %10s | %12s %12s\n",
+		"Matrix", "procs", "fast incr", "fast snap", "slow incr", "slow snap", "incr MB", "snap MB")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-13s %5d | %10.2f %10.2f | %10.2f %10.2f | %12.2f %12.2f\n",
+			r.Name, r.Procs, r.FastIncr, r.FastSnap, r.SlowIncr, r.SlowSnap,
+			r.SlowIncrBytes/1e6, r.SlowSnapBytes/1e6)
+	}
+}
+
+// AblationThresholdRow sweeps the broadcast threshold of the increments
+// mechanism (§2.3: "the threshold should be chosen adequately").
+type AblationThresholdRow struct {
+	Name     string
+	Procs    int
+	Factor   float64 // multiplier on the default threshold
+	Msgs     int64
+	Time     float64
+	PeakMemM float64
+}
+
+// AblationThreshold sweeps threshold multipliers on one problem.
+func (l *Lab) AblationThreshold(name string, procs int, factors []float64) ([]AblationThresholdRow, error) {
+	if len(factors) == 0 {
+		factors = []float64{0.1, 0.5, 1, 4, 16}
+	}
+	var rows []AblationThresholdRow
+	for _, f := range factors {
+		f := f
+		res, err := l.RunOne(name, procs, core.MechIncrements, sched.Memory(), func(p *solver.Params) {
+			p.ThresholdScale = f
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationThresholdRow{
+			Name: name, Procs: procs, Factor: f,
+			Msgs: res.StateMsgs, Time: res.Time, PeakMemM: res.MaxPeakMem / 1e6,
+		})
+	}
+	return rows, nil
+}
+
+// WriteAblationThreshold prints the threshold sweep.
+func WriteAblationThreshold(w io.Writer, rows []AblationThresholdRow) {
+	fmt.Fprintf(w, "%-13s %5s %8s %10s %10s %12s\n", "Matrix", "procs", "thr×", "msgs", "time(s)", "peak(10^6)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-13s %5d %8.1f %10d %10.2f %12.3f\n", r.Name, r.Procs, r.Factor, r.Msgs, r.Time, r.PeakMemM)
+	}
+}

@@ -1,0 +1,137 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4.3-4.5): workload construction, parameter choices, runs
+// and formatted output, with the paper's reported values alongside for
+// comparison.
+//
+// Absolute values are not comparable — the paper ran MUMPS on an IBM SP,
+// this repository runs a calibrated simulator on synthetic analogues —
+// but the shapes the paper argues from are: which mechanism wins, by
+// roughly what factor, and where the exceptions sit.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/sched"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+	"repro/internal/symbolic"
+	"repro/internal/tree"
+)
+
+// Config tunes the whole experiment suite.
+type Config struct {
+	// Seed drives all synthetic generators.
+	Seed uint64
+	// Scale is the base matrix scale; per-processor-count factors keep
+	// the machine as utilized as the paper's runs (Scale32 etc. multiply
+	// Scale).
+	Scale float64
+	// ScalePerProcs maps a processor count to the scale multiplier used
+	// when running at that count.
+	ScalePerProcs map[int]float64
+	// Verbose enables progress output.
+	Verbose bool
+}
+
+// DefaultConfig returns the configuration used by the benchmarks: small
+// enough for a laptop, utilized enough for the paper's contrasts.
+func DefaultConfig() Config {
+	return Config{
+		Seed:  1,
+		Scale: 1.0,
+		ScalePerProcs: map[int]float64{
+			32:  0.20,
+			64:  0.40,
+			128: 0.60,
+		},
+	}
+}
+
+// scaleFor returns the matrix scale for a processor count.
+func (c *Config) scaleFor(nprocs int) float64 {
+	s := c.Scale
+	if s <= 0 {
+		s = 1
+	}
+	if f, ok := c.ScalePerProcs[nprocs]; ok {
+		return s * f
+	}
+	return s * 0.2
+}
+
+// Lab runs experiments with cached symbolic analyses (the analysis is by
+// far the most expensive part and is identical across mechanisms).
+type Lab struct {
+	Cfg Config
+
+	mu    sync.Mutex
+	cache map[string]*symbolic.Analysis
+}
+
+// NewLab creates an experiment runner.
+func NewLab(cfg Config) *Lab {
+	return &Lab{Cfg: cfg, cache: map[string]*symbolic.Analysis{}}
+}
+
+// analysis returns the (cached) symbolic analysis of a problem at the
+// scale for nprocs.
+func (l *Lab) analysis(name string, nprocs int) (*symbolic.Analysis, error) {
+	scale := l.Cfg.scaleFor(nprocs)
+	key := fmt.Sprintf("%s@%.4f", name, scale)
+	l.mu.Lock()
+	a, ok := l.cache[key]
+	l.mu.Unlock()
+	if ok {
+		return a, nil
+	}
+	pr, err := sparse.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	p, g := pr.Generate(scale, l.Cfg.Seed)
+	perm, err := orderAuto(g)
+	if err != nil {
+		return nil, err
+	}
+	a, err = symbolic.AnalyzeGraph(g, perm, p.Kind == sparse.Sym, symbolic.DefaultAmalg())
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.cache[key] = a
+	l.mu.Unlock()
+	return a, nil
+}
+
+// Mapping builds a fresh split tree and static mapping for a problem at a
+// processor count. A fresh tree is needed per run: the mapping sets node
+// types in place.
+func (l *Lab) Mapping(name string, nprocs int) (*mapping.Mapping, error) {
+	a, err := l.analysis(name, nprocs)
+	if err != nil {
+		return nil, err
+	}
+	tr := tree.Split(tree.Build(a), tree.DefaultSplit())
+	return mapping.Map(tr, mapping.DefaultConfig(nprocs))
+}
+
+// RunOne executes a single (problem, nprocs, mechanism, strategy) cell.
+func (l *Lab) RunOne(name string, nprocs int, mech core.Mech, strat *sched.Strategy, mutate func(*solver.Params)) (*solver.Result, error) {
+	m, err := l.Mapping(name, nprocs)
+	if err != nil {
+		return nil, err
+	}
+	prm := solver.DefaultParams(mech, strat)
+	if mutate != nil {
+		mutate(&prm)
+	}
+	res, err := solver.Run(m, prm)
+	if err != nil {
+		return nil, fmt.Errorf("%s@%dp/%s: %w", name, nprocs, mech, err)
+	}
+	return res, nil
+}

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// tinyLab runs the suite at a very small scale: fast enough for unit
+// tests, large enough to exercise every code path.
+func tinyLab() *Lab {
+	cfg := DefaultConfig()
+	cfg.ScalePerProcs = map[int]float64{
+		4:   0.02,
+		32:  0.03,
+		64:  0.05,
+		128: 0.08,
+	}
+	return NewLab(cfg)
+}
+
+func TestMatricesListsAllProblems(t *testing.T) {
+	lab := tinyLab()
+	rows, err := lab.Matrices(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("got %d rows, want 11", len(rows))
+	}
+	for _, r := range rows {
+		if r.GenOrder <= 0 || r.GenNNZ <= 0 {
+			t.Fatalf("%s: empty generated matrix", r.Name)
+		}
+		if r.PaperOrder <= 0 {
+			t.Fatalf("%s: missing paper order", r.Name)
+		}
+	}
+	var buf bytes.Buffer
+	WriteMatrices(&buf, rows)
+	if !strings.Contains(buf.String(), "GUPTA3") {
+		t.Fatal("rendering misses a matrix")
+	}
+}
+
+func TestTable3Coverage(t *testing.T) {
+	lab := tinyLab()
+	rows, err := lab.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 set-1 matrices × {32, 64} + 3 set-2 × {64, 128}.
+	if len(rows) != 8*2+3*2 {
+		t.Fatalf("got %d rows, want 22", len(rows))
+	}
+	withPaper := 0
+	for _, r := range rows {
+		if r.Measured <= 0 {
+			t.Fatalf("%s@%d: no decisions", r.Name, r.Procs)
+		}
+		if r.Paper > 0 {
+			withPaper++
+		}
+	}
+	if withPaper != len(rows) {
+		t.Fatalf("paper values missing for %d rows", len(rows)-withPaper)
+	}
+	var buf bytes.Buffer
+	WriteTable3(&buf, rows)
+	if !strings.Contains(buf.String(), "AUDIKW_1") {
+		t.Fatal("rendering misses a matrix")
+	}
+}
+
+func TestTable4SingleProcsRuns(t *testing.T) {
+	lab := tinyLab()
+	rows, err := lab.Table4([]int{32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.Measured.Increments <= 0 || r.Measured.Snapshot <= 0 || r.Measured.Naive <= 0 {
+			t.Fatalf("%s: missing measurement: %+v", r.Name, r.Measured)
+		}
+		if r.Paper.Increments <= 0 {
+			t.Fatalf("%s: missing paper row", r.Name)
+		}
+	}
+	var buf bytes.Buffer
+	WriteTable4(&buf, rows)
+	if !strings.Contains(buf.String(), "ULTRASOUND3") {
+		t.Fatal("rendering incomplete")
+	}
+}
+
+func TestTable567SingleProcs(t *testing.T) {
+	lab := tinyLab()
+	rows, err := lab.Table567([]int{64}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.Time.Increments <= 0 || r.Time.Snapshot <= 0 {
+			t.Fatalf("%s: missing times", r.Name)
+		}
+		if r.Msgs.Increments <= r.Msgs.Snapshot {
+			t.Fatalf("%s: increments should use more messages (got %d vs %d)",
+				r.Name, r.Msgs.Increments, r.Msgs.Snapshot)
+		}
+		if r.ThreadedTime.Increments <= 0 || r.ThreadedTime.Snapshot <= 0 {
+			t.Fatalf("%s: missing threaded times", r.Name)
+		}
+	}
+	for _, render := range []func(*bytes.Buffer){
+		func(b *bytes.Buffer) { WriteTable5(b, rows) },
+		func(b *bytes.Buffer) { WriteTable6(b, rows) },
+		func(b *bytes.Buffer) { WriteTable7(b, rows) },
+	} {
+		var buf bytes.Buffer
+		render(&buf)
+		if !strings.Contains(buf.String(), "CONV3D64") {
+			t.Fatal("rendering incomplete")
+		}
+	}
+}
+
+func TestFigure1AllMechanisms(t *testing.T) {
+	var buf bytes.Buffer
+	for _, mech := range core.Mechanisms() {
+		if err := Figure1(&buf, mech); err != nil {
+			t.Fatalf("%s: %v", mech, err)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "STALE") {
+		t.Fatal("naive run did not exhibit the stale view")
+	}
+	if strings.Count(out, "COHERENT") != 2 {
+		t.Fatal("increments and snapshot must both be coherent")
+	}
+}
+
+func TestFigure2Renders(t *testing.T) {
+	lab := tinyLab()
+	var buf bytes.Buffer
+	if err := lab.Figure2(&buf, "BMWCRA_1"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"subtree", "T1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure 2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationNoMoreMasterReduces(t *testing.T) {
+	lab := tinyLab()
+	rows, err := lab.AblationNoMoreMaster(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.ReductionFactor < 1 {
+			t.Fatalf("%s: No_more_master increased messages (%v)", r.Name, r.ReductionFactor)
+		}
+	}
+	var buf bytes.Buffer
+	WriteAblationNoMoreMaster(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestAblationLeaderElectionRuns(t *testing.T) {
+	lab := tinyLab()
+	rows, err := lab.AblationLeaderElection(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.MinRank <= 0 || r.MaxRank <= 0 || r.ByLoadKey <= 0 {
+			t.Fatalf("%s: missing results: %+v", r.Name, r)
+		}
+	}
+	var buf bytes.Buffer
+	WriteAblationLeaderElection(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestAblationThresholdMonotoneMessages(t *testing.T) {
+	lab := tinyLab()
+	rows, err := lab.AblationThreshold("ULTRASOUND80", 64, []float64{0.25, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Msgs <= rows[1].Msgs {
+		t.Fatalf("lower threshold must send more messages: %+v", rows)
+	}
+	var buf bytes.Buffer
+	WriteAblationThreshold(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestRunOneUnknownProblem(t *testing.T) {
+	lab := tinyLab()
+	if _, err := lab.RunOne("NOPE", 4, core.MechNaive, sched.Workload(), nil); err == nil {
+		t.Fatal("unknown problem accepted")
+	}
+}
+
+func TestLabCachesAnalyses(t *testing.T) {
+	lab := tinyLab()
+	if _, err := lab.Mapping("GUPTA3", 32); err != nil {
+		t.Fatal(err)
+	}
+	lab.mu.Lock()
+	n := len(lab.cache)
+	lab.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("cache has %d entries, want 1", n)
+	}
+	if _, err := lab.Mapping("GUPTA3", 32); err != nil {
+		t.Fatal(err)
+	}
+	lab.mu.Lock()
+	n = len(lab.cache)
+	lab.mu.Unlock()
+	if n != 1 {
+		t.Fatal("analysis not reused")
+	}
+}

@@ -1,0 +1,12 @@
+package experiments
+
+import (
+	"repro/internal/ordering"
+	"repro/internal/sparse"
+)
+
+// orderAuto picks the ordering exactly as Analyze's auto mode does, kept
+// separate so Lab can work from a pre-built graph (with coordinates).
+func orderAuto(g *sparse.Graph) (ordering.Perm, error) {
+	return ordering.Order(g, ordering.MethodAuto)
+}

@@ -1,0 +1,304 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+	"repro/internal/stats"
+)
+
+// set1Names returns the Table 1 matrices in table order.
+func set1Names() []string {
+	var names []string
+	for _, pr := range sparse.Set1() {
+		names = append(names, pr.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// set2Names returns the Table 2 matrices.
+func set2Names() []string {
+	var names []string
+	for _, pr := range sparse.Set2() {
+		names = append(names, pr.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ---- Tables 1 & 2 -------------------------------------------------------
+
+// MatrixRow describes one test problem: the paper's matrix and its
+// synthetic analogue at the configured scale.
+type MatrixRow struct {
+	Name       string
+	PaperOrder int
+	PaperNNZ   int
+	Kind       string
+	GenOrder   int
+	GenNNZ     int
+	Desc       string
+	Set        int
+}
+
+// Matrices regenerates Tables 1-2: the problem sets, paper vs generated.
+func (l *Lab) Matrices(scaleProcs int) ([]MatrixRow, error) {
+	var rows []MatrixRow
+	for _, pr := range sparse.Registry {
+		p, _ := pr.Generate(l.Cfg.scaleFor(scaleProcs), l.Cfg.Seed)
+		rows = append(rows, MatrixRow{
+			Name: pr.Name, PaperOrder: pr.PaperOrder, PaperNNZ: pr.PaperNNZ,
+			Kind: pr.Kind.String(), GenOrder: p.N, GenNNZ: p.NNZ(),
+			Desc: pr.Desc, Set: pr.Set,
+		})
+	}
+	return rows, nil
+}
+
+// ---- Table 3 ------------------------------------------------------------
+
+// DecisionRow is one Table 3 cell.
+type DecisionRow struct {
+	Name     string
+	Procs    int
+	Measured int
+	Paper    int // 0 when the paper has no value for this cell
+}
+
+// Table3 regenerates the dynamic-decision counts.
+func (l *Lab) Table3() ([]DecisionRow, error) {
+	var rows []DecisionRow
+	add := func(names []string, procs []int) error {
+		for _, name := range names {
+			for _, np := range procs {
+				m, err := l.Mapping(name, np)
+				if err != nil {
+					return err
+				}
+				rows = append(rows, DecisionRow{
+					Name: name, Procs: np,
+					Measured: m.Decisions(),
+					Paper:    PaperTable3[name][np],
+				})
+			}
+		}
+		return nil
+	}
+	if err := add(set1Names(), []int{32, 64}); err != nil {
+		return nil, err
+	}
+	if err := add(set2Names(), []int{64, 128}); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// ---- Table 4 ------------------------------------------------------------
+
+// Table4Row is one Table 4 row: peak active memory (millions of entries)
+// under the memory-based strategy, for the three mechanisms. Imbalance is
+// the max/mean factor of the per-process peaks (1.0 = perfectly even), a
+// diagnostic the paper discusses qualitatively.
+type Table4Row struct {
+	Name      string
+	Procs     int
+	Measured  PeakRow
+	Paper     PeakRow
+	Imbalance PeakRow
+}
+
+// Table4 regenerates the memory-based-strategy comparison.
+func (l *Lab) Table4(procs []int) ([]Table4Row, error) {
+	if len(procs) == 0 {
+		procs = []int{32, 64}
+	}
+	var rows []Table4Row
+	for _, np := range procs {
+		for _, name := range set1Names() {
+			row := Table4Row{Name: name, Procs: np, Paper: PaperTable4[np][name]}
+			for _, mech := range core.Mechanisms() {
+				res, err := l.RunOne(name, np, mech, sched.Memory(), nil)
+				if err != nil {
+					return nil, err
+				}
+				v := res.MaxPeakMem / 1e6
+				imb := stats.Imbalance(res.PeakMem)
+				switch mech {
+				case core.MechIncrements:
+					row.Measured.Increments = v
+					row.Imbalance.Increments = imb
+				case core.MechSnapshot:
+					row.Measured.Snapshot = v
+					row.Imbalance.Snapshot = imb
+				case core.MechNaive:
+					row.Measured.Naive = v
+					row.Imbalance.Naive = imb
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// ---- Tables 5, 6 and 7 ---------------------------------------------------
+
+// Table567Row carries one matrix/procs cell of Tables 5-7: the same runs
+// produce the factorization time (Table 5), the mechanism message counts
+// (Table 6) and — re-run with the threaded model — Table 7.
+type Table567Row struct {
+	Name  string
+	Procs int
+	// Single-threaded (Tables 5-6).
+	Time      TimeRow
+	Msgs      MsgRow
+	PaperTime TimeRow
+	PaperMsgs MsgRow
+	// Threaded (Table 7).
+	ThreadedTime      TimeRow
+	PaperThreadedTime TimeRow
+	// Snapshot diagnostics (§4.5 discussion).
+	SnapshotOpsTime         float64 // single-threaded, seconds
+	ThreadedSnapshotOpsTime float64
+	MaxConcurrentSnapshots  int
+}
+
+// Table567 regenerates the workload-strategy comparison on the large set.
+func (l *Lab) Table567(procs []int, threaded bool) ([]Table567Row, error) {
+	if len(procs) == 0 {
+		procs = []int{64, 128}
+	}
+	var rows []Table567Row
+	for _, np := range procs {
+		for _, name := range set2Names() {
+			row := Table567Row{
+				Name: name, Procs: np,
+				PaperTime:         PaperTable5[np][name],
+				PaperMsgs:         PaperTable6[np][name],
+				PaperThreadedTime: PaperTable7[np][name],
+			}
+			for _, mech := range []core.Mech{core.MechIncrements, core.MechSnapshot} {
+				res, err := l.RunOne(name, np, mech, sched.Workload(), nil)
+				if err != nil {
+					return nil, err
+				}
+				switch mech {
+				case core.MechIncrements:
+					row.Time.Increments = res.Time
+					row.Msgs.Increments = res.StateMsgs
+				case core.MechSnapshot:
+					row.Time.Snapshot = res.Time
+					row.Msgs.Snapshot = res.StateMsgs
+					row.SnapshotOpsTime = res.SnapshotTime
+					row.MaxConcurrentSnapshots = res.MaxConcurrentSnapshots
+				}
+				if threaded {
+					tres, err := l.RunOne(name, np, mech, sched.Workload(), func(p *solver.Params) {
+						p.Threaded = true
+					})
+					if err != nil {
+						return nil, err
+					}
+					switch mech {
+					case core.MechIncrements:
+						row.ThreadedTime.Increments = tres.Time
+					case core.MechSnapshot:
+						row.ThreadedTime.Snapshot = tres.Time
+						row.ThreadedSnapshotOpsTime = tres.SnapshotTime
+					}
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// ---- formatting ----------------------------------------------------------
+
+// WriteMatrices prints Tables 1-2.
+func WriteMatrices(w io.Writer, rows []MatrixRow) {
+	fmt.Fprintf(w, "%-13s %-4s %10s %12s | %10s %12s  %s\n",
+		"Matrix", "Type", "paper n", "paper nnz", "gen n", "gen nnz", "Description")
+	set := 0
+	for _, r := range rows {
+		if r.Set != set {
+			set = r.Set
+			fmt.Fprintf(w, "-- Table %d problems --\n", set)
+		}
+		fmt.Fprintf(w, "%-13s %-4s %10d %12d | %10d %12d  %s\n",
+			r.Name, r.Kind, r.PaperOrder, r.PaperNNZ, r.GenOrder, r.GenNNZ, r.Desc)
+	}
+}
+
+// WriteTable3 prints the decision counts.
+func WriteTable3(w io.Writer, rows []DecisionRow) {
+	fmt.Fprintf(w, "%-13s %6s %10s %10s\n", "Matrix", "procs", "measured", "paper")
+	for _, r := range rows {
+		paper := "-"
+		if r.Paper > 0 {
+			paper = fmt.Sprintf("%d", r.Paper)
+		}
+		fmt.Fprintf(w, "%-13s %6d %10d %10s\n", r.Name, r.Procs, r.Measured, paper)
+	}
+}
+
+// WriteTable4 prints the peak-memory comparison.
+func WriteTable4(w io.Writer, rows []Table4Row) {
+	fmt.Fprintf(w, "%-13s %5s | %29s | %29s\n", "", "", "measured (10^6 entries)", "paper (10^6 entries)")
+	fmt.Fprintf(w, "%-13s %5s | %9s %9s %9s | %9s %9s %9s\n",
+		"Matrix", "procs", "incr", "snapshot", "naive", "incr", "snapshot", "naive")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-13s %5d | %9.3f %9.3f %9.3f | %9.2f %9.2f %9.2f\n",
+			r.Name, r.Procs,
+			r.Measured.Increments, r.Measured.Snapshot, r.Measured.Naive,
+			r.Paper.Increments, r.Paper.Snapshot, r.Paper.Naive)
+	}
+}
+
+// WriteTable5 prints factorization times.
+func WriteTable5(w io.Writer, rows []Table567Row) {
+	fmt.Fprintf(w, "%-13s %5s | %19s | %19s | %s\n", "", "", "measured time (s)", "paper time (s)", "ratio snap/incr")
+	fmt.Fprintf(w, "%-13s %5s | %9s %9s | %9s %9s | %7s %7s\n",
+		"Matrix", "procs", "incr", "snapshot", "incr", "snapshot", "meas", "paper")
+	for _, r := range rows {
+		mr := r.Time.Snapshot / r.Time.Increments
+		pr := r.PaperTime.Snapshot / r.PaperTime.Increments
+		fmt.Fprintf(w, "%-13s %5d | %9.2f %9.2f | %9.2f %9.2f | %7.2f %7.2f\n",
+			r.Name, r.Procs, r.Time.Increments, r.Time.Snapshot,
+			r.PaperTime.Increments, r.PaperTime.Snapshot, mr, pr)
+	}
+}
+
+// WriteTable6 prints mechanism message counts.
+func WriteTable6(w io.Writer, rows []Table567Row) {
+	fmt.Fprintf(w, "%-13s %5s | %19s | %21s | %s\n", "", "", "measured msgs", "paper msgs", "ratio incr/snap")
+	fmt.Fprintf(w, "%-13s %5s | %9s %9s | %10s %10s | %7s %7s\n",
+		"Matrix", "procs", "incr", "snapshot", "incr", "snapshot", "meas", "paper")
+	for _, r := range rows {
+		mr := float64(r.Msgs.Increments) / float64(r.Msgs.Snapshot)
+		pr := float64(r.PaperMsgs.Increments) / float64(r.PaperMsgs.Snapshot)
+		fmt.Fprintf(w, "%-13s %5d | %9d %9d | %10d %10d | %7.1f %7.1f\n",
+			r.Name, r.Procs, r.Msgs.Increments, r.Msgs.Snapshot,
+			r.PaperMsgs.Increments, r.PaperMsgs.Snapshot, mr, pr)
+	}
+}
+
+// WriteTable7 prints the threaded comparison.
+func WriteTable7(w io.Writer, rows []Table567Row) {
+	fmt.Fprintf(w, "%-13s %5s | %19s | %19s | %s\n", "", "", "measured time (s)", "paper time (s)", "snapshot-ops time (s)")
+	fmt.Fprintf(w, "%-13s %5s | %9s %9s | %9s %9s | %10s %10s\n",
+		"Matrix", "procs", "incr", "snapshot", "incr", "snapshot", "1-thread", "threaded")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-13s %5d | %9.2f %9.2f | %9.2f %9.2f | %10.2f %10.2f\n",
+			r.Name, r.Procs, r.ThreadedTime.Increments, r.ThreadedTime.Snapshot,
+			r.PaperThreadedTime.Increments, r.PaperThreadedTime.Snapshot,
+			r.SnapshotOpsTime, r.ThreadedSnapshotOpsTime)
+	}
+}

@@ -1,0 +1,131 @@
+package live
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestLiveClusterBasicWorkflow(t *testing.T) {
+	for _, mech := range core.Mechanisms() {
+		mech := mech
+		t.Run(string(mech), func(t *testing.T) {
+			cl, err := NewCluster(4, mech, core.Config{Threshold: core.Load{core.Workload: 1}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Stop()
+			if err := cl.Decide(0, 300, 3, 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := cl.Drain(5 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			var executed int64
+			for r := 0; r < 4; r++ {
+				executed += cl.Executed(r)
+			}
+			if executed != 3 {
+				t.Fatalf("executed %d work items, want 3", executed)
+			}
+		})
+	}
+}
+
+func TestLiveConcurrentDecisions(t *testing.T) {
+	// Multiple masters decide simultaneously under every mechanism; with
+	// the race detector this validates the mechanisms' single-goroutine
+	// discipline and the snapshot sequentialization over real channels.
+	for _, mech := range core.Mechanisms() {
+		mech := mech
+		t.Run(string(mech), func(t *testing.T) {
+			const n = 6
+			cl, err := NewCluster(n, mech, core.Config{Threshold: core.Load{core.Workload: 10}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Stop()
+			var wg sync.WaitGroup
+			for master := 0; master < 3; master++ {
+				wg.Add(1)
+				go func(m int) {
+					defer wg.Done()
+					for i := 0; i < 5; i++ {
+						if err := cl.Decide(m, 100, 2, time.Millisecond); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(master)
+			}
+			wg.Wait()
+			if err := cl.Drain(10 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			var executed int64
+			for r := 0; r < n; r++ {
+				executed += cl.Executed(r)
+			}
+			if executed != 30 {
+				t.Fatalf("executed %d work items, want 30", executed)
+			}
+		})
+	}
+}
+
+func TestLiveViewsConvergeAfterQuiescence(t *testing.T) {
+	cl, err := NewCluster(4, core.MechIncrements, core.Config{}) // zero threshold: every change broadcast
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	for i := 0; i < 4; i++ {
+		if err := cl.Decide(i, 40, 2, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Give the trailing Update broadcasts a moment, then all views must
+	// agree that all work is done (loads back to 0).
+	time.Sleep(50 * time.Millisecond)
+	for r := 0; r < 4; r++ {
+		for p, l := range cl.View(r) {
+			if l[core.Workload] != 0 {
+				t.Fatalf("node %d sees residual load %v on %d", r, l[core.Workload], p)
+			}
+		}
+	}
+}
+
+func TestLiveSnapshotStats(t *testing.T) {
+	cl, err := NewCluster(4, core.MechSnapshot, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	if err := cl.Decide(2, 90, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := cl.Stats(2)
+	if st.SnapshotsInitiated != 1 {
+		t.Fatalf("snapshots initiated = %d, want 1", st.SnapshotsInitiated)
+	}
+}
+
+func TestLiveDecideRejectsBadMaster(t *testing.T) {
+	cl, err := NewCluster(2, core.MechNaive, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	if err := cl.Decide(9, 10, 1, 0); err == nil {
+		t.Fatal("bad master accepted")
+	}
+}

@@ -1,0 +1,280 @@
+package mapping
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sparse"
+	"repro/internal/symbolic"
+	"repro/internal/tree"
+)
+
+func TestMapBasicInvariants(t *testing.T) {
+	p, _ := sparse.Grid3D(8, 8, 8, 1, sparse.Star, sparse.Sym)
+	a, err := symbolic.Analyze(p, symbolic.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tree.Build(a)
+	m, err := Map(tr, DefaultConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node has a master in range.
+	for i := range tr.Nodes {
+		if m.Master[i] < 0 || m.Master[i] >= 8 {
+			t.Fatalf("node %d master %d out of range", i, m.Master[i])
+		}
+	}
+	// Subtree nodes inherit the subtree owner.
+	for i := range tr.Nodes {
+		if s := tr.Nodes[i].Subtree; s >= 0 {
+			if m.Master[i] != m.SubtreeProc[s] {
+				t.Fatal("subtree node not owned by subtree processor")
+			}
+		}
+	}
+	// Initial loads sum to the cost of all subtree nodes.
+	var want float64
+	for i := range tr.Nodes {
+		if tr.Nodes[i].Subtree >= 0 {
+			want += tr.Nodes[i].Cost
+		}
+	}
+	var got float64
+	for _, l := range m.InitialLoad {
+		got += l
+	}
+	if math.Abs(got-want) > 1e-6*math.Max(want, 1) {
+		t.Fatalf("initial loads %v != subtree cost %v", got, want)
+	}
+}
+
+func TestSubtreeLayerCoversAllLeaves(t *testing.T) {
+	p, _ := sparse.Grid3D(7, 7, 7, 1, sparse.Star, sparse.Sym)
+	a, err := symbolic.Analyze(p, symbolic.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tree.Build(a)
+	m, err := Map(tr, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each leaf must be inside some subtree (the layer is a complete
+	// horizontal cut).
+	for _, l := range tr.Leaves() {
+		if tr.Nodes[l].Subtree < 0 {
+			t.Fatalf("leaf %d not covered by the Geist-Ng layer", l)
+		}
+	}
+	if len(m.SubtreeRoots) < 4 {
+		t.Fatalf("only %d subtrees for 4 procs", len(m.SubtreeRoots))
+	}
+	// A node inside a subtree cannot be Type 2.
+	for i := range tr.Nodes {
+		if tr.Nodes[i].Subtree >= 0 && tr.Nodes[i].Type != tree.Type1 {
+			t.Fatal("subtree node classified parallel")
+		}
+	}
+}
+
+func TestDecisionsGrowWithProcs(t *testing.T) {
+	// Table 3 behaviour: the number of dynamic decisions roughly doubles
+	// from 32 to 64 processors (lower parallelization threshold).
+	p, _ := sparse.Grid3D(14, 14, 14, 1, sparse.Star, sparse.Sym)
+	a, err := symbolic.Analyze(p, symbolic.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(np int) int {
+		tr := tree.Build(a) // fresh tree: Map mutates node types
+		m, err := Map(tr, DefaultConfig(np))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Decisions()
+	}
+	d8, d16, d32 := count(8), count(16), count(32)
+	if d8 <= 0 {
+		t.Fatal("no dynamic decisions at 8 procs")
+	}
+	if !(d8 <= d16 && d16 <= d32) {
+		t.Fatalf("decisions not monotone in procs: %d, %d, %d", d8, d16, d32)
+	}
+	if d32 < d8*2 {
+		t.Fatalf("decisions should grow substantially: 8p=%d 32p=%d", d8, d32)
+	}
+}
+
+func TestInitialLoadBalanced(t *testing.T) {
+	p, _ := sparse.Grid3D(10, 10, 10, 1, sparse.Star, sparse.Sym)
+	a, err := symbolic.Analyze(p, symbolic.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tree.Build(a)
+	m, err := Map(tr, DefaultConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var max, sum float64
+	for _, l := range m.InitialLoad {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	avg := sum / 8
+	if avg == 0 {
+		t.Skip("degenerate: no subtree work")
+	}
+	if max > 3*avg {
+		t.Fatalf("LPT imbalance too large: max %v avg %v", max, avg)
+	}
+}
+
+func TestType3RootOnLargeProblem(t *testing.T) {
+	p, _ := sparse.Grid3D(12, 12, 12, 1, sparse.Star, sparse.Sym)
+	a, err := symbolic.Analyze(p, symbolic.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tree.Build(a)
+	cfg := DefaultConfig(8)
+	cfg.Type3MinFront = 32 // force
+	if _, err := Map(tr, cfg); err != nil {
+		t.Fatal(err)
+	}
+	root := tr.Roots[len(tr.Roots)-1]
+	for _, r := range tr.Roots {
+		if tr.Nodes[r].SubtreeCost > tr.Nodes[root].SubtreeCost {
+			root = r
+		}
+	}
+	if tr.Nodes[root].Nfront >= 32 && tr.Nodes[root].Type != tree.Type3 {
+		t.Fatalf("large root not Type 3 (front %d, type %v)", tr.Nodes[root].Nfront, tr.Nodes[root].Type)
+	}
+}
+
+func TestMapSingleProc(t *testing.T) {
+	p, _ := sparse.Grid2D(6, 6, 1, sparse.Star, sparse.Sym)
+	a, err := symbolic.Analyze(p, symbolic.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tree.Build(a)
+	m, err := Map(tr, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumType2 != 0 {
+		t.Fatal("single proc cannot have Type 2 nodes")
+	}
+	for _, mp := range m.Master {
+		if mp != 0 {
+			t.Fatal("single proc master must be 0")
+		}
+	}
+}
+
+func TestMapErrors(t *testing.T) {
+	if _, err := Map(&tree.Tree{}, DefaultConfig(4)); err == nil {
+		t.Fatal("empty tree accepted")
+	}
+	p, _ := sparse.Grid2D(4, 4, 1, sparse.Star, sparse.Sym)
+	a, _ := symbolic.Analyze(p, symbolic.DefaultOptions())
+	tr := tree.Build(a)
+	if _, err := Map(tr, Config{NProcs: 0}); err == nil {
+		t.Fatal("zero procs accepted")
+	}
+}
+
+func TestRegistryProblemsMapAcrossProcCounts(t *testing.T) {
+	for _, name := range []string{"BMWCRA_1", "TWOTONE"} {
+		pr, err := sparse.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pat, _ := pr.Generate(0.015, 3)
+		a, err := symbolic.Analyze(pat, symbolic.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, np := range []int{2, 8, 32} {
+			tr := tree.Build(a)
+			m, err := Map(tr, DefaultConfig(np))
+			if err != nil {
+				t.Fatalf("%s @%d: %v", name, np, err)
+			}
+			for i := range tr.Nodes {
+				if m.Master[i] < 0 || int(m.Master[i]) >= np {
+					t.Fatalf("%s @%d: master out of range", name, np)
+				}
+			}
+		}
+	}
+}
+
+func TestCandidatesForType2Nodes(t *testing.T) {
+	p, _ := sparse.Grid3D(10, 10, 10, 1, sparse.Star, sparse.Sym)
+	a, err := symbolic.Analyze(p, symbolic.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tree.Split(tree.Build(a), tree.DefaultSplit())
+	m, err := Map(tr, DefaultConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for i := range tr.Nodes {
+		if tr.Nodes[i].Type != tree.Type2 {
+			if m.Candidates[i] != nil {
+				t.Fatalf("non-Type2 node %d has candidates", i)
+			}
+			continue
+		}
+		found++
+		c := m.Candidates[i]
+		if len(c) < 7 {
+			t.Fatalf("node %d has only %d candidates", i, len(c))
+		}
+		seen := map[int32]bool{}
+		for _, p := range c {
+			if p < 0 || p >= 16 {
+				t.Fatalf("candidate %d out of range", p)
+			}
+			if p == m.Master[i] {
+				t.Fatal("master listed among its own candidates")
+			}
+			if seen[p] {
+				t.Fatal("duplicate candidate")
+			}
+			seen[p] = true
+		}
+	}
+	if found == 0 {
+		t.Fatal("no Type 2 nodes in test tree")
+	}
+}
+
+func TestCandidatesAroundWrapsRing(t *testing.T) {
+	// Narrow span near the end of the rank range must wrap around.
+	c := candidatesAround(14, 16, 16, 15)
+	seen := map[int32]bool{}
+	for _, p := range c {
+		if p < 0 || p >= 16 || p == 15 {
+			t.Fatalf("bad candidate %d", p)
+		}
+		seen[p] = true
+	}
+	if len(c) < 7 {
+		t.Fatalf("widening failed: %v", c)
+	}
+	// Full-width span stays within range and excludes the master.
+	c2 := candidatesAround(0, 4, 4, 2)
+	if len(c2) != 3 {
+		t.Fatalf("full-width candidates = %v", c2)
+	}
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback in virtual time. Events at equal times fire
+// in scheduling order (seq), which makes runs fully deterministic.
+type event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// EventHandle identifies a scheduled event so it can be canceled.
+// The zero value is invalid.
+type EventHandle struct{ e *event }
+
+// Valid reports whether the handle refers to a scheduled event.
+func (h EventHandle) Valid() bool { return h.e != nil }
+
+// Engine is the discrete-event simulation core: a virtual clock and a
+// priority queue of timed callbacks. Engine is not safe for concurrent use;
+// all application code runs inside event callbacks on a single goroutine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	steps  uint64
+
+	// MaxSteps, when non-zero, bounds the number of events processed by Run
+	// and RunUntil; exceeding it is reported as an error. It guards against
+	// accidental livelock in protocol bugs.
+	MaxSteps uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events processed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending returns the number of scheduled, non-canceled events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// it would violate causality.
+func (e *Engine) At(t Time, fn func()) EventHandle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return EventHandle{ev}
+}
+
+// After schedules fn to run d seconds of virtual time from now.
+func (e *Engine) After(d Duration, fn func()) EventHandle {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Canceling an event that
+// already fired (or was already canceled) is a no-op.
+func (e *Engine) Cancel(h EventHandle) {
+	if h.e != nil {
+		h.e.canceled = true
+	}
+}
+
+// Run processes events until none remain. It returns an error if MaxSteps
+// is exceeded.
+func (e *Engine) Run() error {
+	return e.RunUntil(Time(maxFloat))
+}
+
+const maxFloat = 1.7976931348623157e308
+
+// RunUntil processes events with timestamps <= deadline, advancing the
+// clock. Events scheduled during processing are themselves processed if
+// they fall within the deadline.
+func (e *Engine) RunUntil(deadline Time) error {
+	for len(e.events) > 0 {
+		ev := e.events[0]
+		if ev.at > deadline {
+			return nil
+		}
+		heap.Pop(&e.events)
+		if ev.canceled {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: event queue time went backwards")
+		}
+		e.now = ev.at
+		e.steps++
+		if e.MaxSteps > 0 && e.steps > e.MaxSteps {
+			return fmt.Errorf("sim: exceeded MaxSteps=%d at t=%v (possible livelock)", e.MaxSteps, e.now)
+		}
+		ev.fn()
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	eng := NewEngine()
+	var got []Time
+	for _, at := range []Time{3, 1, 2, 0.5, 2.5} {
+		at := at
+		eng.At(at, func() { got = append(got, at) })
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+}
+
+func TestEngineTiesFireInSchedulingOrder(t *testing.T) {
+	eng := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.At(1, func() { got = append(got, i) })
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break violated insertion order: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	eng := NewEngine()
+	var trace []string
+	eng.At(1, func() {
+		trace = append(trace, "a")
+		eng.After(1, func() { trace = append(trace, "c") })
+		eng.After(0, func() { trace = append(trace, "b") })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+	if eng.Now() != 2 {
+		t.Fatalf("final time %v, want 2", eng.Now())
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	eng := NewEngine()
+	fired := false
+	h := eng.At(1, func() { fired = true })
+	eng.Cancel(h)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	// Cancel of zero handle and double-cancel are no-ops.
+	eng.Cancel(EventHandle{})
+	eng.Cancel(h)
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	eng := NewEngine()
+	eng.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		eng.At(1, func() {})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	eng := NewEngine()
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 4} {
+		at := at
+		eng.At(at, func() { fired = append(fired, at) })
+	}
+	if err := eng.RunUntil(2.5); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 1 and 2 only", fired)
+	}
+	if eng.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", eng.Pending())
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 4 {
+		t.Fatalf("fired %v, want all four", fired)
+	}
+}
+
+func TestEngineMaxStepsGuard(t *testing.T) {
+	eng := NewEngine()
+	eng.MaxSteps = 100
+	var loop func()
+	loop = func() { eng.After(1, loop) }
+	eng.At(0, loop)
+	if err := eng.Run(); err == nil {
+		t.Fatal("livelock not detected")
+	}
+}
+
+func TestEngineEventOrderProperty(t *testing.T) {
+	// Property: for any set of delays, events fire in nondecreasing time
+	// order and the clock never goes backwards.
+	f := func(raw []uint16) bool {
+		eng := NewEngine()
+		prev := Time(-1)
+		ok := true
+		for _, r := range raw {
+			at := Time(r) / 100
+			eng.At(at, func() {
+				if eng.Now() < prev {
+					ok = false
+				}
+				prev = eng.Now()
+				if eng.Now() != at {
+					ok = false
+				}
+			})
+		}
+		if err := eng.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminismAndUniformity(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRNG(42)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := c.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("Intn badly skewed: value %d appeared %d/10000 times", v, c)
+		}
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := NewRNG(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(11)
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(3.0)
+	}
+	if mean := sum / n; math.Abs(mean-3.0) > 0.1 {
+		t.Fatalf("Exp(3) mean = %v", mean)
+	}
+}

@@ -1,0 +1,38 @@
+package sim
+
+// Channel distinguishes the two logical channels of the paper's model
+// (§1): state-information messages travel on a dedicated channel and are
+// treated with priority over all other messages (Algorithm 1, line (1)).
+type Channel uint8
+
+const (
+	// StateChannel carries load/state-information messages: Update,
+	// Master_To_All, No_more_master, start_snp, snp, end_snp.
+	StateChannel Channel = iota
+	// DataChannel carries application messages: tasks, contribution
+	// blocks, factors.
+	DataChannel
+)
+
+// String returns "state" or "data".
+func (c Channel) String() string {
+	if c == StateChannel {
+		return "state"
+	}
+	return "data"
+}
+
+// Message is a unit of communication between two processes. Kind is an
+// application- or mechanism-defined tag; Payload carries the typed body.
+type Message struct {
+	From    int
+	To      int
+	Channel Channel
+	Kind    int
+	Payload any
+	// Bytes is the on-wire size used for bandwidth accounting.
+	Bytes float64
+	// Sent and Arrived are stamped by the network.
+	Sent    Time
+	Arrived Time
+}

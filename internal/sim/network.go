@@ -1,0 +1,212 @@
+package sim
+
+import "fmt"
+
+// NetworkConfig describes the interconnect of the simulated platform.
+//
+// The paper's platform (IBM SP at IDRIS) is a cluster of SMP nodes: either
+// 4-way or 32-way nodes, with a fast intra-node fabric and a slower
+// inter-node network. ProcsPerNode models that grouping; processes p and q
+// are on the same node when p/ProcsPerNode == q/ProcsPerNode.
+type NetworkConfig struct {
+	// Latency is the one-way latency between processes on different nodes.
+	Latency Duration
+	// IntraLatency is the one-way latency within a node. Zero means
+	// "same as Latency".
+	IntraLatency Duration
+	// Bandwidth is the per-link bandwidth in bytes per second of virtual
+	// time. Zero means infinite (messages incur latency only).
+	Bandwidth float64
+	// IntraBandwidth is the intra-node per-link bandwidth; zero means
+	// "same as Bandwidth".
+	IntraBandwidth float64
+	// ProcsPerNode groups processes into SMP nodes; zero or one means
+	// every process is its own node.
+	ProcsPerNode int
+	// IngressBandwidth, when non-zero, serializes all traffic entering a
+	// process at this rate (bytes/second). This models NIC/receive-side
+	// contention: when many processes restart communication simultaneously
+	// (e.g. after a snapshot completes, §4.5) their messages queue at the
+	// receiver.
+	IngressBandwidth float64
+}
+
+// DefaultNetwork returns a configuration resembling a early-2000s cluster
+// with a high-bandwidth/low-latency interconnect (the paper notes the IDRIS
+// network is "very high bandwidth / low latency").
+func DefaultNetwork() NetworkConfig {
+	return NetworkConfig{
+		Latency:          10 * Microsecond,
+		IntraLatency:     3 * Microsecond,
+		Bandwidth:        800e6, // 800 MB/s
+		IntraBandwidth:   2e9,
+		ProcsPerNode:     32,
+		IngressBandwidth: 1.2e9,
+	}
+}
+
+// HighLatencyNetwork returns a configuration for the paper's closing
+// discussion: links with high latency / low bandwidth, where the cost of
+// maintaining the view with many small messages becomes visible.
+func HighLatencyNetwork() NetworkConfig {
+	return NetworkConfig{
+		Latency:          500 * Microsecond,
+		IntraLatency:     5 * Microsecond,
+		Bandwidth:        40e6,
+		IntraBandwidth:   1e9,
+		ProcsPerNode:     4,
+		IngressBandwidth: 80e6,
+	}
+}
+
+// MessageCount aggregates per-channel message statistics.
+type MessageCount struct {
+	Messages int64
+	Bytes    float64
+}
+
+// Network models point-to-point FIFO links between n processes. Each
+// ordered pair (from, to) is an independent link: messages on it are
+// serialized (bandwidth) and delivered in order, which the snapshot
+// algorithm of §3 requires (Chandy–Lamport assumes FIFO channels).
+type Network struct {
+	eng     *Engine
+	cfg     NetworkConfig
+	n       int
+	deliver func(*Message)
+
+	// linkFree[from*n+to] is the time the link becomes available.
+	linkFree []Time
+	// ingressFree[to] is the time the receiver NIC becomes available.
+	ingressFree []Time
+
+	// Counters, indexed by channel.
+	counts [2]MessageCount
+	// PerKind counts messages by (channel, kind) for the experiment
+	// harness (Table 6 reports mechanism messages only).
+	perKind map[[2]int]int64
+}
+
+// NewNetwork creates a network of n processes delivering messages through
+// deliver (typically Runtime.Arrive).
+func NewNetwork(eng *Engine, n int, cfg NetworkConfig, deliver func(*Message)) *Network {
+	if n <= 0 {
+		panic("sim: network needs at least one process")
+	}
+	return &Network{
+		eng:         eng,
+		cfg:         cfg,
+		n:           n,
+		deliver:     deliver,
+		linkFree:    make([]Time, n*n),
+		ingressFree: make([]Time, n),
+		perKind:     make(map[[2]int]int64),
+	}
+}
+
+// N returns the number of processes.
+func (nw *Network) N() int { return nw.n }
+
+// sameNode reports whether two ranks share an SMP node.
+func (nw *Network) sameNode(a, b int) bool {
+	p := nw.cfg.ProcsPerNode
+	if p <= 1 {
+		return a == b
+	}
+	return a/p == b/p
+}
+
+// Send transmits m asynchronously. Delivery time accounts for link
+// occupancy (FIFO per ordered pair), latency, transfer time and receiver
+// ingress serialization. Sending to self delivers after the intra latency.
+func (nw *Network) Send(m *Message) {
+	if m.To < 0 || m.To >= nw.n || m.From < 0 || m.From >= nw.n {
+		panic(fmt.Sprintf("sim: send with bad ranks from=%d to=%d n=%d", m.From, m.To, nw.n))
+	}
+	now := nw.eng.Now()
+	m.Sent = now
+
+	lat := nw.cfg.Latency
+	bw := nw.cfg.Bandwidth
+	if nw.sameNode(m.From, m.To) {
+		if nw.cfg.IntraLatency > 0 {
+			lat = nw.cfg.IntraLatency
+		}
+		if nw.cfg.IntraBandwidth > 0 {
+			bw = nw.cfg.IntraBandwidth
+		}
+	}
+	xfer := Duration(0)
+	if bw > 0 {
+		xfer = Duration(m.Bytes / bw)
+	}
+
+	li := m.From*nw.n + m.To
+	start := now
+	if nw.linkFree[li] > start {
+		start = nw.linkFree[li]
+	}
+	linkDone := start + xfer
+	nw.linkFree[li] = linkDone
+
+	arrive := linkDone + lat
+	if nw.cfg.IngressBandwidth > 0 {
+		ing := Duration(m.Bytes / nw.cfg.IngressBandwidth)
+		if nw.ingressFree[m.To] > arrive {
+			arrive = nw.ingressFree[m.To]
+		}
+		arrive += ing
+		nw.ingressFree[m.To] = arrive
+	}
+
+	m.Arrived = arrive
+	nw.counts[m.Channel].Messages++
+	nw.counts[m.Channel].Bytes += m.Bytes
+	nw.perKind[[2]int{int(m.Channel), m.Kind}]++
+
+	nw.eng.At(arrive, func() { nw.deliver(m) })
+}
+
+// Broadcast sends a copy of the template message to every rank except from.
+// It returns the number of messages sent. Payload is shared across copies;
+// payloads must therefore be treated as immutable by receivers.
+func (nw *Network) Broadcast(from int, template Message) int {
+	sent := 0
+	for to := 0; to < nw.n; to++ {
+		if to == from {
+			continue
+		}
+		m := template
+		m.From = from
+		m.To = to
+		nw.Send(&m)
+		sent++
+	}
+	return sent
+}
+
+// Count returns the aggregate counters for a channel.
+func (nw *Network) Count(c Channel) MessageCount { return nw.counts[c] }
+
+// KindCount returns how many messages of the given channel and kind were
+// sent.
+func (nw *Network) KindCount(c Channel, kind int) int64 {
+	return nw.perKind[[2]int{int(c), kind}]
+}
+
+// TotalOnChannelExcept returns the number of messages on channel c whose
+// kind is not in excluded. It is used to count "messages related to the
+// load exchange mechanism" (Table 6).
+func (nw *Network) TotalOnChannelExcept(c Channel, excluded ...int) int64 {
+	skip := map[int]bool{}
+	for _, k := range excluded {
+		skip[k] = true
+	}
+	var total int64
+	for key, v := range nw.perKind {
+		if key[0] == int(c) && !skip[key[1]] {
+			total += v
+		}
+	}
+	return total
+}

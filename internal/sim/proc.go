@@ -1,0 +1,101 @@
+package sim
+
+// ProcState is the execution state of a simulated process.
+type ProcState uint8
+
+const (
+	// Idle: the process is in its main loop with nothing to do; the next
+	// message arrival wakes it.
+	Idle ProcState = iota
+	// Computing: a task is running. In the single-threaded model no
+	// message is treated until the task completes; in the threaded model
+	// state-information messages are treated at poll ticks.
+	Computing
+	// Blocked: the application refuses to treat data messages or start
+	// tasks (e.g. the process participates in an ongoing distributed
+	// snapshot). State-information messages are still treated.
+	Blocked
+)
+
+func (s ProcState) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Computing:
+		return "computing"
+	case Blocked:
+		return "blocked"
+	}
+	return "invalid"
+}
+
+// Proc is one simulated process. All fields are managed by the Runtime.
+type Proc struct {
+	ID    int
+	state ProcState
+
+	stateQ queue // state-information messages, treated in priority
+	dataQ  queue // task/data messages
+
+	// Compute bookkeeping.
+	busy        bool // a task is running or paused
+	paused      bool // threaded model: compute paused during a snapshot
+	remaining   Duration
+	startedAt   Time
+	completion  EventHandle
+	onDone      func()
+	pausedTotal Duration // cumulative paused time (reporting)
+
+	// wakePending coalesces arrival-triggered wakeups so at most one step
+	// event is scheduled at a time.
+	wakePending bool
+	// pollPending coalesces poll-tick events (threaded model).
+	pollPending bool
+
+	// Stats.
+	computeTime Duration
+	idleSince   Time
+	idleTime    Duration
+}
+
+// State returns the current execution state.
+func (p *Proc) State() ProcState { return p.state }
+
+// ComputeTime returns the cumulative virtual time this process spent
+// computing tasks.
+func (p *Proc) ComputeTime() Duration { return p.computeTime }
+
+// PausedTime returns the cumulative virtual time this process spent with a
+// task paused by the state-message thread (threaded model only).
+func (p *Proc) PausedTime() Duration { return p.pausedTotal }
+
+// QueuedState returns the number of untreated state-information messages.
+func (p *Proc) QueuedState() int { return p.stateQ.len() }
+
+// QueuedData returns the number of untreated data messages.
+func (p *Proc) QueuedData() int { return p.dataQ.len() }
+
+// queue is a simple FIFO of messages with an amortized O(1) pop.
+type queue struct {
+	items []*Message
+	head  int
+}
+
+func (q *queue) push(m *Message) { q.items = append(q.items, m) }
+
+func (q *queue) pop() *Message {
+	if q.head >= len(q.items) {
+		return nil
+	}
+	m := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return m
+}
+
+func (q *queue) len() int { return len(q.items) - q.head }

@@ -1,0 +1,691 @@
+package solver
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// itemKind classifies entries of a process's local ready queue.
+type itemKind uint8
+
+const (
+	itemNode   itemKind = iota // Type 1 / subtree node, fully local
+	itemType2                  // Type 2 node ready on its master: acquire view + select
+	itemMaster                 // Type 2 master part, selection already committed
+	itemSlave                  // Type 2 slave share
+	itemType3                  // share of the 2D root
+)
+
+// item is one unit of local ready work. flops is the remaining work of
+// the task; cont marks a continuation of a task whose earlier panels
+// already ran (its activation — memory allocation — already happened).
+type item struct {
+	kind    itemKind
+	node    int32
+	rows    int32
+	flops   float64
+	entries float64
+	cont    bool
+}
+
+// procState is the per-process application state.
+type procState struct {
+	exch      core.Exchanger
+	ctx       *mechCtx
+	ready     []item
+	activeMem float64
+	peakMem   float64
+	// mastersLeft counts Type 2 selections this process still has to
+	// perform; reaching zero triggers No_more_master (§2.3).
+	mastersLeft int
+}
+
+// piece is a contribution block stacked on its producer, awaiting the
+// parent's selection.
+type piece struct {
+	producer int32
+	entries  float64
+}
+
+// nodeState tracks the distributed progress of one assembly-tree node.
+type nodeState struct {
+	missing    int32   // children whose contributions are incomplete
+	piecesGot  int32   // pieces received for THIS node at its parent's master
+	piecesNeed int32   // pieces this node produces (known lazily)
+	cbStacked  float64 // entries stacked at a Type 1 parent's owner
+	pieces     []piece // producer-side stack for a parallel parent
+	shares     []sched.Share
+	slavesDone int32
+	masterDone bool
+	done       bool
+	type3Done  int32
+}
+
+// app implements sim.App: the Algorithm 1 behaviours of every process.
+type app struct {
+	m   *mapping.Mapping
+	prm Params
+	rt  *sim.Runtime
+
+	procs     []*procState
+	nodes     []nodeState
+	doneCount int
+	decisions int
+}
+
+// emit sends a trace event when tracing is enabled.
+func (a *app) emit(proc int, ty trace.Type, node int32, value float64, note string) {
+	if a.prm.Tracer == nil {
+		return
+	}
+	a.prm.Tracer.Emit(trace.Event{
+		At: float64(a.rt.Now()), Proc: proc, Type: ty,
+		Node: node, Value: value, Note: note,
+	})
+}
+
+// mechCtx adapts the runtime to core.Context for one process.
+type mechCtx struct {
+	app  *app
+	rank int
+}
+
+func (c *mechCtx) Rank() int    { return c.rank }
+func (c *mechCtx) N() int       { return len(c.app.procs) }
+func (c *mechCtx) Now() float64 { return float64(c.app.rt.Now()) }
+
+func (c *mechCtx) Send(to int, kind int, payload any, bytes float64) {
+	c.app.rt.Send(&sim.Message{
+		From: c.rank, To: to, Channel: sim.StateChannel,
+		Kind: kind, Payload: payload, Bytes: bytes,
+	})
+}
+
+func (c *mechCtx) Broadcast(kind int, payload any, bytes float64) {
+	c.app.rt.Broadcast(c.rank, sim.Message{
+		Channel: sim.StateChannel, Kind: kind, Payload: payload, Bytes: bytes,
+	})
+}
+
+func (a *app) init() error {
+	np := a.m.Config.NProcs
+	t := a.m.Tree
+	a.procs = make([]*procState, np)
+	a.nodes = make([]nodeState, len(t.Nodes))
+
+	initial := make([]core.Load, np)
+	for p := 0; p < np; p++ {
+		initial[p] = core.Load{core.Workload: a.m.InitialLoad[p]}
+	}
+	for p := 0; p < np; p++ {
+		exch, err := core.New(a.prm.Mech, np, p, a.prm.MechConfig)
+		if err != nil {
+			return err
+		}
+		ps := &procState{exch: exch, ctx: &mechCtx{app: a, rank: p}}
+		a.procs[p] = ps
+		exch.Init(ps.ctx, initial[p])
+		// The static mapping is global knowledge: everyone starts with
+		// everyone's initial load in view.
+		for q := 0; q < np; q++ {
+			exch.View().Set(q, initial[q])
+		}
+	}
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		a.nodes[i].missing = int32(len(n.Children))
+		if n.Type == tree.Type2 {
+			a.procs[a.m.Master[i]].mastersLeft++
+		}
+	}
+	// Processes that will never be master can say so immediately.
+	for p := 0; p < np; p++ {
+		if a.procs[p].mastersLeft == 0 {
+			a.procs[p].exch.NoMoreMaster(a.procs[p].ctx)
+		}
+	}
+	// Leaves are ready from the start.
+	for _, l := range t.Leaves() {
+		a.nodeReady(l)
+	}
+	return nil
+}
+
+// ---- sim.App implementation -------------------------------------------
+
+// HandleState treats one state-information message (Algorithm 1 line 3).
+func (a *app) HandleState(p *sim.Proc, m *sim.Message) {
+	ps := a.procs[p.ID]
+	ps.exch.HandleMessage(ps.ctx, m.From, m.Kind, m.Payload)
+}
+
+// HandleData treats one application message (Algorithm 1 line 5).
+func (a *app) HandleData(p *sim.Proc, m *sim.Message) {
+	ps := a.procs[p.ID]
+	switch m.Kind {
+	case KindSubtask:
+		pl := m.Payload.(subtaskPayload)
+		n := &a.m.Tree.Nodes[pl.Node]
+		work := tree.SlaveFlops(n.Nfront, n.Npiv, pl.Rows, a.m.Tree.Sym)
+		mem := tree.SlaveBlockEntries(n.Nfront, n.Npiv, pl.Rows, a.m.Tree.Sym)
+		a.addMem(p.ID, mem)
+		ps.exch.LocalChange(ps.ctx, core.Load{core.Workload: work, core.Memory: mem}, true)
+		ps.ready = append(ps.ready, item{kind: itemSlave, node: pl.Node, rows: pl.Rows})
+	case KindCB:
+		a.deliverPiece(p.ID, m.Payload.(cbPayload))
+	case KindType3Start:
+		pl := m.Payload.(type3Payload)
+		ps.exch.LocalChange(ps.ctx, core.Load{core.Workload: pl.Flops}, false)
+		ps.ready = append(ps.ready, item{kind: itemType3, node: pl.Node, flops: pl.Flops, entries: pl.Entries})
+	case KindShipReq:
+		pl := m.Payload.(shipReqPayload)
+		a.shipPiece(p.ID, pl)
+	case KindCBData:
+		// Assembly into storage already counted with the consumer's
+		// block: bandwidth only.
+	default:
+		panic(fmt.Sprintf("solver: unknown data message kind %d", m.Kind))
+	}
+}
+
+// shipPiece frees a stacked contribution piece on its producer and sends
+// the data to the consumer chosen by the parent's selection.
+func (a *app) shipPiece(rank int, pl shipReqPayload) {
+	ps := a.procs[rank]
+	a.addMem(rank, -pl.Entries)
+	ps.exch.LocalChange(ps.ctx, core.Load{core.Memory: -pl.Entries}, false)
+	if int(pl.Consumer) == rank {
+		return
+	}
+	a.rt.Send(&sim.Message{
+		From: rank, To: int(pl.Consumer), Channel: sim.DataChannel,
+		Kind: KindCBData, Payload: nil, Bytes: pl.Entries * 8,
+	})
+}
+
+// Blocked implements sim.App: a process participating in a snapshot must
+// not treat data messages or start tasks.
+func (a *app) Blocked(p *sim.Proc) bool { return a.procs[p.ID].exch.Busy() }
+
+// TryStart implements sim.App (Algorithm 1 line 7): pick a local ready
+// task, applying the memory-aware task selection of §4.2.1.
+func (a *app) TryStart(p *sim.Proc) bool {
+	ps := a.procs[p.ID]
+	if len(ps.ready) == 0 {
+		return false
+	}
+	idx := a.pickItem(p.ID)
+	it := ps.ready[idx]
+	ps.ready = append(ps.ready[:idx], ps.ready[idx+1:]...)
+
+	t := a.m.Tree
+	switch it.kind {
+	case itemNode:
+		n := &t.Nodes[it.node]
+		ns := &a.nodes[it.node]
+		if it.flops == 0 { // first panel: activate the front
+			it.flops = n.Cost
+			front := tree.FrontEntries(n.Nfront, t.Sym)
+			a.addMem(p.ID, front-ns.cbStacked)
+			ps.exch.LocalChange(ps.ctx, core.Load{core.Memory: front - ns.cbStacked}, false)
+			ns.cbStacked = 0
+		}
+		node := it.node
+		a.computeChunk(p, it, func() { a.completeNode(p.ID, node) })
+	case itemType2:
+		node := it.node
+		a.emit(p.ID, trace.EvSnapshotStart, node, 0, "")
+		if a.prm.PartialSnapshots {
+			if sx, ok := ps.exch.(core.ScopedExchanger); ok {
+				sx.AcquireScoped(ps.ctx, a.m.Candidates[node], func() { a.selectAndCommit(p.ID, node) })
+				return true
+			}
+		}
+		ps.exch.Acquire(ps.ctx, func() { a.selectAndCommit(p.ID, node) })
+	case itemMaster:
+		n := &t.Nodes[it.node]
+		node := it.node
+		if it.flops == 0 {
+			it.flops = tree.MasterFlops(n.Nfront, n.Npiv, t.Sym)
+		}
+		a.computeChunk(p, it, func() { a.completeMaster(p.ID, node) })
+	case itemSlave:
+		n := &t.Nodes[it.node]
+		node, rows := it.node, it.rows
+		if it.flops == 0 {
+			it.flops = tree.SlaveFlops(n.Nfront, n.Npiv, rows, t.Sym)
+		}
+		a.computeChunk(p, it, func() { a.completeSlave(p.ID, node, rows) })
+	case itemType3:
+		node, entries := it.node, it.entries
+		if !it.cont {
+			a.addMem(p.ID, entries)
+			ps.exch.LocalChange(ps.ctx, core.Load{core.Memory: entries}, false)
+		}
+		totalFlops := t.Nodes[it.node].Cost / float64(len(a.procs))
+		a.computeChunk(p, it, func() { a.completeType3(p.ID, node, totalFlops, entries) })
+	}
+	return true
+}
+
+// computeChunk runs one panel of the item's remaining work (at most
+// MaxChunkSeconds of virtual time) and either re-queues the continuation
+// at the head of the ready queue or completes the task. Between panels
+// the Algorithm 1 loop treats pending messages — dense kernels poll their
+// queues between panel updates, so a long front never makes the process
+// deaf for its full duration.
+func (a *app) computeChunk(p *sim.Proc, it item, complete func()) {
+	speed := a.prm.FlopsPerSecond
+	maxChunk := a.prm.MaxChunkSeconds * speed
+	if maxChunk <= 0 {
+		maxChunk = it.flops
+	}
+	chunk := it.flops
+	if chunk > maxChunk {
+		chunk = maxChunk
+	}
+	rest := it.flops - chunk
+	rank := p.ID
+	if !it.cont {
+		a.emit(rank, trace.EvTaskStart, it.node, it.flops, "")
+	}
+	a.rt.Compute(p, sim.Duration(chunk/speed), func() {
+		if rest > 0 {
+			cont := it
+			cont.flops = rest
+			cont.cont = true
+			ps := a.procs[rank]
+			ps.ready = append([]item{cont}, ps.ready...)
+			return
+		}
+		a.emit(rank, trace.EvTaskEnd, it.node, 0, "")
+		complete()
+	})
+}
+
+// pickItem applies the memory-aware task selection: the first ready item
+// whose activation the strategy accepts; if none passes, the smallest
+// activation is taken anyway (liveness).
+func (a *app) pickItem(rank int) int {
+	ps := a.procs[rank]
+	if len(ps.ready) == 1 {
+		return 0
+	}
+	best, bestEntries := -1, 0.0
+	for i, it := range ps.ready {
+		e := a.activationEntries(it)
+		if it.cont {
+			// A started task: its memory is live, finish it first.
+			return i
+		}
+		switch it.kind {
+		case itemSlave, itemMaster:
+			// Memory already committed (data arrived / selection done):
+			// postponing cannot help; run them first.
+			return i
+		}
+		if ps.exch != nil && a.prm.Strategy.CanActivate(ps.exch.View(), rank, e) {
+			return i
+		}
+		if best < 0 || e < bestEntries {
+			best, bestEntries = i, e
+		}
+	}
+	return best
+}
+
+// activationEntries estimates the active-memory increase of starting an
+// item.
+func (a *app) activationEntries(it item) float64 {
+	t := a.m.Tree
+	n := &t.Nodes[it.node]
+	switch it.kind {
+	case itemNode:
+		return tree.FrontEntries(n.Nfront, t.Sym)
+	case itemType2:
+		return tree.MasterBlockEntries(n.Nfront, n.Npiv, t.Sym)
+	case itemType3:
+		return it.entries
+	}
+	return 0
+}
+
+// ---- node lifecycle -----------------------------------------------------
+
+// nodeReady fires when all children contributed: the node enters its
+// master's ready queue (Algorithm 1's "local ready task").
+func (a *app) nodeReady(node int32) {
+	t := a.m.Tree
+	n := &t.Nodes[node]
+	master := int(a.m.Master[node])
+	ps := a.procs[master]
+	switch n.Type {
+	case tree.Type2:
+		// The master part becomes activatable: account its cost.
+		mf := tree.MasterFlops(n.Nfront, n.Npiv, t.Sym)
+		ps.exch.LocalChange(ps.ctx, core.Load{core.Workload: mf}, false)
+		ps.ready = append(ps.ready, item{kind: itemType2, node: node})
+	case tree.Type3:
+		a.startType3(node)
+	default:
+		if n.Subtree < 0 {
+			// Upper Type 1 nodes: cost counted when activatable;
+			// subtree nodes are already in the initial load.
+			ps.exch.LocalChange(ps.ctx, core.Load{core.Workload: n.Cost}, false)
+		}
+		ps.ready = append(ps.ready, item{kind: itemNode, node: node})
+	}
+	a.rt.Wake(master)
+}
+
+// startType3 launches the 2D static root: every process computes an equal
+// share (ScaLAPACK-like block-cyclic work, no dynamic decision).
+func (a *app) startType3(node int32) {
+	t := a.m.Tree
+	n := &t.Nodes[node]
+	np := len(a.procs)
+	master := int(a.m.Master[node])
+	flops := n.Cost / float64(np)
+	entries := tree.FrontEntries(n.Nfront, t.Sym) / float64(np)
+	pl := type3Payload{Node: node, Flops: flops, Entries: entries}
+	bytes := entries * 8 / 4 // a 2D panel redistribution, much smaller than the front
+	for p := 0; p < np; p++ {
+		if p == master {
+			continue
+		}
+		a.rt.Send(&sim.Message{
+			From: master, To: p, Channel: sim.DataChannel,
+			Kind: KindType3Start, Payload: pl, Bytes: bytes,
+		})
+	}
+	// The master's own share, locally; the children contributions get
+	// redistributed over the whole 2D grid.
+	ps := a.procs[master]
+	all := make([]int32, np)
+	for p := range all {
+		all[p] = int32(p)
+	}
+	a.redistributePieces(master, node, all)
+	ps.exch.LocalChange(ps.ctx, core.Load{core.Workload: flops}, false)
+	ps.ready = append(ps.ready, item{kind: itemType3, node: node, flops: flops, entries: entries})
+}
+
+// selectAndCommit is the dynamic decision of a Type 2 master: runs once
+// the mechanism's view is ready (synchronously for maintained views, at
+// snapshot completion otherwise).
+func (a *app) selectAndCommit(rank int, node int32) {
+	t := a.m.Tree
+	n := &t.Nodes[node]
+	ns := &a.nodes[node]
+	ps := a.procs[rank]
+
+	var candidates []int32
+	if a.prm.PartialSnapshots {
+		candidates = a.m.Candidates[node]
+	}
+	shares := a.prm.Strategy.SelectSlavesAmong(ps.exch.View(), rank, candidates, n.Nfront, n.Npiv, t.Sym)
+	if err := sched.ValidateShares(shares, n.Nfront, n.Npiv, rank); err != nil && len(shares) > 0 {
+		panic("solver: invalid selection: " + err.Error())
+	}
+	ns.shares = shares
+	a.decisions++
+	a.emit(rank, trace.EvDecision, node, float64(len(shares)), "")
+
+	// Activation on the master: allocate the pivot block. The children's
+	// contributions, stacked on their producers, are redistributed to
+	// the selected slaves below.
+	mb := tree.MasterBlockEntries(n.Nfront, n.Npiv, t.Sym)
+	a.addMem(rank, mb)
+	ps.exch.LocalChange(ps.ctx, core.Load{core.Memory: mb}, false)
+
+	// Publish the decision through the mechanism (Master_To_All for
+	// increments, master_to_slave + end_snp for snapshots).
+	asg := make([]core.Assignment, len(shares))
+	for i, sh := range shares {
+		asg[i] = core.Assignment{
+			Proc: sh.Proc,
+			Delta: core.Load{
+				core.Workload: tree.SlaveFlops(n.Nfront, n.Npiv, sh.Rows, t.Sym),
+				core.Memory:   tree.SlaveBlockEntries(n.Nfront, n.Npiv, sh.Rows, t.Sym),
+			},
+		}
+	}
+	ps.exch.Commit(ps.ctx, asg)
+	if ps.mastersLeft--; ps.mastersLeft == 0 {
+		ps.exch.NoMoreMaster(ps.ctx)
+	}
+
+	// Ship the subtasks (the actual rows: large data messages) and
+	// redistribute the stacked children contributions to the slaves.
+	consumers := make([]int32, len(shares))
+	for i, sh := range shares {
+		rows := sh.Rows
+		consumers[i] = sh.Proc
+		bytes := float64(rows) * float64(n.Nfront) * 8
+		a.rt.Send(&sim.Message{
+			From: rank, To: int(sh.Proc), Channel: sim.DataChannel,
+			Kind: KindSubtask, Payload: subtaskPayload{Node: node, Rows: rows}, Bytes: bytes,
+		})
+	}
+	a.redistributePieces(rank, node, consumers)
+	ps.ready = append(ps.ready, item{kind: itemMaster, node: node})
+	a.rt.Wake(rank)
+}
+
+// completeNode finishes a Type 1 / subtree node.
+func (a *app) completeNode(rank int, node int32) {
+	t := a.m.Tree
+	n := &t.Nodes[node]
+	ps := a.procs[rank]
+	front := tree.FrontEntries(n.Nfront, t.Sym)
+	cb := tree.CBEntries(n.Nfront, n.Npiv, t.Sym)
+	a.markDone(node)
+	stays := a.routePiece(rank, node, 1, cb)
+	freed := front
+	if stays {
+		freed = front - cb // the contribution block remains stacked here
+	}
+	a.addMem(rank, -freed)
+	ps.exch.LocalChange(ps.ctx, core.Load{core.Workload: -n.Cost, core.Memory: -freed}, false)
+}
+
+// completeMaster finishes the master part of a Type 2 node.
+func (a *app) completeMaster(rank int, node int32) {
+	t := a.m.Tree
+	n := &t.Nodes[node]
+	ns := &a.nodes[node]
+	ps := a.procs[rank]
+	mb := tree.MasterBlockEntries(n.Nfront, n.Npiv, t.Sym)
+	mf := tree.MasterFlops(n.Nfront, n.Npiv, t.Sym)
+	a.addMem(rank, -mb)
+	ps.exch.LocalChange(ps.ctx, core.Load{core.Workload: -mf, core.Memory: -mb}, false)
+	ns.masterDone = true
+	if len(ns.shares) == 0 {
+		// No slaves (degenerate): the master emits the completion piece.
+		cb := tree.CBEntries(n.Nfront, n.Npiv, t.Sym)
+		if a.routePiece(rank, node, 1, cb) && cb > 0 {
+			a.addMem(rank, cb)
+			ps.exch.LocalChange(ps.ctx, core.Load{core.Memory: cb}, false)
+		}
+	}
+	a.checkType2Done(node)
+}
+
+// completeSlave finishes one slave share of a Type 2 node.
+func (a *app) completeSlave(rank int, node int32, rows int32) {
+	t := a.m.Tree
+	n := &t.Nodes[node]
+	ns := &a.nodes[node]
+	ps := a.procs[rank]
+	work := tree.SlaveFlops(n.Nfront, n.Npiv, rows, t.Sym)
+	block := tree.SlaveBlockEntries(n.Nfront, n.Npiv, rows, t.Sym)
+	cbPc := tree.SlaveCBEntries(n.Nfront, n.Npiv, rows, t.Sym)
+	ns.slavesDone++
+	stays := a.routePiece(rank, node, int32(len(ns.shares)), cbPc)
+	freed := block
+	if stays {
+		freed = block - cbPc
+	}
+	a.addMem(rank, -freed)
+	ps.exch.LocalChange(ps.ctx, core.Load{core.Workload: -work, core.Memory: -freed}, true)
+	a.checkType2Done(node)
+}
+
+func (a *app) checkType2Done(node int32) {
+	ns := &a.nodes[node]
+	if ns.masterDone && int(ns.slavesDone) == len(ns.shares) && !ns.done {
+		a.markDone(node)
+	}
+}
+
+// completeType3 finishes one share of the 2D root.
+func (a *app) completeType3(rank int, node int32, flops, entries float64) {
+	ps := a.procs[rank]
+	a.addMem(rank, -entries)
+	ps.exch.LocalChange(ps.ctx, core.Load{core.Workload: -flops, core.Memory: -entries}, false)
+	ns := &a.nodes[node]
+	ns.type3Done++
+	if int(ns.type3Done) == len(a.procs) && !ns.done {
+		a.markDone(node)
+	}
+}
+
+// routePiece sends one contribution piece of `node` toward its parent.
+// For a Type 1 parent the data travels to the owner immediately; for a
+// parallel (Type 2/3) parent only a notification is sent and the data
+// stays stacked on the producer until the parent's selection chooses the
+// consumers. It reports whether the piece's memory remains on rank.
+func (a *app) routePiece(rank int, node int32, pieces int32, entries float64) bool {
+	parent := a.m.Tree.Nodes[node].Parent
+	if parent < 0 {
+		return false // root: the contribution is discarded
+	}
+	pm := int(a.m.Master[parent])
+	parallel := a.m.Tree.Nodes[parent].Type != tree.Type1
+	pl := cbPayload{Node: node, Pieces: pieces, Entries: entries, Producer: int32(rank)}
+	if pm == rank {
+		a.deliverPiece(rank, pl)
+		return true // stacked locally (either cbStacked or producer-side)
+	}
+	bytes := entries * 8
+	if parallel {
+		bytes = 32 // notification only
+	}
+	a.rt.Send(&sim.Message{
+		From: rank, To: pm, Channel: sim.DataChannel,
+		Kind: KindCB, Payload: pl, Bytes: bytes,
+	})
+	return parallel
+}
+
+// deliverPiece runs on the parent's master: account the contribution
+// (stacking it locally for Type 1 parents, registering the producer for
+// parallel parents) and check readiness.
+func (a *app) deliverPiece(rank int, pl cbPayload) {
+	child := pl.Node
+	cs := &a.nodes[child]
+	cs.piecesNeed = pl.Pieces
+	cs.piecesGot++
+	parent := a.m.Tree.Nodes[child].Parent
+	pns := &a.nodes[parent]
+	if a.m.Tree.Nodes[parent].Type == tree.Type1 {
+		pns.cbStacked += pl.Entries
+		if int(pl.Producer) != rank {
+			// Data arrived over the network: it now occupies the owner.
+			a.addMem(rank, pl.Entries)
+			ps := a.procs[rank]
+			ps.exch.LocalChange(ps.ctx, core.Load{core.Memory: pl.Entries}, false)
+		}
+	} else {
+		pns.pieces = append(pns.pieces, piece{producer: pl.Producer, entries: pl.Entries})
+	}
+	if cs.piecesGot == cs.piecesNeed {
+		if pns.missing--; pns.missing == 0 {
+			a.nodeReady(parent)
+		}
+	}
+}
+
+// redistributePieces runs at a parallel parent's activation: every
+// stacked piece is shipped from its producer to a consumer of the
+// selection (weighted round-robin), freeing the producer's stack.
+func (a *app) redistributePieces(rank int, node int32, consumers []int32) {
+	ns := &a.nodes[node]
+	ci := 0
+	for _, pc := range ns.pieces {
+		consumer := int32(rank)
+		if len(consumers) > 0 {
+			consumer = consumers[ci%len(consumers)]
+			ci++
+		}
+		req := shipReqPayload{Entries: pc.entries, Consumer: consumer}
+		if int(pc.producer) == rank {
+			a.shipPiece(rank, req)
+			continue
+		}
+		a.rt.Send(&sim.Message{
+			From: rank, To: int(pc.producer), Channel: sim.DataChannel,
+			Kind: KindShipReq, Payload: req, Bytes: 32,
+		})
+	}
+	ns.pieces = nil
+}
+
+func (a *app) markDone(node int32) {
+	ns := &a.nodes[node]
+	if ns.done {
+		panic("solver: node completed twice")
+	}
+	ns.done = true
+	a.doneCount++
+}
+
+// addMem adjusts a process's active memory and records the peak.
+func (a *app) addMem(rank int, delta float64) {
+	ps := a.procs[rank]
+	ps.activeMem += delta
+	if ps.activeMem > ps.peakMem {
+		ps.peakMem = ps.activeMem
+	}
+}
+
+// result gathers the metrics after the run.
+func (a *app) result() *Result {
+	res := &Result{
+		Time:       float64(a.rt.Now()),
+		PeakMem:    make([]float64, len(a.procs)),
+		Decisions:  a.decisions,
+		Steps:      a.rt.Eng.Steps(),
+		MsgsByKind: map[string]int64{},
+	}
+	for p, ps := range a.procs {
+		res.PeakMem[p] = ps.peakMem
+		if ps.peakMem > res.MaxPeakMem {
+			res.MaxPeakMem = ps.peakMem
+		}
+		st := ps.exch.Stats()
+		res.SnapshotTime += st.SnapshotTime
+		res.SnapshotCount += st.SnapshotsInitiated
+		res.SnapshotRestarts += st.SnapshotRestarts
+		if st.MaxConcurrentSnapshots > res.MaxConcurrentSnapshots {
+			res.MaxConcurrentSnapshots = st.MaxConcurrentSnapshots
+		}
+		res.PausedTime += float64(a.rt.Procs[p].PausedTime())
+	}
+	sc := a.rt.Net.Count(sim.StateChannel)
+	res.StateMsgs = sc.Messages
+	res.StateBytes = sc.Bytes
+	res.DataMsgs = a.rt.Net.Count(sim.DataChannel).Messages
+	for kind := core.KindUpdate; kind <= core.KindMasterToSlave; kind++ {
+		if c := a.rt.Net.KindCount(sim.StateChannel, kind); c > 0 {
+			res.MsgsByKind[core.KindName(kind)] = c
+		}
+	}
+	return res
+}

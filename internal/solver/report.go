@@ -1,0 +1,43 @@
+package solver
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// WriteReport prints a human-readable summary of a run: the quantities
+// the paper's tables report plus distribution diagnostics (per-process
+// peak spread, message breakdown, snapshot behaviour).
+func (r *Result) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "factorization time     %12.3f s (virtual)\n", r.Time)
+	fmt.Fprintf(w, "dynamic decisions      %12d\n", r.Decisions)
+	fmt.Fprintf(w, "peak active memory     %12.3f Mentries (max over processes)\n", r.MaxPeakMem/1e6)
+	s := stats.Summarize(r.PeakMem)
+	fmt.Fprintf(w, "peak distribution      %s\n", s)
+	fmt.Fprintf(w, "peak imbalance         %12.2f (max/mean)\n", stats.Imbalance(r.PeakMem))
+	fmt.Fprintf(w, "state messages         %12d (%.2f MB)\n", r.StateMsgs, r.StateBytes/1e6)
+	fmt.Fprintf(w, "data messages          %12d\n", r.DataMsgs)
+	if len(r.MsgsByKind) > 0 {
+		kinds := make([]string, 0, len(r.MsgsByKind))
+		for k := range r.MsgsByKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		fmt.Fprintf(w, "state messages by kind:\n")
+		for _, k := range kinds {
+			fmt.Fprintf(w, "    %-16s %12d\n", k, r.MsgsByKind[k])
+		}
+	}
+	if r.SnapshotCount > 0 {
+		fmt.Fprintf(w, "snapshots              %12d (restart rounds: %d, max concurrent: %d)\n",
+			r.SnapshotCount, r.SnapshotRestarts, r.MaxConcurrentSnapshots)
+		fmt.Fprintf(w, "snapshot-ops time      %12.3f s\n", r.SnapshotTime)
+	}
+	if r.PausedTime > 0 {
+		fmt.Fprintf(w, "compute paused         %12.3f s (threaded snapshots)\n", r.PausedTime)
+	}
+	fmt.Fprintf(w, "simulation events      %12d\n", r.Steps)
+}

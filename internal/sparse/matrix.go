@@ -1,0 +1,242 @@
+// Package sparse provides sparse matrix patterns, generators for the
+// paper's test problems, and the adjacency structures consumed by the
+// ordering and symbolic-analysis substrates.
+//
+// Only the pattern (structure) of matrices matters for this study: the
+// load-exchange experiments depend on the shape of the multifrontal
+// assembly tree and on per-front sizes, never on numerical values, so no
+// numerical values are stored.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind distinguishes symmetric from unsymmetric problems (the "Type"
+// column of Tables 1-2). For unsymmetric matrices the analysis works on
+// the pattern of A+Aᵀ, as MUMPS does.
+type Kind uint8
+
+const (
+	// Sym marks a matrix with symmetric pattern stored as lower triangle.
+	Sym Kind = iota
+	// Unsym marks a general pattern.
+	Unsym
+)
+
+func (k Kind) String() string {
+	if k == Sym {
+		return "SYM"
+	}
+	return "UNS"
+}
+
+// Pattern is a sparse matrix pattern in compressed sparse column form.
+// For Kind == Sym only entries with row >= col are stored and NNZ counts
+// the stored lower triangle plus the implicit upper mirror minus the
+// diagonal once, matching how collections usually report symmetric nnz.
+type Pattern struct {
+	N      int
+	Kind   Kind
+	ColPtr []int32
+	RowIdx []int32
+}
+
+// Stored returns the number of explicitly stored entries.
+func (p *Pattern) Stored() int { return len(p.RowIdx) }
+
+// NNZ returns the logical number of nonzeros (mirroring the lower triangle
+// for symmetric patterns, diagonal counted once).
+func (p *Pattern) NNZ() int {
+	if p.Kind == Unsym {
+		return p.Stored()
+	}
+	diag := 0
+	for j := 0; j < p.N; j++ {
+		for q := p.ColPtr[j]; q < p.ColPtr[j+1]; q++ {
+			if p.RowIdx[q] == int32(j) {
+				diag++
+			}
+		}
+	}
+	return 2*p.Stored() - diag
+}
+
+// Validate checks structural invariants: monotone ColPtr, in-range sorted
+// unique row indices, and (for Sym) lower-triangular storage.
+func (p *Pattern) Validate() error {
+	if p.N < 0 {
+		return fmt.Errorf("sparse: negative dimension %d", p.N)
+	}
+	if len(p.ColPtr) != p.N+1 {
+		return fmt.Errorf("sparse: ColPtr length %d, want %d", len(p.ColPtr), p.N+1)
+	}
+	if p.ColPtr[0] != 0 || int(p.ColPtr[p.N]) != len(p.RowIdx) {
+		return fmt.Errorf("sparse: ColPtr endpoints invalid")
+	}
+	for j := 0; j < p.N; j++ {
+		if p.ColPtr[j] > p.ColPtr[j+1] {
+			return fmt.Errorf("sparse: ColPtr not monotone at column %d", j)
+		}
+		prev := int32(-1)
+		for q := p.ColPtr[j]; q < p.ColPtr[j+1]; q++ {
+			r := p.RowIdx[q]
+			if r < 0 || r >= int32(p.N) {
+				return fmt.Errorf("sparse: row %d out of range in column %d", r, j)
+			}
+			if r <= prev {
+				return fmt.Errorf("sparse: rows not sorted/unique in column %d", j)
+			}
+			if p.Kind == Sym && r < int32(j) {
+				return fmt.Errorf("sparse: upper entry (%d,%d) in symmetric pattern", r, j)
+			}
+			prev = r
+		}
+	}
+	return nil
+}
+
+// Builder accumulates coordinate-form entries and produces a Pattern.
+// Duplicate entries are merged; for symmetric kinds upper-triangle entries
+// are mirrored to the lower triangle.
+type Builder struct {
+	n    int
+	kind Kind
+	rows []int32
+	cols []int32
+}
+
+// NewBuilder returns a builder for an n×n pattern of the given kind.
+func NewBuilder(n int, kind Kind) *Builder {
+	return &Builder{n: n, kind: kind}
+}
+
+// Add records entry (i, j). Out-of-range entries panic: generators are
+// internal and must be correct.
+func (b *Builder) Add(i, j int) {
+	if i < 0 || i >= b.n || j < 0 || j >= b.n {
+		panic(fmt.Sprintf("sparse: entry (%d,%d) out of range for n=%d", i, j, b.n))
+	}
+	if b.kind == Sym && i < j {
+		i, j = j, i
+	}
+	b.rows = append(b.rows, int32(i))
+	b.cols = append(b.cols, int32(j))
+}
+
+// AddSym records both (i,j) and (j,i) for unsymmetric kinds; for symmetric
+// kinds it is equivalent to Add.
+func (b *Builder) AddSym(i, j int) {
+	b.Add(i, j)
+	if b.kind == Unsym && i != j {
+		b.Add(j, i)
+	}
+}
+
+// Build sorts, deduplicates and compresses the entries.
+func (b *Builder) Build() *Pattern {
+	type entry struct{ r, c int32 }
+	es := make([]entry, len(b.rows))
+	for k := range b.rows {
+		es[k] = entry{b.rows[k], b.cols[k]}
+	}
+	sort.Slice(es, func(x, y int) bool {
+		if es[x].c != es[y].c {
+			return es[x].c < es[y].c
+		}
+		return es[x].r < es[y].r
+	})
+	p := &Pattern{N: b.n, Kind: b.kind, ColPtr: make([]int32, b.n+1)}
+	var last entry = entry{-1, -1}
+	for _, e := range es {
+		if e == last {
+			continue
+		}
+		last = e
+		p.RowIdx = append(p.RowIdx, e.r)
+		p.ColPtr[e.c+1]++
+	}
+	for j := 0; j < b.n; j++ {
+		p.ColPtr[j+1] += p.ColPtr[j]
+	}
+	return p
+}
+
+// Graph is the undirected adjacency structure of A+Aᵀ without the
+// diagonal: the input consumed by orderings and by the elimination tree.
+type Graph struct {
+	N   int
+	Ptr []int32
+	Adj []int32
+	// Coords optionally carries vertex coordinates (filled by mesh
+	// generators) enabling geometric nested dissection.
+	Coords [][3]float64
+}
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int { return int(g.Ptr[v+1] - g.Ptr[v]) }
+
+// AdjOf returns the adjacency list of v (shared storage; do not modify).
+func (g *Graph) AdjOf(v int) []int32 { return g.Adj[g.Ptr[v]:g.Ptr[v+1]] }
+
+// Edges returns the number of undirected edges.
+func (g *Graph) Edges() int { return len(g.Adj) / 2 }
+
+// ToGraph builds the adjacency graph of pattern+patternᵀ, dropping the
+// diagonal and merging duplicates.
+func (p *Pattern) ToGraph() *Graph {
+	deg := make([]int32, p.N)
+	// First pass: count (both directions), ignoring diagonal.
+	for j := 0; j < p.N; j++ {
+		for q := p.ColPtr[j]; q < p.ColPtr[j+1]; q++ {
+			i := p.RowIdx[q]
+			if int(i) == j {
+				continue
+			}
+			deg[i]++
+			deg[j]++
+		}
+	}
+	ptr := make([]int32, p.N+1)
+	for v := 0; v < p.N; v++ {
+		ptr[v+1] = ptr[v] + deg[v]
+	}
+	adj := make([]int32, ptr[p.N])
+	next := make([]int32, p.N)
+	copy(next, ptr[:p.N])
+	for j := 0; j < p.N; j++ {
+		for q := p.ColPtr[j]; q < p.ColPtr[j+1]; q++ {
+			i := p.RowIdx[q]
+			if int(i) == j {
+				continue
+			}
+			adj[next[i]] = int32(j)
+			next[i]++
+			adj[next[j]] = i
+			next[j]++
+		}
+	}
+	// Sort and dedupe each adjacency list (unsymmetric patterns may
+	// contain both (i,j) and (j,i)).
+	outPtr := make([]int32, p.N+1)
+	out := adj[:0]
+	w := int32(0)
+	for v := 0; v < p.N; v++ {
+		lo, hi := ptr[v], ptr[v+1]
+		lst := adj[lo:hi]
+		sort.Slice(lst, func(a, b int) bool { return lst[a] < lst[b] })
+		start := w
+		var lastv int32 = -1
+		for _, u := range lst {
+			if u != lastv {
+				out = append(out[:w], u)
+				w++
+				lastv = u
+			}
+		}
+		_ = start
+		outPtr[v+1] = w
+	}
+	return &Graph{N: p.N, Ptr: outPtr, Adj: out[:w]}
+}

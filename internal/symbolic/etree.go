@@ -1,0 +1,155 @@
+// Package symbolic performs the symbolic analysis of the multifrontal
+// method: elimination tree, postordering, factor column counts and relaxed
+// supernode amalgamation. Its output — an assembly tree with per-front
+// sizes — is exactly what MUMPS's analysis phase hands to the factorization
+// (paper §4.1), and what the mapping and solver substrates consume.
+package symbolic
+
+import "repro/internal/sparse"
+
+// Etree computes the elimination tree of the (symmetric) graph g in
+// natural order, using Liu's algorithm with path compression. parent[v] is
+// the etree parent of v, or -1 for roots. Only edges (u, v) with u < v
+// matter; g supplies both directions.
+func Etree(g *sparse.Graph) []int32 {
+	n := g.N
+	parent := make([]int32, n)
+	ancestor := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+		ancestor[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		for _, u := range g.AdjOf(v) {
+			if u >= int32(v) {
+				continue
+			}
+			// Walk from u to the root of its current subtree, compressing
+			// the ancestor path onto v.
+			j := u
+			for ancestor[j] != -1 && ancestor[j] != int32(v) {
+				nextJ := ancestor[j]
+				ancestor[j] = int32(v)
+				j = nextJ
+			}
+			if ancestor[j] == -1 {
+				ancestor[j] = int32(v)
+				parent[j] = int32(v)
+			}
+		}
+	}
+	return parent
+}
+
+// Children builds child lists from a parent vector; roots are collected
+// separately. Children appear in increasing vertex order.
+func Children(parent []int32) (children [][]int32, roots []int32) {
+	n := len(parent)
+	counts := make([]int32, n)
+	for v := 0; v < n; v++ {
+		if parent[v] >= 0 {
+			counts[parent[v]]++
+		}
+	}
+	children = make([][]int32, n)
+	for v := 0; v < n; v++ {
+		if counts[v] > 0 {
+			children[v] = make([]int32, 0, counts[v])
+		}
+	}
+	for v := 0; v < n; v++ {
+		if p := parent[v]; p >= 0 {
+			children[p] = append(children[p], int32(v))
+		} else {
+			roots = append(roots, int32(v))
+		}
+	}
+	return children, roots
+}
+
+// Postorder returns a postorder permutation of the forest: post[k] = v
+// means v is the k-th vertex in postorder. Children are visited in
+// increasing order, keeping the result deterministic.
+func Postorder(parent []int32) []int32 {
+	n := len(parent)
+	children, roots := Children(parent)
+	post := make([]int32, 0, n)
+	// Iterative DFS with explicit child cursors.
+	stack := make([]int32, 0, 64)
+	cursor := make([]int32, n)
+	for _, r := range roots {
+		stack = append(stack, r)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			if int(cursor[v]) < len(children[v]) {
+				c := children[v][cursor[v]]
+				cursor[v]++
+				stack = append(stack, c)
+				continue
+			}
+			post = append(post, v)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return post
+}
+
+// RelabelParent maps a parent vector through a postorder: the returned
+// vector newParent satisfies newParent[inv[v]] = inv[parent[v]] (with -1
+// preserved). Postordering preserves the etree, so no recomputation is
+// needed.
+func RelabelParent(parent, post []int32) []int32 {
+	n := len(parent)
+	inv := make([]int32, n)
+	for k, v := range post {
+		inv[v] = int32(k)
+	}
+	out := make([]int32, n)
+	for v := 0; v < n; v++ {
+		if parent[v] < 0 {
+			out[inv[v]] = -1
+		} else {
+			out[inv[v]] = inv[parent[v]]
+		}
+	}
+	return out
+}
+
+// ColCounts computes the number of nonzeros of each factor column
+// (diagonal included) for the Cholesky factor of the graph in natural
+// order, by row-subtree traversal: entry L(i,j) exists iff j lies on the
+// etree path from some k ∈ adj(i), k < i, up to i. Complexity O(|L|).
+func ColCounts(g *sparse.Graph, parent []int32) []int32 {
+	n := g.N
+	count := make([]int32, n)
+	mark := make([]int32, n)
+	for i := range count {
+		count[i] = 1 // diagonal
+		mark[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		mark[i] = int32(i)
+		for _, k := range g.AdjOf(i) {
+			if k >= int32(i) {
+				continue
+			}
+			for j := k; mark[j] != int32(i); j = parent[j] {
+				count[j]++
+				mark[j] = int32(i)
+				if parent[j] < 0 {
+					break
+				}
+			}
+		}
+	}
+	return count
+}
+
+// FactorNNZ sums the column counts (total factor entries of one triangle).
+func FactorNNZ(counts []int32) int64 {
+	var s int64
+	for _, c := range counts {
+		s += int64(c)
+	}
+	return s
+}

@@ -1,0 +1,175 @@
+package symbolic
+
+import "fmt"
+
+// AmalgParams tunes relaxed supernode amalgamation (the analysis knob that
+// controls assembly-tree granularity, as in MUMPS).
+type AmalgParams struct {
+	// SmallPiv: a child whose merged pivot count with its parent stays
+	// below this is always absorbed (tiny fronts are never worth a task).
+	SmallPiv int32
+	// FillTol: otherwise merge when the extra (logical) fill introduced
+	// by the merge is below this fraction of the merged front area.
+	FillTol float64
+	// MaxPiv caps the pivot count of an amalgamated node; 0 = no cap.
+	MaxPiv int32
+}
+
+// DefaultAmalg returns the parameters used by the experiments.
+func DefaultAmalg() AmalgParams {
+	return AmalgParams{SmallPiv: 16, FillTol: 0.02, MaxPiv: 0}
+}
+
+// SNode is one assembly-tree node after amalgamation: a set of Npiv pivot
+// variables eliminated within a frontal matrix of order Nfront.
+type SNode struct {
+	ID       int32
+	Parent   int32 // -1 for roots
+	Children []int32
+	FirstPiv int32 // first pivot in postorder (for fundamental chains)
+	Npiv     int32
+	Nfront   int32
+}
+
+// SchurSize returns the order of the contribution block produced by the
+// node (Nfront - Npiv).
+func (s *SNode) SchurSize() int32 { return s.Nfront - s.Npiv }
+
+// Supernodes builds fundamental supernodes from a postordered etree and
+// its column counts, then applies relaxed amalgamation. Nodes are returned
+// in topological order (children before parents) with consistent
+// Parent/Children links.
+func Supernodes(parent []int32, counts []int32, prm AmalgParams) []SNode {
+	n := len(parent)
+	if n == 0 {
+		return nil
+	}
+	// Count children to detect chain merges.
+	nchild := make([]int32, n)
+	for v := 0; v < n; v++ {
+		if parent[v] >= 0 {
+			nchild[parent[v]]++
+		}
+	}
+	// Fundamental supernodes: v and parent v+1 merge when v is the only
+	// child and the column structures nest exactly.
+	snOf := make([]int32, n)
+	var sn []SNode
+	for v := 0; v < n; v++ {
+		if v > 0 && parent[v-1] == int32(v) && nchild[v] == 1 &&
+			counts[v] == counts[v-1]-1 {
+			id := snOf[v-1]
+			snOf[v] = id
+			sn[id].Npiv++
+			continue
+		}
+		id := int32(len(sn))
+		snOf[v] = id
+		sn = append(sn, SNode{ID: id, FirstPiv: int32(v), Npiv: 1, Nfront: counts[v]})
+	}
+	// Link the supernode tree through the last pivot of each supernode.
+	for i := range sn {
+		lastPiv := sn[i].FirstPiv + sn[i].Npiv - 1
+		if p := parent[lastPiv]; p >= 0 {
+			sn[i].Parent = snOf[p]
+		} else {
+			sn[i].Parent = -1
+		}
+	}
+
+	// Relaxed amalgamation, bottom-up: absorb a child into its parent
+	// when the node is tiny or the extra fill is acceptable. Nfront of the
+	// merged node is the standard upper bound npiv_child + nfront_parent
+	// (the child's border is contained in the parent's front plus the
+	// child's own pivots).
+	alive := make([]bool, len(sn))
+	for i := range alive {
+		alive[i] = true
+	}
+	// Process in topological (increasing FirstPiv ⇒ children first) order.
+	for ci := range sn {
+		c := &sn[ci]
+		if !alive[ci] || c.Parent < 0 {
+			continue
+		}
+		p := &sn[c.Parent]
+		mergedPiv := c.Npiv + p.Npiv
+		mergedFront := c.Npiv + p.Nfront
+		if mergedFront < c.Nfront {
+			mergedFront = c.Nfront
+		}
+		// Merging pads the child's pivot rows from width Nfront_c to the
+		// merged front width: that is the (logical) fill the merge
+		// introduces.
+		extra := float64(c.Npiv) * float64(mergedFront-c.Nfront)
+		area := float64(mergedFront) * float64(mergedFront)
+		small := mergedPiv <= prm.SmallPiv
+		okFill := extra <= prm.FillTol*area
+		capped := prm.MaxPiv > 0 && mergedPiv > prm.MaxPiv
+		if capped || (!small && !okFill) {
+			continue
+		}
+		// Absorb c into p.
+		p.Npiv = mergedPiv
+		p.Nfront = mergedFront
+		if c.FirstPiv < p.FirstPiv {
+			p.FirstPiv = c.FirstPiv
+		}
+		alive[ci] = false
+		snOfMerge(sn, int32(ci), c.Parent)
+	}
+
+	// Compact: renumber live nodes in topological order and rebuild links.
+	newID := make([]int32, len(sn))
+	for i := range newID {
+		newID[i] = -1
+	}
+	var out []SNode
+	for i := range sn {
+		if !alive[i] {
+			continue
+		}
+		id := int32(len(out))
+		newID[i] = id
+		node := sn[i]
+		node.ID = id
+		node.Children = nil
+		out = append(out, node)
+	}
+	resolve := func(old int32) int32 {
+		for old >= 0 && newID[old] < 0 {
+			old = sn[old].Parent
+		}
+		if old < 0 {
+			return -1
+		}
+		return newID[old]
+	}
+	for i := range out {
+		// out[i].Parent still refers to old IDs (possibly dead): chase
+		// through dead nodes to the live ancestor.
+		out[i].Parent = resolve(out[i].Parent)
+		if out[i].Parent == out[i].ID {
+			panic("symbolic: node became its own parent")
+		}
+	}
+	for i := range out {
+		if p := out[i].Parent; p >= 0 {
+			out[p].Children = append(out[p].Children, out[i].ID)
+		}
+	}
+	// Topological sanity: children must precede parents.
+	for i := range out {
+		if p := out[i].Parent; p >= 0 && p <= int32(i) {
+			panic(fmt.Sprintf("symbolic: tree not topological (node %d parent %d)", i, p))
+		}
+	}
+	return out
+}
+
+// snOfMerge redirects the dead node's parent pointer so later resolution
+// chases into the absorbing parent. (Children of the dead node resolve
+// through it.)
+func snOfMerge(sn []SNode, dead, into int32) {
+	sn[dead].Parent = into
+}

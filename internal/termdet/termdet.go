@@ -1,0 +1,124 @@
+// Package termdet implements Dijkstra-Scholten termination detection for
+// diffusing computations. The paper's main loop (Algorithm 1) runs "while
+// global termination not detected": MUMPS uses such a detector to know
+// when the last task and the last in-flight message are gone. The
+// detector is a transport-agnostic state machine in the same style as the
+// load-exchange mechanisms, so it runs over the simulator, the live
+// goroutine runtime or the test fabric.
+//
+// Protocol: the computation diffuses from a root. Every application
+// message carries an implicit engagement: the first message a passive
+// process receives engages it under its sender (its parent in the
+// engagement tree); every message must eventually be acknowledged. A
+// process sends its parent acknowledgment (detaching itself) only when it
+// is passive and all messages it ever sent were acknowledged. When the
+// root is passive with no outstanding acknowledgments, the computation
+// has terminated globally.
+package termdet
+
+import "fmt"
+
+// Context is the detector's window on the transport: SendAck must deliver
+// an acknowledgment to a peer's detector (a small control message).
+type Context interface {
+	Rank() int
+	SendAck(to int)
+}
+
+// Detector is the per-process Dijkstra-Scholten state. All methods must
+// be called from the owning process only.
+type Detector struct {
+	rank int
+	// root is the process where the computation starts; it is always
+	// engaged and detects global termination.
+	root bool
+	// parent is the engagement parent, -1 when not engaged.
+	parent int
+	// deficit counts messages this process sent that are unacknowledged.
+	deficit int
+	// active reports whether the application is currently processing.
+	active bool
+	// terminated is set on the root when global termination is detected.
+	terminated bool
+	// onTerminate fires exactly once on the root at detection.
+	onTerminate func()
+}
+
+// New creates a detector. The root starts engaged and active (it owns the
+// initial work); everyone else starts passive and disengaged.
+func New(rank int, isRoot bool, onTerminate func()) *Detector {
+	d := &Detector{rank: rank, root: isRoot, parent: -1, onTerminate: onTerminate}
+	if isRoot {
+		d.active = true
+	}
+	return d
+}
+
+// Engaged reports whether the process is part of the engagement tree.
+func (d *Detector) Engaged() bool { return d.root || d.parent >= 0 }
+
+// Deficit returns the number of unacknowledged messages this process has
+// sent.
+func (d *Detector) Deficit() int { return d.deficit }
+
+// Terminated reports whether the root has detected global termination.
+func (d *Detector) Terminated() bool { return d.terminated }
+
+// OnSend must be called for every application message sent.
+func (d *Detector) OnSend(ctx Context, to int) {
+	if !d.active && !d.Engaged() {
+		panic(fmt.Sprintf("termdet: process %d sent while passive and disengaged", d.rank))
+	}
+	d.deficit++
+}
+
+// OnReceive must be called for every application message received,
+// before processing it. It engages a disengaged process under the sender
+// and acknowledges immediately otherwise.
+func (d *Detector) OnReceive(ctx Context, from int) {
+	d.active = true
+	if !d.Engaged() {
+		d.parent = from
+		return
+	}
+	// Already engaged: acknowledge at once.
+	ctx.SendAck(from)
+}
+
+// OnAck must be called when an acknowledgment arrives.
+func (d *Detector) OnAck(ctx Context) {
+	if d.deficit <= 0 {
+		panic(fmt.Sprintf("termdet: process %d received ack with zero deficit", d.rank))
+	}
+	d.deficit--
+	d.maybeDetach(ctx)
+}
+
+// Passive must be called when the application finishes its local work
+// (no task running, no pending local work).
+func (d *Detector) Passive(ctx Context) {
+	d.active = false
+	d.maybeDetach(ctx)
+}
+
+// maybeDetach sends the deferred acknowledgment to the parent (or
+// declares termination on the root) once passive with zero deficit.
+func (d *Detector) maybeDetach(ctx Context) {
+	if d.active || d.deficit != 0 {
+		return
+	}
+	if d.root {
+		if !d.terminated {
+			d.terminated = true
+			if d.onTerminate != nil {
+				d.onTerminate()
+			}
+		}
+		return
+	}
+	if d.parent >= 0 {
+		p := d.parent
+		d.parent = -1
+		ctx.SendAck(p)
+	}
+}

@@ -1,0 +1,204 @@
+// Package trace provides structured event tracing for the simulator and
+// the solver: what happened, when (virtual time) and on which process.
+// Traces make the asynchronous runs debuggable — the exact interleaving
+// behind a memory peak or a slow snapshot can be replayed and filtered —
+// and power the verbose modes of the experiment harness.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Type classifies trace events.
+type Type uint8
+
+// Event types emitted by the solver and the mechanisms.
+const (
+	EvSend Type = iota
+	EvReceive
+	EvTaskStart
+	EvTaskEnd
+	EvDecision
+	EvSnapshotStart
+	EvSnapshotReady
+	EvSnapshotEnd
+	EvBlocked
+	EvUnblocked
+	EvMemory
+	EvCustom
+)
+
+func (t Type) String() string {
+	switch t {
+	case EvSend:
+		return "send"
+	case EvReceive:
+		return "recv"
+	case EvTaskStart:
+		return "task+"
+	case EvTaskEnd:
+		return "task-"
+	case EvDecision:
+		return "decide"
+	case EvSnapshotStart:
+		return "snap+"
+	case EvSnapshotReady:
+		return "snap="
+	case EvSnapshotEnd:
+		return "snap-"
+	case EvBlocked:
+		return "block"
+	case EvUnblocked:
+		return "unblock"
+	case EvMemory:
+		return "mem"
+	case EvCustom:
+		return "note"
+	}
+	return "?"
+}
+
+// Event is one trace record.
+type Event struct {
+	At   float64 // virtual seconds
+	Proc int
+	Type Type
+	// Node is the assembly-tree node involved, -1 if not applicable.
+	Node int32
+	// Value carries a type-specific quantity (bytes, entries, duration).
+	Value float64
+	// Note is a short free-form annotation.
+	Note string
+}
+
+// String formats the event for text dumps.
+func (e Event) String() string {
+	s := fmt.Sprintf("%12.6f P%-3d %-8s", e.At, e.Proc, e.Type)
+	if e.Node >= 0 {
+		s += fmt.Sprintf(" node=%-6d", e.Node)
+	}
+	if e.Value != 0 {
+		s += fmt.Sprintf(" value=%g", e.Value)
+	}
+	if e.Note != "" {
+		s += " " + e.Note
+	}
+	return s
+}
+
+// Tracer receives events. Implementations must be cheap: the solver can
+// emit millions of events per run.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Ring is a fixed-capacity tracer keeping the most recent events. The
+// zero value is unusable; use NewRing. Safe for concurrent use (the live
+// runtime emits from several goroutines).
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total uint64
+	full  bool
+}
+
+// NewRing creates a ring tracer holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Emit implements Tracer.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next++
+	r.total++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Total returns how many events were emitted overall (including evicted).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Events returns the retained events in emission order.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Filter returns the retained events accepted by keep.
+func (r *Ring) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump writes the retained events as text.
+func (r *Ring) Dump(w io.Writer) error {
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Counter is a tracer that only counts events per type; used when full
+// retention would be too expensive.
+type Counter struct {
+	mu     sync.Mutex
+	counts map[Type]uint64
+}
+
+// NewCounter creates a counting tracer.
+func NewCounter() *Counter { return &Counter{counts: map[Type]uint64{}} }
+
+// Emit implements Tracer.
+func (c *Counter) Emit(e Event) {
+	c.mu.Lock()
+	c.counts[e.Type]++
+	c.mu.Unlock()
+}
+
+// Count returns how many events of type t were seen.
+func (c *Counter) Count(t Type) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[t]
+}
+
+// Multi fans events out to several tracers.
+type Multi []Tracer
+
+// Emit implements Tracer.
+func (m Multi) Emit(e Event) {
+	for _, t := range m {
+		t.Emit(e)
+	}
+}

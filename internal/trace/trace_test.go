@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingKeepsRecentEvents(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{At: float64(i), Proc: i, Node: -1})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if e.Proc != 6+i {
+			t.Fatalf("wrong retention order: %+v", evs)
+		}
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total = %d, want 10", r.Total())
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewRing(8)
+	r.Emit(Event{Proc: 1, Node: -1})
+	r.Emit(Event{Proc: 2, Node: -1})
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Proc != 1 || evs[1].Proc != 2 {
+		t.Fatalf("partial fill wrong: %+v", evs)
+	}
+}
+
+func TestRingOrderProperty(t *testing.T) {
+	f := func(capRaw uint8, nRaw uint16) bool {
+		capacity := int(capRaw)%32 + 1
+		n := int(nRaw) % 200
+		r := NewRing(capacity)
+		for i := 0; i < n; i++ {
+			r.Emit(Event{At: float64(i), Node: -1})
+		}
+		evs := r.Events()
+		want := n
+		if want > capacity {
+			want = capacity
+		}
+		if len(evs) != want {
+			return false
+		}
+		for i := 1; i < len(evs); i++ {
+			if evs[i].At != evs[i-1].At+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingFilterAndDump(t *testing.T) {
+	r := NewRing(16)
+	r.Emit(Event{Type: EvSend, Proc: 0, Node: -1})
+	r.Emit(Event{Type: EvDecision, Proc: 1, Node: 7, Value: 3})
+	r.Emit(Event{Type: EvSend, Proc: 2, Node: -1})
+	decisions := r.Filter(func(e Event) bool { return e.Type == EvDecision })
+	if len(decisions) != 1 || decisions[0].Node != 7 {
+		t.Fatalf("filter wrong: %+v", decisions)
+	}
+	var buf bytes.Buffer
+	if err := r.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "decide") {
+		t.Fatalf("dump missing decision:\n%s", buf.String())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	for i := 0; i < 5; i++ {
+		c.Emit(Event{Type: EvTaskStart})
+	}
+	c.Emit(Event{Type: EvTaskEnd})
+	if c.Count(EvTaskStart) != 5 || c.Count(EvTaskEnd) != 1 || c.Count(EvSend) != 0 {
+		t.Fatal("counter wrong")
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := NewCounter(), NewRing(4)
+	m := Multi{a, b}
+	m.Emit(Event{Type: EvMemory, Node: -1})
+	if a.Count(EvMemory) != 1 || len(b.Events()) != 1 {
+		t.Fatal("multi did not fan out")
+	}
+}
+
+func TestRingConcurrentEmit(t *testing.T) {
+	r := NewRing(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Emit(Event{Node: -1})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 8000 {
+		t.Fatalf("total = %d, want 8000", r.Total())
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: 1.5, Proc: 3, Type: EvDecision, Node: 42, Value: 2, Note: "x"}
+	s := e.String()
+	for _, want := range []string{"P3", "decide", "node=42", "value=2", "x"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("event string %q missing %q", s, want)
+		}
+	}
+	if Type(250).String() != "?" {
+		t.Fatal("unknown type string")
+	}
+}

@@ -1,0 +1,116 @@
+package tree
+
+// Cost model for the partial factorization of a frontal matrix of order
+// nfront with npiv pivots. With s = nfront - npiv:
+//
+//	total flops (LU)   = 2·(npiv²·s + npiv·s² + npiv³/3)
+//	master share       = 2·(npiv³/3 + npiv²·s)   (pivot block + row panel)
+//	slave share        = 2·npiv·s²               (Schur update, split by rows)
+//
+// Symmetric (LDLᵀ) factorization costs half of each term. These are the
+// classical dense partial-factorization counts; only the relative
+// proportions matter to the experiments.
+
+// FrontFlops returns the total flop count of a front.
+func FrontFlops(nfront, npiv int32, sym bool) float64 {
+	np := float64(npiv)
+	s := float64(nfront - npiv)
+	fl := 2 * (np*np*s + np*s*s + np*np*np/3)
+	if sym {
+		fl /= 2
+	}
+	return fl
+}
+
+// MasterFlops returns the master share of a Type 2 front: factorization of
+// the npiv pivot rows.
+func MasterFlops(nfront, npiv int32, sym bool) float64 {
+	np := float64(npiv)
+	s := float64(nfront - npiv)
+	fl := 2 * (np*np*np/3 + np*np*s)
+	if sym {
+		fl /= 2
+	}
+	return fl
+}
+
+// SlaveFlops returns the flop count for a slave updating `rows` rows of
+// the Schur complement of the front.
+func SlaveFlops(nfront, npiv, rows int32, sym bool) float64 {
+	np := float64(npiv)
+	s := float64(nfront - npiv)
+	fl := 2 * np * s * float64(rows)
+	if sym {
+		fl /= 2
+	}
+	return fl
+}
+
+// FrontEntries returns the storage of a full frontal matrix, in matrix
+// entries (the unit of Table 4: "millions of real entries").
+func FrontEntries(nfront int32, sym bool) float64 {
+	nf := float64(nfront)
+	if sym {
+		return nf * (nf + 1) / 2
+	}
+	return nf * nf
+}
+
+// CBEntries returns the storage of the contribution block passed to the
+// parent.
+func CBEntries(nfront, npiv int32, sym bool) float64 {
+	s := float64(nfront - npiv)
+	if sym {
+		return s * (s + 1) / 2
+	}
+	return s * s
+}
+
+// FactorEntries returns the storage of the factors produced by the node
+// (front minus contribution block).
+func FactorEntries(nfront, npiv int32, sym bool) float64 {
+	return FrontEntries(nfront, sym) - CBEntries(nfront, npiv, sym)
+}
+
+// MasterBlockEntries returns the master's storage for a Type 2 front: the
+// npiv pivot rows.
+func MasterBlockEntries(nfront, npiv int32, sym bool) float64 {
+	if sym {
+		// LDLᵀ: the master holds the lower triangle of the pivot block;
+		// the column panel below it belongs to the slaves' rows.
+		return float64(npiv) * (float64(npiv) + 1) / 2
+	}
+	return float64(npiv) * float64(nfront)
+}
+
+// SlaveBlockEntries returns a slave's storage for `rows` rows of the Schur
+// part of a Type 2 front.
+func SlaveBlockEntries(nfront, npiv, rows int32, sym bool) float64 {
+	e := float64(rows) * float64(nfront)
+	if sym {
+		e /= 2
+	}
+	return e
+}
+
+// SlaveCBEntries returns the part of the contribution block a slave keeps
+// until the parent consumes it (`rows` of the Schur complement).
+func SlaveCBEntries(nfront, npiv, rows int32, sym bool) float64 {
+	s := float64(nfront - npiv)
+	e := float64(rows) * s
+	if sym {
+		e /= 2
+	}
+	return e
+}
+
+// ComputeSeconds converts a flop count to virtual seconds given a
+// processor speed in flops/second. The paper's platform is 1.3-1.7 GHz
+// Power4; an effective rate of ~1 Gflop/s for dense kernels is the default
+// used by the solver.
+func ComputeSeconds(flops, flopsPerSecond float64) float64 {
+	if flopsPerSecond <= 0 {
+		return 0
+	}
+	return flops / flopsPerSecond
+}

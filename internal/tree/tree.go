@@ -1,0 +1,128 @@
+// Package tree models the multifrontal assembly tree of MUMPS (paper
+// §4.1): a task-dependency tree processed from the leaves to the root,
+// where each node is the partial factorization of a dense frontal matrix.
+// It carries the cost model (flops, memory) used by both the static
+// mapping and the dynamic schedulers.
+package tree
+
+import (
+	"fmt"
+
+	"repro/internal/symbolic"
+)
+
+// NodeType is the parallelism type of an assembly-tree node (Figure 2).
+type NodeType uint8
+
+const (
+	// Type1 is a sequential task on one processor, activated when all
+	// children have delivered their contribution blocks.
+	Type1 NodeType = iota
+	// Type2 is a 1D-parallel task: a statically mapped master eliminates
+	// the pivot rows and dynamically selects slaves that update the Schur
+	// complement (the dynamic decision this paper studies).
+	Type2
+	// Type3 is the 2D-parallel root (ScaLAPACK in MUMPS), with a static
+	// block-cyclic distribution and no dynamic decision.
+	Type3
+)
+
+func (t NodeType) String() string {
+	switch t {
+	case Type1:
+		return "T1"
+	case Type2:
+		return "T2"
+	case Type3:
+		return "T3"
+	}
+	return "?"
+}
+
+// Node is one assembly-tree task.
+type Node struct {
+	ID       int32
+	Parent   int32 // -1 for roots
+	Children []int32
+	Npiv     int32
+	Nfront   int32
+	Type     NodeType
+	// Subtree is the sequential leaf-subtree id this node belongs to, or
+	// -1 for nodes above the Geist-Ng layer.
+	Subtree int32
+	// Cost is the total flop count of the node's partial factorization.
+	Cost float64
+	// SubtreeCost is Cost summed over the whole subtree rooted here.
+	SubtreeCost float64
+}
+
+// SchurSize is the order of the contribution block (Nfront - Npiv).
+func (n *Node) SchurSize() int32 { return n.Nfront - n.Npiv }
+
+// Tree is an assembly tree in topological order (children before parents).
+type Tree struct {
+	Nodes     []Node
+	Roots     []int32
+	Sym       bool
+	TotalCost float64
+	N         int // matrix order
+}
+
+// Build constructs the assembly tree from a symbolic analysis, computing
+// all costs.
+func Build(a *symbolic.Analysis) *Tree {
+	t := &Tree{Sym: a.Sym, N: a.N}
+	t.Nodes = make([]Node, len(a.Nodes))
+	for i := range a.Nodes {
+		s := &a.Nodes[i]
+		n := &t.Nodes[i]
+		n.ID = s.ID
+		n.Parent = s.Parent
+		n.Children = append([]int32(nil), s.Children...)
+		n.Npiv = s.Npiv
+		n.Nfront = s.Nfront
+		n.Subtree = -1
+		n.Cost = FrontFlops(s.Nfront, s.Npiv, a.Sym)
+		t.TotalCost += n.Cost
+	}
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		n.SubtreeCost += n.Cost
+		if n.Parent >= 0 {
+			t.Nodes[n.Parent].SubtreeCost += n.SubtreeCost
+		} else {
+			t.Roots = append(t.Roots, n.ID)
+		}
+	}
+	return t
+}
+
+// Validate checks tree invariants.
+func (t *Tree) Validate() error {
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if n.Parent >= 0 && n.Parent <= n.ID {
+			return fmt.Errorf("tree: node %d not topological", n.ID)
+		}
+		for _, c := range n.Children {
+			if t.Nodes[c].Parent != n.ID {
+				return fmt.Errorf("tree: broken child link at %d", n.ID)
+			}
+		}
+		if n.Nfront < n.Npiv || n.Npiv <= 0 {
+			return fmt.Errorf("tree: bad sizes at node %d", n.ID)
+		}
+	}
+	return nil
+}
+
+// Leaves returns the IDs of all leaf nodes.
+func (t *Tree) Leaves() []int32 {
+	var out []int32
+	for i := range t.Nodes {
+		if len(t.Nodes[i].Children) == 0 {
+			out = append(out, t.Nodes[i].ID)
+		}
+	}
+	return out
+}
