@@ -1,0 +1,281 @@
+package main
+
+// loadex cluster: run the quickstart-style master/slave workload over a
+// real localhost TCP cluster and report per-mechanism message and
+// selection statistics.
+//
+// By default the command forks one `loadex node` process per rank (the
+// binary re-executes itself), wires them through the ADDR/PEERS stdio
+// handshake and aggregates each node's STATS line. With -inproc the
+// same nodes run as goroutines inside this process — same sockets, no
+// fork — which is what CI uses.
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	xnet "repro/internal/net"
+)
+
+func runCluster(args []string) error {
+	fs := flag.NewFlagSet("loadex cluster", flag.ExitOnError)
+	var p nodeParams
+	p.register(fs)
+	procs := fs.Int("procs", 0, "number of processes (alias for -n)")
+	inproc := fs.Bool("inproc", false, "run the nodes in-process (same TCP sockets, no fork)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *procs > 0 {
+		p.procs = *procs
+	}
+	if p.masters > p.procs {
+		p.masters = p.procs
+	}
+	if err := p.validate(); err != nil {
+		return err
+	}
+	mechs := []string{p.mech}
+	if p.mech == "all" {
+		mechs = nil
+		for _, m := range core.Mechanisms() {
+			mechs = append(mechs, string(m))
+		}
+	}
+	for _, mech := range mechs {
+		// Fail here rather than as a cryptic handshake error after the
+		// fork.
+		if _, err := core.New(core.Mech(mech), 2, 0, core.Config{}); err != nil {
+			return err
+		}
+	}
+	for _, mech := range mechs {
+		q := p
+		q.mech = mech
+		var (
+			stats []nodeStats
+			err   error
+		)
+		if *inproc {
+			stats, err = runClusterInProc(&q)
+		} else {
+			stats, err = runClusterForked(&q)
+		}
+		if err != nil {
+			return fmt.Errorf("mechanism %s: %w", mech, err)
+		}
+		writeClusterReport(os.Stdout, &q, *inproc, stats)
+	}
+	return nil
+}
+
+// runClusterInProc drives the workload on an in-process TCP cluster.
+func runClusterInProc(p *nodeParams) ([]nodeStats, error) {
+	codec, err := xnet.NewCodec(p.codec)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := xnet.NewCluster(p.procs, core.Mech(p.mech), p.config(), xnet.Options{Codec: codec})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Stop()
+	var wg sync.WaitGroup
+	errs := make([]error, p.masters)
+	for m := 0; m < p.masters; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			for i := 0; i < p.decisions; i++ {
+				if err := cl.Decide(m, p.work, p.slaves, p.spin); err != nil {
+					errs[m] = err
+					return
+				}
+			}
+		}(m)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := cl.Drain(60 * time.Second); err != nil {
+		return nil, err
+	}
+	time.Sleep(p.settle)
+	stats := make([]nodeStats, p.procs)
+	for r := 0; r < p.procs; r++ {
+		stats[r] = nodeStats{
+			Rank:      r,
+			Executed:  cl.Executed(r),
+			Mech:      cl.Stats(r),
+			Transport: cl.Transport(r),
+		}
+		if r < p.masters {
+			stats[r].Decisions = p.decisions
+		}
+	}
+	return stats, nil
+}
+
+// runClusterForked forks one `loadex node` per rank and shepherds the
+// stdio handshake.
+func runClusterForked(p *nodeParams) ([]nodeStats, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	type child struct {
+		cmd   *exec.Cmd
+		stdin io.WriteCloser
+		out   *bufio.Scanner
+	}
+	children := make([]*child, p.procs)
+	defer func() {
+		for _, c := range children {
+			if c != nil {
+				c.stdin.Close()
+				c.cmd.Process.Kill()
+				c.cmd.Wait()
+			}
+		}
+	}()
+	for r := 0; r < p.procs; r++ {
+		cmd := exec.Command(exe, "node",
+			"-rank", strconv.Itoa(r),
+			"-n", strconv.Itoa(p.procs),
+			"-mech", p.mech,
+			"-threshold", fmt.Sprint(p.threshold),
+			"-nomore="+strconv.FormatBool(p.noMore),
+			"-codec", p.codec,
+			"-masters", strconv.Itoa(p.masters),
+			"-decisions", strconv.Itoa(p.decisions),
+			"-work", fmt.Sprint(p.work),
+			"-slaves", strconv.Itoa(p.slaves),
+			"-spin", p.spin.String(),
+			"-settle", p.settle.String(),
+		)
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return nil, err
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("forking node %d: %w", r, err)
+		}
+		children[r] = &child{cmd: cmd, stdin: stdin, out: bufio.NewScanner(stdout)}
+	}
+	// Collect every node's bound address…
+	addrs := make([]string, p.procs)
+	for r, c := range children {
+		line, err := scanPrefix(c.out, "ADDR ")
+		if err != nil {
+			return nil, fmt.Errorf("node %d: %w", r, err)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 || fields[0] != strconv.Itoa(r) {
+			return nil, fmt.Errorf("node %d: malformed address line %q", r, line)
+		}
+		addrs[r] = fields[1]
+	}
+	// …broadcast the full list…
+	peers := "PEERS " + strings.Join(addrs, ",") + "\n"
+	for r, c := range children {
+		if _, err := io.WriteString(c.stdin, peers); err != nil {
+			return nil, fmt.Errorf("node %d: %w", r, err)
+		}
+	}
+	// …and gather each node's report.
+	stats := make([]nodeStats, p.procs)
+	for r, c := range children {
+		line, err := scanPrefix(c.out, "STATS ")
+		if err != nil {
+			return nil, fmt.Errorf("node %d: %w", r, err)
+		}
+		if err := json.Unmarshal([]byte(line), &stats[r]); err != nil {
+			return nil, fmt.Errorf("node %d: bad stats line: %w", r, err)
+		}
+	}
+	for r, c := range children {
+		if err := c.cmd.Wait(); err != nil {
+			return nil, fmt.Errorf("node %d: %w", r, err)
+		}
+		children[r] = nil
+	}
+	return stats, nil
+}
+
+// scanPrefix reads lines until one starts with prefix, returning the
+// remainder; other lines pass through to stderr (node diagnostics).
+func scanPrefix(sc *bufio.Scanner, prefix string) (string, error) {
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, prefix); ok {
+			return rest, nil
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("stream ended before %q line", strings.TrimSpace(prefix))
+}
+
+// writeClusterReport prints the per-mechanism table the paper-style
+// experiments report: selections, mechanism messages, wire traffic.
+func writeClusterReport(w io.Writer, p *nodeParams, inproc bool, stats []nodeStats) {
+	mode := "forked processes"
+	if inproc {
+		mode = "in-process"
+	}
+	fmt.Fprintf(w, "== mechanism: %s — %d procs over localhost TCP (%s, codec %s) ==\n",
+		p.mech, p.procs, mode, p.codec)
+	fmt.Fprintf(w, "workload: %d masters × %d decisions × %g work units over %d least-loaded slaves (spin %s)\n",
+		p.masters, p.decisions, p.work, p.slaves, p.spin)
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\texecuted\tdecisions\tupdates\treservations\tsnapshots\trestarts\tstate_in\tmsgs_in\tmsgs_out\tbytes_in\tbytes_out")
+	var tot nodeStats
+	for _, s := range stats {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			s.Rank, s.Executed, s.Decisions,
+			s.Mech.UpdatesSent, s.Mech.ReservationsSent,
+			s.Mech.SnapshotsInitiated, s.Mech.SnapshotRestarts,
+			s.Transport.StateIn, s.Transport.MsgsIn, s.Transport.MsgsOut,
+			s.Transport.BytesIn, s.Transport.BytesOut)
+		tot.Executed += s.Executed
+		tot.Decisions += s.Decisions
+		tot.Mech.UpdatesSent += s.Mech.UpdatesSent
+		tot.Mech.ReservationsSent += s.Mech.ReservationsSent
+		tot.Mech.SnapshotsInitiated += s.Mech.SnapshotsInitiated
+		tot.Mech.SnapshotRestarts += s.Mech.SnapshotRestarts
+		tot.Transport.StateIn += s.Transport.StateIn
+		tot.Transport.MsgsIn += s.Transport.MsgsIn
+		tot.Transport.MsgsOut += s.Transport.MsgsOut
+		tot.Transport.BytesIn += s.Transport.BytesIn
+		tot.Transport.BytesOut += s.Transport.BytesOut
+	}
+	fmt.Fprintf(tw, "total\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+		tot.Executed, tot.Decisions,
+		tot.Mech.UpdatesSent, tot.Mech.ReservationsSent,
+		tot.Mech.SnapshotsInitiated, tot.Mech.SnapshotRestarts,
+		tot.Transport.StateIn, tot.Transport.MsgsIn, tot.Transport.MsgsOut,
+		tot.Transport.BytesIn, tot.Transport.BytesOut)
+	tw.Flush()
+	fmt.Fprintf(w, "quiescent: all %d work items executed and acknowledged\n\n", tot.Executed)
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestClusterInProcAllMechanisms(t *testing.T) {
+	for _, mech := range []string{"naive", "increments", "snapshot"} {
+		mech := mech
+		t.Run(mech, func(t *testing.T) {
+			p := nodeParams{
+				procs: 5, mech: mech, threshold: 5, noMore: true, codec: "binary",
+				masters: 2, decisions: 2, work: 60, slaves: 2,
+				spin: 100 * time.Microsecond, settle: 10 * time.Millisecond,
+			}
+			stats, err := runClusterInProc(&p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var executed, decisions int64
+			for _, s := range stats {
+				executed += s.Executed
+				decisions += int64(s.Decisions)
+			}
+			if want := int64(p.masters * p.decisions * p.slaves); executed != want {
+				t.Fatalf("executed %d, want %d", executed, want)
+			}
+			if want := int64(p.masters * p.decisions); decisions != want {
+				t.Fatalf("decisions %d, want %d", decisions, want)
+			}
+			var report strings.Builder
+			writeClusterReport(&report, &p, true, stats)
+			for _, want := range []string{"mechanism: " + mech, "quiescent"} {
+				if !strings.Contains(report.String(), want) {
+					t.Fatalf("report missing %q:\n%s", want, report.String())
+				}
+			}
+		})
+	}
+}
+
+func TestNodeParamsValidate(t *testing.T) {
+	good := nodeParams{procs: 4, masters: 2, slaves: 1}
+	if err := good.validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []nodeParams{
+		{procs: 1, masters: 1, slaves: 1},
+		{procs: 4, masters: 0, slaves: 1},
+		{procs: 4, masters: 5, slaves: 1},
+		{procs: 4, masters: 2, slaves: 0},
+	} {
+		if err := bad.validate(); err == nil {
+			t.Fatalf("params %+v validated", bad)
+		}
+	}
+}

@@ -13,6 +13,15 @@
 //	             per-processor-count factors of the experiment suite
 //	             apply on top)
 //	-seed n      generator seed (default 1)
+//
+// Besides the experiment tables, two subcommands run the mechanisms
+// over real localhost TCP (internal/net):
+//
+//	loadex cluster [-procs n] [-mech m] [...]   fork an n-process cluster,
+//	                                            run the quickstart workload,
+//	                                            report per-mechanism stats
+//	loadex node    [-rank r] [...]              one cluster process
+//	                                            (normally forked by cluster)
 package main
 
 import (
@@ -25,6 +34,22 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "node":
+			if err := runNode(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "loadex node:", err)
+				os.Exit(1)
+			}
+			return
+		case "cluster":
+			if err := runCluster(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "loadex cluster:", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
 	scale := flag.Float64("scale", 1.0, "global matrix scale multiplier")
 	seed := flag.Uint64("seed", 1, "generator seed")
 	flag.Parse()
@@ -146,4 +171,6 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: loadex [-scale f] [-seed n] <table1|table3|table4|table5|table6|table7|fig1|fig2|ablations|all>")
+	fmt.Fprintln(os.Stderr, "       loadex cluster [-procs n] [-mech naive|increments|snapshot|all] [-inproc] ...")
+	fmt.Fprintln(os.Stderr, "       loadex node -rank r -n procs [-mech m] ...   (normally forked by cluster)")
 }

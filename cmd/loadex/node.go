@@ -1,0 +1,188 @@
+package main
+
+// loadex node: one process of a TCP cluster. Normally forked by
+// `loadex cluster`, which drives the stdio handshake:
+//
+//	node   → parent:  ADDR <rank> <host:port>   (after binding)
+//	parent → node:    PEERS <addr0>,<addr1>,…   (once all ranks bound)
+//	node   → parent:  STATS <json>              (after quiescence)
+//
+// A node whose rank is below -masters takes -decisions dynamic
+// decisions, each distributing -work units over the -slaves least-loaded
+// peers per its coherent view. Masters announce Done after draining
+// their own assignments; every node exits once all masters announced,
+// plus a settle delay for trailing state messages.
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	xnet "repro/internal/net"
+)
+
+// nodeStats is the per-rank report a node prints and the cluster parent
+// aggregates.
+type nodeStats struct {
+	Rank      int                 `json:"rank"`
+	Executed  int64               `json:"executed"`
+	Decisions int                 `json:"decisions"`
+	Mech      core.Stats          `json:"mech"`
+	Transport xnet.TransportStats `json:"transport"`
+}
+
+// nodeParams collects the workload flags shared by `loadex node` and
+// `loadex cluster`.
+type nodeParams struct {
+	procs     int
+	mech      string
+	threshold float64
+	noMore    bool
+	codec     string
+	masters   int
+	decisions int
+	work      float64
+	slaves    int
+	spin      time.Duration
+	settle    time.Duration
+}
+
+func (p *nodeParams) register(fs *flag.FlagSet) {
+	fs.IntVar(&p.procs, "n", 8, "number of processes in the cluster")
+	fs.StringVar(&p.mech, "mech", "snapshot", "mechanism: naive|increments|snapshot")
+	fs.Float64Var(&p.threshold, "threshold", 5, "maintained-mechanism broadcast threshold (workload units)")
+	fs.BoolVar(&p.noMore, "nomore", true, "enable the No_more_master optimization (§2.3)")
+	fs.StringVar(&p.codec, "codec", "binary", "wire codec: binary|json")
+	fs.IntVar(&p.masters, "masters", 3, "ranks [0,masters) take dynamic decisions")
+	fs.IntVar(&p.decisions, "decisions", 4, "decisions per master")
+	fs.Float64Var(&p.work, "work", 120, "work units distributed per decision")
+	fs.IntVar(&p.slaves, "slaves", 3, "slaves selected per decision")
+	fs.DurationVar(&p.spin, "spin", time.Millisecond, "execution time per work item")
+	fs.DurationVar(&p.settle, "settle", 50*time.Millisecond, "delay for trailing state messages before exit")
+}
+
+func (p *nodeParams) config() core.Config {
+	return core.Config{
+		Threshold:       core.Load{core.Workload: p.threshold},
+		NoMoreMasterOpt: p.noMore,
+	}
+}
+
+func (p *nodeParams) validate() error {
+	if p.procs < 2 {
+		return fmt.Errorf("need at least 2 processes, got %d", p.procs)
+	}
+	if p.masters < 1 || p.masters > p.procs {
+		return fmt.Errorf("masters %d out of range [1,%d]", p.masters, p.procs)
+	}
+	if p.slaves < 1 {
+		return fmt.Errorf("need at least 1 slave per decision")
+	}
+	return nil
+}
+
+func runNode(args []string) error {
+	fs := flag.NewFlagSet("loadex node", flag.ExitOnError)
+	var p nodeParams
+	p.register(fs)
+	rank := fs.Int("rank", 0, "this process's rank")
+	listen := fs.String("listen", "127.0.0.1:0", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := p.validate(); err != nil {
+		return err
+	}
+	codec, err := xnet.NewCodec(p.codec)
+	if err != nil {
+		return err
+	}
+	mech := core.Mech(p.mech)
+	nd, err := xnet.NewNode(*rank, p.procs, mech, p.config(), xnet.Options{
+		Codec: codec,
+		Logf:  func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+	})
+	if err != nil {
+		return err
+	}
+	addr, err := nd.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ADDR %d %s\n", *rank, addr)
+
+	// The parent answers with every rank's address once all bound.
+	sc := bufio.NewScanner(os.Stdin)
+	var addrs []string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "PEERS "); ok {
+			addrs = strings.Split(rest, ",")
+			break
+		}
+	}
+	if addrs == nil {
+		return fmt.Errorf("node %d: stdin closed before PEERS line", *rank)
+	}
+	if len(addrs) != p.procs {
+		return fmt.Errorf("node %d: got %d peer addresses, want %d", *rank, len(addrs), p.procs)
+	}
+	if err := nd.Start(addrs); err != nil {
+		return err
+	}
+
+	stats, err := runNodeWorkload(nd, &p)
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(stats)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("STATS %s\n", b)
+	return nd.Close()
+}
+
+// runNodeWorkload drives one node through the scripted workload until
+// cluster quiescence and returns its report.
+func runNodeWorkload(nd *xnet.Node, p *nodeParams) (nodeStats, error) {
+	st := nodeStats{Rank: nd.Rank()}
+	isMaster := nd.Rank() < p.masters
+	if isMaster {
+		for i := 0; i < p.decisions; i++ {
+			if _, err := nd.Decide(p.work, p.slaves, p.spin); err != nil {
+				return st, err
+			}
+			st.Decisions++
+		}
+		if err := nd.DrainOwn(60 * time.Second); err != nil {
+			return st, err
+		}
+		nd.AnnounceDone()
+	}
+	// Quiescence: every master announced Done after draining its own
+	// assignments, so once all announcements arrived no application
+	// work remains anywhere.
+	waitFor := int64(p.masters)
+	if isMaster {
+		waitFor--
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for nd.DonesReceived() < waitFor {
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("node %d: only %d/%d done announcements after 120s",
+				nd.Rank(), nd.DonesReceived(), waitFor)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(p.settle) // let trailing updates land before reporting
+	st.Executed = nd.Executed()
+	st.Mech = nd.MechStats()
+	st.Transport = nd.Transport()
+	return st, nil
+}

@@ -1,0 +1,71 @@
+// TCP cluster demo: the quickstart scenario — three masters take
+// concurrent dynamic scheduling decisions under each load-information
+// exchange mechanism of Guermouche & L'Excellent (RR-5478, 2005) — but
+// instead of goroutines and channels (examples/quickstart), the eight
+// nodes talk over real localhost TCP sockets with the length-prefixed
+// binary codec: the same core state machines, now facing serialization,
+// per-pair FIFO connections and acknowledgment-based quiescence.
+//
+//	go run ./examples/tcpcluster
+//
+// For a cluster of separate OS processes, see `go run ./cmd/loadex
+// cluster` (this demo keeps the nodes in-process so it is one binary).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/net"
+)
+
+func main() {
+	const nodes = 8
+	for _, mech := range []core.Mech{core.MechNaive, core.MechIncrements, core.MechSnapshot} {
+		fmt.Printf("=== mechanism: %s (localhost TCP, binary codec) ===\n", mech)
+		cl, err := net.NewCluster(nodes, mech, core.Config{
+			Threshold:       core.Load{core.Workload: 5},
+			NoMoreMasterOpt: true,
+		}, net.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Three masters decide concurrently: each distributes 120 units
+		// of work over its 3 least-loaded peers (as it sees them).
+		errs := make(chan error, 3)
+		for _, master := range []int{0, 1, 2} {
+			go func(m int) { errs <- cl.Decide(m, 120, 3, 2*time.Millisecond) }(master)
+		}
+		for i := 0; i < 3; i++ {
+			if err := <-errs; err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := cl.Drain(5 * time.Second); err != nil {
+			log.Fatal(err)
+		}
+		time.Sleep(20 * time.Millisecond) // let trailing updates settle
+
+		fmt.Println("work items executed per node:")
+		for r := 0; r < nodes; r++ {
+			fmt.Printf("  node %d: %d\n", r, cl.Executed(r))
+		}
+		var bytesIn, msgsIn int64
+		for r := 0; r < nodes; r++ {
+			tr := cl.Transport(r)
+			bytesIn += tr.BytesIn
+			msgsIn += tr.MsgsIn
+		}
+		fmt.Printf("wire traffic: %d messages, %d bytes\n", msgsIn, bytesIn)
+		if mech == core.MechSnapshot {
+			st := cl.Stats(0)
+			fmt.Printf("node 0 snapshot stats: initiated=%d restarts=%d\n",
+				st.SnapshotsInitiated, st.SnapshotRestarts)
+		}
+		cl.Stop()
+	}
+	fmt.Println("done — `go run ./cmd/loadex cluster` forks the same workload as separate OS processes")
+}

@@ -1,0 +1,71 @@
+package core
+
+// LeastLoaded returns the ranks of the k processes with the smallest
+// estimate of metric m in the view, excluding rank `exclude` (pass -1 to
+// exclude nobody). Ties break toward the lower rank, so the selection is
+// a deterministic function of the view — every runtime (sim, live, net)
+// uses this one function, which is what lets the cross-runtime
+// equivalence tests re-derive a master's selection from its recorded
+// view.
+func LeastLoaded(v *View, m Metric, exclude, k int) []int {
+	type cand struct {
+		p int
+		l float64
+	}
+	cands := make([]cand, 0, v.N())
+	for p := 0; p < v.N(); p++ {
+		if p != exclude {
+			cands = append(cands, cand{p, v.Metric(p, m)})
+		}
+	}
+	// Insertion-style selection sort: n is small (the paper's clusters
+	// top out at 64-128 processes).
+	for i := range cands {
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].l < cands[i].l || (cands[j].l == cands[i].l && cands[j].p < cands[i].p) {
+				cands[i], cands[j] = cands[j], cands[i]
+			}
+		}
+	}
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].p
+	}
+	return out
+}
+
+// ViewOf wraps a load slice in a read-only View, so selection helpers
+// can run over a recorded snapshot.
+func ViewOf(loads []Load) *View { return &View{loads: loads} }
+
+// Decision records one dynamic decision for invariant checking: the
+// view the master consulted at acquire-ready time and the assignments
+// it committed. The live and net runtimes both return it from their
+// observed-decision APIs, so cross-runtime tests compare like with
+// like.
+type Decision struct {
+	Master      int
+	View        []Load
+	Assignments []Assignment
+}
+
+// PlanDecision takes the dynamic scheduling decision every runtime
+// driver shares: record the master's view, select the `slaves`
+// least-workload peers per that view, and split totalWork into equal
+// shares. Keeping the plan in one function is what makes the
+// cross-runtime equivalence tests meaningful — sim, live and net
+// cannot drift apart on tie-breaking, share rounding or counter
+// ordering. The caller commits the returned assignments and ships the
+// work.
+func PlanDecision(view *View, master, slaves int, totalWork float64) Decision {
+	d := Decision{Master: master, View: view.Snapshot()}
+	sel := LeastLoaded(view, Workload, master, slaves)
+	share := totalWork / float64(len(sel))
+	for _, p := range sel {
+		d.Assignments = append(d.Assignments, Assignment{Proc: int32(p), Delta: Load{Workload: share}})
+	}
+	return d
+}

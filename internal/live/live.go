@@ -40,8 +40,6 @@ type Node struct {
 	dataCh  chan workItem
 	quit    chan struct{}
 
-	// pendingWork counts work items accepted but not yet executed.
-	pendingWork int64
 	// executed counts completed work items.
 	executed int64
 }
@@ -55,6 +53,11 @@ type Cluster struct {
 	// outstanding counts work items in flight (assigned, not executed);
 	// used for quiescence detection by Drain.
 	outstanding int64
+	// assigned counts work items ever assigned; it is incremented
+	// before the mechanism's Commit so that any snapshot cut that
+	// observed a decision's credits is covered by a later read of this
+	// counter (the conservation tests rely on that ordering).
+	assigned int64
 }
 
 // ctx adapts a node to core.Context. State channels are buffered deeply
@@ -162,47 +165,30 @@ func (n *Node) execute(w workItem) {
 // the snapshot finished). The distribution function returns the share for
 // each selected slave.
 func (cl *Cluster) Decide(master int, totalWork float64, slaves int, spin time.Duration) error {
+	_, err := cl.DecideObserved(master, totalWork, slaves, spin)
+	return err
+}
+
+// DecideObserved is Decide plus the record the cross-runtime equivalence
+// tests check: the view consulted at ready time and the assignments
+// taken.
+func (cl *Cluster) DecideObserved(master int, totalWork float64, slaves int, spin time.Duration) (core.Decision, error) {
 	if master < 0 || master >= len(cl.nodes) {
-		return fmt.Errorf("live: bad master %d", master)
+		return core.Decision{}, fmt.Errorf("live: bad master %d", master)
 	}
 	n := cl.nodes[master]
+	dec := core.Decision{Master: master}
 	done := make(chan struct{})
-	// The decision must run on the master's goroutine; inject it through
-	// the state channel? Mechanisms are single-goroutine objects, so the
-	// decision is delivered as a closure via a dedicated control message.
+	// The decision must run on the master's goroutine; mechanisms are
+	// single-goroutine objects, so the decision is delivered as a
+	// closure via a dedicated control message.
 	sel := func() {
-		view := n.exch.View()
-		type cand struct {
-			p int
-			l float64
-		}
-		var cands []cand
-		for p := 0; p < len(cl.nodes); p++ {
-			if p != master {
-				cands = append(cands, cand{p, view.Metric(p, core.Workload)})
-			}
-		}
-		// Selection: the `slaves` least loaded.
-		for i := 0; i < len(cands); i++ {
-			for j := i + 1; j < len(cands); j++ {
-				if cands[j].l < cands[i].l || (cands[j].l == cands[i].l && cands[j].p < cands[i].p) {
-					cands[i], cands[j] = cands[j], cands[i]
-				}
-			}
-		}
-		k := slaves
-		if k > len(cands) {
-			k = len(cands)
-		}
-		share := totalWork / float64(k)
-		asg := make([]core.Assignment, k)
-		for i := 0; i < k; i++ {
-			asg[i] = core.Assignment{Proc: int32(cands[i].p), Delta: core.Load{core.Workload: share}}
-		}
-		n.exch.Commit(ctx{n}, asg)
-		for i := 0; i < k; i++ {
+		dec = core.PlanDecision(n.exch.View(), master, slaves, totalWork)
+		atomic.AddInt64(&cl.assigned, int64(len(dec.Assignments)))
+		n.exch.Commit(ctx{n}, dec.Assignments)
+		for _, a := range dec.Assignments {
 			atomic.AddInt64(&cl.outstanding, 1)
-			cl.nodes[cands[i].p].dataCh <- workItem{Load: core.Load{core.Workload: share}, Spin: spin}
+			cl.nodes[a.Proc].dataCh <- workItem{Load: a.Delta, Spin: spin}
 		}
 		close(done)
 	}
@@ -210,7 +196,7 @@ func (cl *Cluster) Decide(master int, totalWork float64, slaves int, spin time.D
 		n.exch.Acquire(ctx{n}, sel)
 	}}}
 	<-done
-	return nil
+	return dec, nil
 }
 
 // kindControl is an internal message kind carrying a closure to run on
@@ -252,6 +238,41 @@ func (cl *Cluster) Stop() {
 // Executed returns how many work items node r completed.
 func (cl *Cluster) Executed(r int) int64 {
 	return atomic.LoadInt64(&cl.nodes[r].executed)
+}
+
+// AssignedItems returns how many work items were ever assigned across
+// the cluster (counted just before each decision's Commit).
+func (cl *Cluster) AssignedItems() int64 { return atomic.LoadInt64(&cl.assigned) }
+
+// ExecutedItems returns how many work items were executed across the
+// cluster.
+func (cl *Cluster) ExecutedItems() int64 {
+	var total int64
+	for r := range cl.nodes {
+		total += cl.Executed(r)
+	}
+	return total
+}
+
+// AcquireView runs one full view acquisition on rank r — a snapshot,
+// for the snapshot mechanism — committing no assignment, and returns
+// the coherent view.
+func (cl *Cluster) AcquireView(r int) ([]core.Load, error) {
+	if r < 0 || r >= len(cl.nodes) {
+		return nil, fmt.Errorf("live: bad rank %d", r)
+	}
+	n := cl.nodes[r]
+	var view []core.Load
+	done := make(chan struct{})
+	n.stateCh <- message{from: r, kind: kindControl, payload: controlPayload{run: func() {
+		n.exch.Acquire(ctx{n}, func() {
+			view = n.exch.View().Snapshot()
+			n.exch.Commit(ctx{n}, nil)
+			close(done)
+		})
+	}}}
+	<-done
+	return view, nil
 }
 
 // View returns a copy of node r's current estimates, obtained on the

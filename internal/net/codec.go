@@ -1,0 +1,434 @@
+// Package net runs the load-exchange mechanisms over real TCP sockets:
+// the same transport-agnostic state machines that the deterministic
+// simulator (internal/sim) and the goroutine runtime (internal/live)
+// drive, now facing a genuine wire — serialization, per-pair FIFO
+// connections, backpressure and cross-process quiescence detection.
+//
+// The package has three layers:
+//
+//   - a length-prefixed wire codec (Codec; BinaryCodec is the default,
+//     JSONCodec can be swapped in for debugging),
+//   - Node, one OS process of the cluster: a TCP listener, one
+//     connection per peer, a prioritized state-message channel and a
+//     data channel, mirroring internal/live.Node,
+//   - Cluster, an in-process harness that runs N Nodes over localhost
+//     TCP with the same API as live.Cluster (used by tests and by
+//     `loadex cluster -inproc`).
+//
+// Multi-process clusters are assembled by `loadex cluster`, which forks
+// one `loadex node` per rank; the stdio handshake lives in cmd/loadex.
+package net
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+)
+
+// MsgType tags a wire message. Hello identifies a connection; State
+// carries a core state-channel message; Work/WorkDone are the data
+// channel (a work item and its execution acknowledgment); Done is the
+// cluster termination protocol (a master announcing all its work
+// drained).
+type MsgType uint8
+
+// The wire message types.
+const (
+	TypeHello MsgType = 1 + iota
+	TypeState
+	TypeWork
+	TypeWorkDone
+	TypeDone
+)
+
+// String returns a short name for the message type.
+func (t MsgType) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeState:
+		return "state"
+	case TypeWork:
+		return "work"
+	case TypeWorkDone:
+		return "work_done"
+	case TypeDone:
+		return "done"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Message is the flattened wire representation of everything that
+// travels between nodes. Only the fields relevant to Type (and, for
+// TypeState, Kind) are encoded; the rest stay zero. A flattened struct —
+// rather than an `any` payload — keeps both codecs trivial and makes
+// decode(encode(m)) == m a meaningful property to fuzz.
+type Message struct {
+	Type MsgType `json:"type"`
+	From int32   `json:"from"`
+	// Kind is the core state-message kind (TypeState only).
+	Kind int32 `json:"kind,omitempty"`
+	// Req is the snapshot request id (start_snp, snp).
+	Req int32 `json:"req,omitempty"`
+	// Load carries the update/snp/master_to_slave load vector, or the
+	// work item's load (TypeWork).
+	Load core.Load `json:"load,omitempty"`
+	// Assignments is the master_to_all reservation list.
+	Assignments []core.Assignment `json:"assignments,omitempty"`
+	// Spin is the work item's execution duration in nanoseconds
+	// (TypeWork only).
+	Spin int64 `json:"spin,omitempty"`
+}
+
+// StateMessage builds the wire message for one core state-channel send.
+// It returns an error for payloads no core mechanism emits, so an
+// incompatible future payload fails loudly rather than silently dropping
+// fields.
+func StateMessage(from int, kind int, payload any) (Message, error) {
+	m := Message{Type: TypeState, From: int32(from), Kind: int32(kind)}
+	switch kind {
+	case core.KindUpdate:
+		p, ok := payload.(core.UpdatePayload)
+		if !ok {
+			return m, fmt.Errorf("net: update payload %T", payload)
+		}
+		m.Load = p.Load
+	case core.KindMasterToAll:
+		p, ok := payload.(core.MasterToAllPayload)
+		if !ok {
+			return m, fmt.Errorf("net: master_to_all payload %T", payload)
+		}
+		m.Assignments = p.Assignments
+	case core.KindNoMoreMaster, core.KindEndSnp:
+		if payload != nil {
+			return m, fmt.Errorf("net: %s payload %T", core.KindName(kind), payload)
+		}
+	case core.KindStartSnp:
+		p, ok := payload.(core.StartSnpPayload)
+		if !ok {
+			return m, fmt.Errorf("net: start_snp payload %T", payload)
+		}
+		m.Req = p.Req
+	case core.KindSnp:
+		p, ok := payload.(core.SnpPayload)
+		if !ok {
+			return m, fmt.Errorf("net: snp payload %T", payload)
+		}
+		m.Req, m.Load = p.Req, p.Load
+	case core.KindMasterToSlave:
+		p, ok := payload.(core.MasterToSlavePayload)
+		if !ok {
+			return m, fmt.Errorf("net: master_to_slave payload %T", payload)
+		}
+		m.Load = p.Delta
+	default:
+		return m, fmt.Errorf("net: unknown state kind %d", kind)
+	}
+	return m, nil
+}
+
+// StatePayload reconstructs the core payload value HandleMessage expects
+// (the mechanisms type-assert concrete payload structs).
+func (m *Message) StatePayload() any {
+	switch int(m.Kind) {
+	case core.KindUpdate:
+		return core.UpdatePayload{Load: m.Load}
+	case core.KindMasterToAll:
+		return core.MasterToAllPayload{Assignments: m.Assignments}
+	case core.KindStartSnp:
+		return core.StartSnpPayload{Req: m.Req}
+	case core.KindSnp:
+		return core.SnpPayload{Req: m.Req, Load: m.Load}
+	case core.KindMasterToSlave:
+		return core.MasterToSlavePayload{Delta: m.Load}
+	}
+	return nil // no_more_master, end_snp
+}
+
+// Codec turns Messages into frame bodies and back. Implementations must
+// be safe for concurrent use (one encoder per peer writer, one decoder
+// per peer reader share the codec value).
+type Codec interface {
+	// Name identifies the codec on the command line ("binary", "json").
+	Name() string
+	// Encode appends the wire form of m to dst and returns the extended
+	// slice.
+	Encode(dst []byte, m Message) ([]byte, error)
+	// Decode parses one message from exactly b; trailing garbage is an
+	// error. It must never panic, whatever b contains.
+	Decode(b []byte) (Message, error)
+}
+
+// NewCodec returns the codec registered under name.
+func NewCodec(name string) (Codec, error) {
+	switch name {
+	case "", "binary":
+		return BinaryCodec{}, nil
+	case "json":
+		return JSONCodec{}, nil
+	}
+	return nil, fmt.Errorf("net: unknown codec %q", name)
+}
+
+// ---- binary codec --------------------------------------------------------
+
+// BinaryCodec is the default compact big-endian encoding. Layout:
+//
+//	type:u8 from:i32 [per-type fields]
+//
+// with loads as core.NumMetrics raw float64 bit patterns and the
+// master_to_all assignment list length-prefixed by a u32.
+type BinaryCodec struct{}
+
+// Name implements Codec.
+func (BinaryCodec) Name() string { return "binary" }
+
+// assignmentSize is the encoded size of one core.Assignment.
+const assignmentSize = 4 + 8*int(core.NumMetrics)
+
+// Encode implements Codec.
+func (BinaryCodec) Encode(dst []byte, m Message) ([]byte, error) {
+	dst = append(dst, byte(m.Type))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.From))
+	switch m.Type {
+	case TypeHello, TypeWorkDone, TypeDone:
+		// header only
+	case TypeWork:
+		dst = appendLoad(dst, m.Load)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(m.Spin))
+	case TypeState:
+		dst = binary.BigEndian.AppendUint32(dst, uint32(m.Kind))
+		switch int(m.Kind) {
+		case core.KindUpdate, core.KindMasterToSlave:
+			dst = appendLoad(dst, m.Load)
+		case core.KindNoMoreMaster, core.KindEndSnp:
+		case core.KindStartSnp:
+			dst = binary.BigEndian.AppendUint32(dst, uint32(m.Req))
+		case core.KindSnp:
+			dst = binary.BigEndian.AppendUint32(dst, uint32(m.Req))
+			dst = appendLoad(dst, m.Load)
+		case core.KindMasterToAll:
+			dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Assignments)))
+			for _, a := range m.Assignments {
+				dst = binary.BigEndian.AppendUint32(dst, uint32(a.Proc))
+				dst = appendLoad(dst, a.Delta)
+			}
+		default:
+			return nil, fmt.Errorf("net: encode: unknown state kind %d", m.Kind)
+		}
+	default:
+		return nil, fmt.Errorf("net: encode: unknown message type %d", m.Type)
+	}
+	return dst, nil
+}
+
+// Decode implements Codec. It is strict: unknown types/kinds, short
+// buffers and trailing bytes are errors, and no input panics.
+func (BinaryCodec) Decode(b []byte) (Message, error) {
+	var m Message
+	r := reader{buf: b}
+	t, err := r.u8()
+	if err != nil {
+		return m, err
+	}
+	m.Type = MsgType(t)
+	if m.From, err = r.i32(); err != nil {
+		return m, err
+	}
+	switch m.Type {
+	case TypeHello, TypeWorkDone, TypeDone:
+	case TypeWork:
+		if m.Load, err = r.load(); err != nil {
+			return m, err
+		}
+		var u uint64
+		if u, err = r.u64(); err != nil {
+			return m, err
+		}
+		m.Spin = int64(u)
+	case TypeState:
+		if m.Kind, err = r.i32(); err != nil {
+			return m, err
+		}
+		switch int(m.Kind) {
+		case core.KindUpdate, core.KindMasterToSlave:
+			if m.Load, err = r.load(); err != nil {
+				return m, err
+			}
+		case core.KindNoMoreMaster, core.KindEndSnp:
+		case core.KindStartSnp:
+			if m.Req, err = r.i32(); err != nil {
+				return m, err
+			}
+		case core.KindSnp:
+			if m.Req, err = r.i32(); err != nil {
+				return m, err
+			}
+			if m.Load, err = r.load(); err != nil {
+				return m, err
+			}
+		case core.KindMasterToAll:
+			n, err := r.i32()
+			if err != nil {
+				return m, err
+			}
+			// Bound the allocation by what the buffer can actually
+			// hold, so a hostile length prefix cannot balloon memory
+			// (divide rather than multiply: n*assignmentSize could
+			// overflow int on 32-bit platforms).
+			if n < 0 || int(n) > (len(r.buf)-r.off)/assignmentSize {
+				return m, fmt.Errorf("net: decode: assignment count %d exceeds frame", n)
+			}
+			if n > 0 {
+				m.Assignments = make([]core.Assignment, n)
+				for i := range m.Assignments {
+					if m.Assignments[i].Proc, err = r.i32(); err != nil {
+						return m, err
+					}
+					if m.Assignments[i].Delta, err = r.load(); err != nil {
+						return m, err
+					}
+				}
+			}
+		default:
+			return m, fmt.Errorf("net: decode: unknown state kind %d", m.Kind)
+		}
+	default:
+		return m, fmt.Errorf("net: decode: unknown message type %d", t)
+	}
+	if r.off != len(r.buf) {
+		return m, fmt.Errorf("net: decode: %d trailing bytes", len(r.buf)-r.off)
+	}
+	return m, nil
+}
+
+func appendLoad(dst []byte, l core.Load) []byte {
+	for _, v := range l {
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// reader is a bounds-checked cursor over a frame body.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) take(n int) ([]byte, error) {
+	if len(r.buf)-r.off < n {
+		return nil, fmt.Errorf("net: decode: truncated frame (need %d bytes at offset %d of %d)", n, r.off, len(r.buf))
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *reader) u8() (byte, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *reader) i32() (int32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return int32(binary.BigEndian.Uint32(b)), nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+func (r *reader) load() (core.Load, error) {
+	var l core.Load
+	for i := range l {
+		u, err := r.u64()
+		if err != nil {
+			return l, err
+		}
+		l[i] = math.Float64frombits(u)
+	}
+	return l, nil
+}
+
+// ---- JSON codec ----------------------------------------------------------
+
+// JSONCodec encodes messages as JSON objects, one per frame — 3-4x the
+// bytes of BinaryCodec but readable in a packet capture; swap it in with
+// `-codec json` when debugging the wire.
+type JSONCodec struct{}
+
+// Name implements Codec.
+func (JSONCodec) Name() string { return "json" }
+
+// Encode implements Codec.
+func (JSONCodec) Encode(dst []byte, m Message) ([]byte, error) {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, b...), nil
+}
+
+// Decode implements Codec.
+func (JSONCodec) Decode(b []byte) (Message, error) {
+	var m Message
+	if err := json.Unmarshal(b, &m); err != nil {
+		return Message{}, err
+	}
+	return m, nil
+}
+
+// ---- framing -------------------------------------------------------------
+
+// MaxFrame bounds a frame body; anything larger is a protocol error
+// (the biggest legitimate message is a master_to_all over every rank).
+const MaxFrame = 1 << 20
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, body []byte) error {
+	if len(body) > MaxFrame {
+		return fmt.Errorf("net: frame of %d bytes exceeds MaxFrame", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame body into buf (growing it as
+// needed) and returns the body slice.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("net: incoming frame of %d bytes exceeds MaxFrame", n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

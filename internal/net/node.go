@@ -1,0 +1,725 @@
+package net
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Options tunes a Node.
+type Options struct {
+	// Codec is the wire codec; nil means BinaryCodec.
+	Codec Codec
+	// DialTimeout bounds the whole mesh-connection phase (default 10s).
+	DialTimeout time.Duration
+	// Logf, when set, receives transport diagnostics (dropped frames,
+	// connection errors during shutdown).
+	Logf func(format string, args ...any)
+	// CloseGrace bounds how long Close waits for peers to half-close
+	// their side before forcing connections shut (default 5s).
+	CloseGrace time.Duration
+}
+
+// inMsg is one item of the prioritized state channel: either a decoded
+// state message or a control closure to run on the node goroutine.
+type inMsg struct {
+	from    int
+	kind    int
+	payload any
+	ctl     func()
+}
+
+// workMsg is one item of the data channel.
+type workMsg struct {
+	from int
+	load core.Load
+	spin time.Duration
+}
+
+// peer is one TCP link. The node with the higher rank dials the lower
+// one, so every unordered pair shares exactly one connection; a reader
+// goroutine decodes inbound frames and a writer goroutine owns the
+// outbound half (per-pair FIFO order, which the snapshot protocol
+// relies on, is therefore preserved end to end).
+type peer struct {
+	rank int
+	conn net.Conn
+	out  chan Message
+}
+
+// TransportStats counts wire-level traffic of one node.
+type TransportStats struct {
+	MsgsIn, MsgsOut   int64
+	BytesIn, BytesOut int64
+	// StateIn counts inbound state-channel messages, WorkIn inbound
+	// work items; the remainder is acks and control traffic.
+	StateIn, WorkIn int64
+}
+
+// Node is one process of a TCP cluster. It mirrors internal/live.Node:
+// a single goroutine owns the mechanism and drains a prioritized
+// state-message channel before touching the data channel; the transport
+// goroutines (one reader and one writer per peer) never call into the
+// mechanism.
+type Node struct {
+	rank, n int
+	exch    core.Exchanger
+	codec   Codec
+	opts    Options
+	start   time.Time
+
+	ln      net.Listener
+	peers   []*peer
+	stateCh chan inMsg
+	dataCh  chan workMsg
+	quit      chan struct{}
+	done      chan struct{} // main loop exited
+	wgReaders sync.WaitGroup
+	wgWriters sync.WaitGroup
+	started   atomic.Bool
+	closing   atomic.Bool
+
+	// executed counts completed work items; outstanding counts work
+	// items this node assigned that have not been acknowledged yet;
+	// assigned counts work items ever assigned by this node;
+	// donesReceived counts TypeDone announcements from peers.
+	executed      atomic.Int64
+	outstanding   atomic.Int64
+	assigned      atomic.Int64
+	donesReceived atomic.Int64
+
+	msgsIn, msgsOut   atomic.Int64
+	bytesIn, bytesOut atomic.Int64
+	stateIn, workIn   atomic.Int64
+}
+
+// NewNode creates a node of rank within n processes running mech. The
+// node is inert until Listen and Start are called.
+func NewNode(rank, n int, mech core.Mech, cfg core.Config, opts Options) (*Node, error) {
+	if rank < 0 || rank >= n {
+		return nil, fmt.Errorf("net: rank %d out of range [0,%d)", rank, n)
+	}
+	exch, err := core.New(mech, n, rank, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Codec == nil {
+		opts.Codec = BinaryCodec{}
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 10 * time.Second
+	}
+	if opts.CloseGrace <= 0 {
+		opts.CloseGrace = 5 * time.Second
+	}
+	return &Node{
+		rank: rank, n: n,
+		exch:    exch,
+		codec:   opts.Codec,
+		opts:    opts,
+		start:   time.Now(),
+		peers:   make([]*peer, n),
+		stateCh: make(chan inMsg, 1<<16),
+		dataCh:  make(chan workMsg, 1<<12),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// Rank returns the node's rank.
+func (nd *Node) Rank() int { return nd.rank }
+
+// Listen binds the node's listener and returns the concrete address
+// (resolve ephemeral ports by passing "127.0.0.1:0").
+func (nd *Node) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	nd.ln = ln
+	return ln.Addr().String(), nil
+}
+
+// Start connects the mesh and launches the node goroutines. addrs lists
+// every rank's listen address (the entry for this rank is ignored). The
+// node dials every lower rank and accepts a connection from every
+// higher rank, identified by a Hello frame, so each pair ends up with
+// exactly one connection.
+func (nd *Node) Start(addrs []string) error {
+	if nd.ln == nil {
+		return fmt.Errorf("net: Start before Listen")
+	}
+	if len(addrs) != nd.n {
+		return fmt.Errorf("net: %d addresses for %d ranks", len(addrs), nd.n)
+	}
+	deadline := time.Now().Add(nd.opts.DialTimeout)
+
+	type accepted struct {
+		rank int
+		conn net.Conn
+		err  error
+	}
+	expect := nd.n - 1 - nd.rank
+	acceptCh := make(chan accepted, expect)
+	for i := 0; i < expect; i++ {
+		go func() {
+			conn, err := nd.ln.Accept()
+			if err != nil {
+				acceptCh <- accepted{err: err}
+				return
+			}
+			conn.SetReadDeadline(deadline)
+			// Read the hello frame straight off the conn: ReadFrame uses
+			// io.ReadFull, so it cannot over-read into the peer's next
+			// frame (a buffered reader here would swallow those bytes —
+			// the peer may already be streaming state messages).
+			body, err := ReadFrame(conn, nil)
+			if err == nil {
+				var m Message
+				m, err = nd.codec.Decode(body)
+				if err == nil && m.Type != TypeHello {
+					err = fmt.Errorf("net: expected hello, got %s", m.Type)
+				}
+				if err == nil {
+					conn.SetReadDeadline(time.Time{})
+					acceptCh <- accepted{rank: int(m.From), conn: conn}
+					return
+				}
+			}
+			conn.Close()
+			acceptCh <- accepted{err: err}
+		}()
+	}
+
+	consumed := 0
+	fail := func(err error) error {
+		for _, p := range nd.peers {
+			if p != nil {
+				p.conn.Close()
+			}
+		}
+		nd.ln.Close()
+		// The accept goroutines post exactly expect results; close any
+		// connection still parked (or about to land) in the buffer.
+		go func(pending int) {
+			for i := 0; i < pending; i++ {
+				if a := <-acceptCh; a.conn != nil {
+					a.conn.Close()
+				}
+			}
+		}(expect - consumed)
+		return err
+	}
+
+	// Dial every lower rank, retrying briefly: with the loadex stdio
+	// handshake everyone is already listening, but a raw deployment may
+	// start ranks in any order.
+	for s := 0; s < nd.rank; s++ {
+		var conn net.Conn
+		var err error
+		for {
+			d := net.Dialer{Deadline: deadline}
+			conn, err = d.Dial("tcp", addrs[s])
+			if err == nil || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if err != nil {
+			return fail(fmt.Errorf("net: rank %d dialing rank %d: %w", nd.rank, s, err))
+		}
+		hello, err := nd.codec.Encode(nil, Message{Type: TypeHello, From: int32(nd.rank)})
+		if err != nil {
+			conn.Close()
+			return fail(err)
+		}
+		if err := WriteFrame(conn, hello); err != nil {
+			conn.Close()
+			return fail(fmt.Errorf("net: rank %d hello to rank %d: %w", nd.rank, s, err))
+		}
+		nd.peers[s] = &peer{rank: s, conn: conn, out: make(chan Message, 1<<14)}
+	}
+
+	for i := 0; i < expect; i++ {
+		a := <-acceptCh
+		consumed++
+		if a.err != nil {
+			return fail(fmt.Errorf("net: rank %d accepting: %w", nd.rank, a.err))
+		}
+		if a.rank <= nd.rank || a.rank >= nd.n || nd.peers[a.rank] != nil {
+			a.conn.Close()
+			return fail(fmt.Errorf("net: rank %d got hello from unexpected rank %d", nd.rank, a.rank))
+		}
+		nd.peers[a.rank] = &peer{rank: a.rank, conn: a.conn, out: make(chan Message, 1<<14)}
+	}
+
+	nd.exch.Init(nodeCtx{nd}, core.Load{})
+	for _, p := range nd.peers {
+		if p == nil {
+			continue
+		}
+		nd.wgReaders.Add(1)
+		nd.wgWriters.Add(1)
+		go nd.readLoop(p)
+		go nd.writeLoop(p)
+	}
+	nd.started.Store(true)
+	go nd.run()
+	return nil
+}
+
+// readLoop decodes inbound frames from one peer and routes them. After
+// Close begins it keeps draining (and discarding) until the peer's EOF:
+// closing the socket with unread inbound data would RST the connection
+// and could destroy our own final frames — a Done announcement — in the
+// peer's receive buffer.
+func (nd *Node) readLoop(p *peer) {
+	defer nd.wgReaders.Done()
+	br := bufio.NewReaderSize(p.conn, 1<<16)
+	var buf []byte
+	for {
+		body, err := ReadFrame(br, buf)
+		if err != nil {
+			// EOF is a peer's orderly shutdown, not a fault; anything
+			// else severs the link, so the peer fails fast instead of
+			// blocking on a socket nobody reads.
+			if !nd.closing.Load() && err != io.EOF {
+				nd.logf("net: rank %d read from %d: %v", nd.rank, p.rank, err)
+				p.conn.Close()
+			}
+			return
+		}
+		buf = body
+		m, err := nd.codec.Decode(body)
+		if err != nil {
+			nd.logf("net: rank %d bad frame from %d: %v", nd.rank, p.rank, err)
+			p.conn.Close()
+			return
+		}
+		if nd.closing.Load() {
+			continue // draining toward EOF; the node is gone
+		}
+		nd.msgsIn.Add(1)
+		nd.bytesIn.Add(int64(len(body)) + 4)
+		// Rank fields index views and peer tables downstream; a frame
+		// that decodes but carries an out-of-range rank is as hostile
+		// as one that does not decode.
+		if !nd.validRanks(&m) {
+			nd.logf("net: rank %d frame with out-of-range rank from %d: %+v", nd.rank, p.rank, m)
+			p.conn.Close()
+			return
+		}
+		switch m.Type {
+		case TypeState:
+			nd.stateIn.Add(1)
+			select {
+			case nd.stateCh <- inMsg{from: int(m.From), kind: int(m.Kind), payload: m.StatePayload()}:
+			case <-nd.quit:
+				return
+			}
+		case TypeWork:
+			nd.workIn.Add(1)
+			select {
+			case nd.dataCh <- workMsg{from: int(m.From), load: m.Load, spin: time.Duration(m.Spin)}:
+			case <-nd.quit:
+				return
+			}
+		case TypeWorkDone:
+			nd.outstanding.Add(-1)
+		case TypeDone:
+			nd.donesReceived.Add(1)
+		default:
+			nd.logf("net: rank %d unexpected %s from %d", nd.rank, m.Type, p.rank)
+		}
+	}
+}
+
+// validRanks reports whether every rank a message carries is a usable
+// process index.
+func (nd *Node) validRanks(m *Message) bool {
+	if m.From < 0 || int(m.From) >= nd.n || int(m.From) == nd.rank {
+		return false
+	}
+	for _, a := range m.Assignments {
+		if a.Proc < 0 || int(a.Proc) >= nd.n {
+			return false
+		}
+	}
+	return true
+}
+
+// writeLoop encodes and writes one peer's outbound messages, flushing
+// when the queue momentarily empties.
+func (nd *Node) writeLoop(p *peer) {
+	defer nd.wgWriters.Done()
+	bw := bufio.NewWriterSize(p.conn, 1<<16)
+	var buf []byte
+	send := func(m Message) bool {
+		body, err := nd.codec.Encode(buf[:0], m)
+		if err != nil {
+			nd.logf("net: rank %d encode for %d: %v", nd.rank, p.rank, err)
+			return false
+		}
+		buf = body
+		if err := WriteFrame(bw, body); err != nil {
+			if !nd.closing.Load() {
+				nd.logf("net: rank %d write to %d: %v", nd.rank, p.rank, err)
+			}
+			return false
+		}
+		nd.msgsOut.Add(1)
+		nd.bytesOut.Add(int64(len(body)) + 4)
+		return true
+	}
+	for {
+		select {
+		case m := <-p.out:
+			if !send(m) {
+				return
+			}
+			// Drain without flushing while more is queued.
+			for {
+				select {
+				case m := <-p.out:
+					if !send(m) {
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			if err := bw.Flush(); err != nil {
+				if !nd.closing.Load() {
+					nd.logf("net: rank %d flush to %d: %v", nd.rank, p.rank, err)
+				}
+				return
+			}
+		case <-nd.quit:
+			// Flush what was queued before shutdown (a master's final
+			// Done announcement, trailing acks); post() stops producing
+			// once quit is closed, so this drain is bounded.
+			for {
+				select {
+				case m := <-p.out:
+					if !send(m) {
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			bw.Flush()
+			return
+		}
+	}
+}
+
+// post enqueues a message for one peer, blocking (with shutdown escape)
+// if the peer's queue is full — backpressure rather than unbounded
+// buffering.
+func (nd *Node) post(to int, m Message) {
+	p := nd.peers[to]
+	if p == nil {
+		nd.logf("net: rank %d send to unconnected rank %d", nd.rank, to)
+		return
+	}
+	select {
+	case p.out <- m:
+	case <-nd.quit:
+	}
+}
+
+// nodeCtx adapts the node to core.Context. Only the node goroutine uses
+// it.
+type nodeCtx struct{ nd *Node }
+
+func (c nodeCtx) Rank() int    { return c.nd.rank }
+func (c nodeCtx) N() int       { return c.nd.n }
+func (c nodeCtx) Now() float64 { return time.Since(c.nd.start).Seconds() }
+
+func (c nodeCtx) Send(to int, kind int, payload any, bytes float64) {
+	if to == c.nd.rank {
+		// Mechanisms never self-send; deliver locally just in case.
+		c.nd.stateCh <- inMsg{from: to, kind: kind, payload: payload}
+		return
+	}
+	m, err := StateMessage(c.nd.rank, kind, payload)
+	if err != nil {
+		panic(err) // a core payload the codec cannot carry is a programming error
+	}
+	c.nd.post(to, m)
+}
+
+func (c nodeCtx) Broadcast(kind int, payload any, bytes float64) {
+	for to := 0; to < c.nd.n; to++ {
+		if to != c.nd.rank {
+			c.Send(to, kind, payload, bytes)
+		}
+	}
+}
+
+// run is the node main loop — Algorithm 1 with a prioritized state
+// channel, identical in structure to internal/live.
+func (nd *Node) run() {
+	defer close(nd.done)
+	for {
+		// Priority 1: drain state-information messages.
+		for {
+			select {
+			case m := <-nd.stateCh:
+				nd.handle(m)
+				continue
+			default:
+			}
+			break
+		}
+		if nd.exch.Busy() {
+			// Snapshot in progress: treat only state messages.
+			select {
+			case m := <-nd.stateCh:
+				nd.handle(m)
+			case <-nd.quit:
+				return
+			}
+			continue
+		}
+		select {
+		case m := <-nd.stateCh:
+			nd.handle(m)
+		case w := <-nd.dataCh:
+			nd.execute(w)
+		case <-nd.quit:
+			return
+		}
+	}
+}
+
+func (nd *Node) handle(m inMsg) {
+	if m.ctl != nil {
+		m.ctl()
+		return
+	}
+	nd.exch.HandleMessage(nodeCtx{nd}, m.from, m.kind, m.payload)
+}
+
+// execute performs one work item and acknowledges it to the assigner.
+func (nd *Node) execute(w workMsg) {
+	c := nodeCtx{nd}
+	nd.exch.LocalChange(c, w.load, true)
+	if w.spin > 0 {
+		time.Sleep(w.spin)
+	}
+	neg := w.load
+	for i := range neg {
+		neg[i] = -neg[i]
+	}
+	nd.exch.LocalChange(c, neg, true)
+	nd.executed.Add(1)
+	nd.post(w.from, Message{Type: TypeWorkDone, From: int32(nd.rank)})
+}
+
+// Invoke runs fn on the node goroutine (where the mechanism may be
+// touched) and waits for it to finish.
+func (nd *Node) Invoke(fn func(ctx core.Context, exch core.Exchanger)) {
+	done := make(chan struct{})
+	select {
+	case nd.stateCh <- inMsg{ctl: func() {
+		fn(nodeCtx{nd}, nd.exch)
+		close(done)
+	}}:
+	case <-nd.done:
+		return // node already stopped
+	}
+	select {
+	case <-done:
+	case <-nd.done:
+	}
+}
+
+// AssignWork ships one work item to rank `to` and counts it
+// outstanding until the execution acknowledgment returns. Must be
+// called from the node goroutine (inside Invoke).
+func (nd *Node) AssignWork(to int, load core.Load, spin time.Duration) {
+	nd.outstanding.Add(1)
+	nd.post(to, Message{Type: TypeWork, From: int32(nd.rank), Load: load, Spin: int64(spin)})
+}
+
+// Decide performs one dynamic decision on this node: acquire a coherent
+// view, select the `slaves` least-loaded peers per that view, commit
+// the reservation and ship equal work shares over TCP. It blocks until
+// the decision completed (for the snapshot mechanism, until the
+// snapshot finished) and returns the record the equivalence tests
+// check. Decisions on one node must not overlap; concurrent decisions
+// on different nodes are the point.
+func (nd *Node) Decide(totalWork float64, slaves int, spin time.Duration) (core.Decision, error) {
+	dec := core.Decision{Master: nd.rank}
+	done := make(chan struct{})
+	nd.Invoke(func(ctx core.Context, exch core.Exchanger) {
+		exch.Acquire(ctx, func() {
+			dec = core.PlanDecision(exch.View(), nd.rank, slaves, totalWork)
+			// The cumulative counter leads Commit: any snapshot cut that
+			// observed this decision's credits is covered by a later
+			// read of Assigned() (the conservation tests rely on it).
+			nd.assigned.Add(int64(len(dec.Assignments)))
+			exch.Commit(ctx, dec.Assignments)
+			for _, a := range dec.Assignments {
+				nd.AssignWork(int(a.Proc), a.Delta, spin)
+			}
+			close(done)
+		})
+	})
+	select {
+	case <-done:
+	case <-nd.done:
+		return dec, fmt.Errorf("net: node %d stopped during decision", nd.rank)
+	}
+	return dec, nil
+}
+
+// AcquireView runs one full view acquisition — a snapshot, for the
+// snapshot mechanism — committing no assignment, and returns the
+// coherent view.
+func (nd *Node) AcquireView() ([]core.Load, error) {
+	var view []core.Load
+	done := make(chan struct{})
+	nd.Invoke(func(ctx core.Context, exch core.Exchanger) {
+		exch.Acquire(ctx, func() {
+			view = exch.View().Snapshot()
+			exch.Commit(ctx, nil)
+			close(done)
+		})
+	})
+	select {
+	case <-done:
+	case <-nd.done:
+		return nil, fmt.Errorf("net: node %d stopped during acquire", nd.rank)
+	}
+	return view, nil
+}
+
+// DrainOwn waits until every work item this node assigned has been
+// acknowledged — the node's share of cluster quiescence.
+func (nd *Node) DrainOwn(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for nd.outstanding.Load() > 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("net: rank %d: %d work items still outstanding", nd.rank, nd.outstanding.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// AnnounceDone broadcasts this node's Done announcement (its decisions
+// are taken and drained); peers observe it through DonesReceived.
+func (nd *Node) AnnounceDone() {
+	for to := 0; to < nd.n; to++ {
+		if to != nd.rank {
+			nd.post(to, Message{Type: TypeDone, From: int32(nd.rank)})
+		}
+	}
+}
+
+// DonesReceived returns how many Done announcements arrived.
+func (nd *Node) DonesReceived() int64 { return nd.donesReceived.Load() }
+
+// Executed returns how many work items this node completed.
+func (nd *Node) Executed() int64 { return nd.executed.Load() }
+
+// Assigned returns how many work items this node ever assigned.
+func (nd *Node) Assigned() int64 { return nd.assigned.Load() }
+
+// Outstanding returns how many work items assigned by this node are
+// still unacknowledged.
+func (nd *Node) Outstanding() int64 { return nd.outstanding.Load() }
+
+// ViewSnapshot returns a copy of the node's current estimates, obtained
+// on the node goroutine (safe at any time after Start).
+func (nd *Node) ViewSnapshot() []core.Load {
+	var out []core.Load
+	nd.Invoke(func(_ core.Context, exch core.Exchanger) {
+		out = exch.View().Snapshot()
+	})
+	return out
+}
+
+// MechStats returns the mechanism counters (on the node goroutine).
+func (nd *Node) MechStats() core.Stats {
+	var st core.Stats
+	nd.Invoke(func(_ core.Context, exch core.Exchanger) {
+		st = exch.Stats()
+	})
+	return st
+}
+
+// Transport returns the wire-level counters.
+func (nd *Node) Transport() TransportStats {
+	return TransportStats{
+		MsgsIn:   nd.msgsIn.Load(),
+		MsgsOut:  nd.msgsOut.Load(),
+		BytesIn:  nd.bytesIn.Load(),
+		BytesOut: nd.bytesOut.Load(),
+		StateIn:  nd.stateIn.Load(),
+		WorkIn:   nd.workIn.Load(),
+	}
+}
+
+// Close shuts the node down gracefully: the main loop stops, writers
+// flush everything queued (including a final Done announcement), the
+// write side of every connection is half-closed (FIN), and readers
+// drain until the peer's own FIN — so nothing this node sent can be
+// destroyed by a reset. A peer that never half-closes is forced shut
+// after CloseGrace. Nodes of a cluster must close concurrently, not
+// sequentially: each waits for the others' FINs.
+func (nd *Node) Close() error {
+	if !nd.closing.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(nd.quit)
+	if nd.started.Load() {
+		<-nd.done
+	} else {
+		// The run loop never started, so nothing else will close done;
+		// close it here so a late Invoke returns instead of blocking.
+		close(nd.done)
+	}
+	if nd.ln != nil {
+		nd.ln.Close()
+	}
+	nd.wgWriters.Wait() // writers have drained their queues and flushed
+	for _, p := range nd.peers {
+		if p != nil {
+			if tc, ok := p.conn.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+		}
+	}
+	drained := make(chan struct{})
+	go func() { nd.wgReaders.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-time.After(nd.opts.CloseGrace):
+		nd.logf("net: rank %d forcing connections shut after %s", nd.rank, nd.opts.CloseGrace)
+	}
+	for _, p := range nd.peers {
+		if p != nil {
+			p.conn.Close()
+		}
+	}
+	nd.wgReaders.Wait()
+	return nil
+}
+
+func (nd *Node) logf(format string, args ...any) {
+	if nd.opts.Logf != nil {
+		nd.opts.Logf(format, args...)
+	}
+}
