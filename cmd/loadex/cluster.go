@@ -1,14 +1,16 @@
 package main
 
-// loadex cluster: run the quickstart-style master/slave workload over a
-// real localhost TCP cluster and report per-mechanism message and
-// selection statistics.
+// loadex cluster: run a registered workload scenario over a real
+// localhost TCP cluster and report per-rank message and selection
+// statistics.
 //
 // By default the command forks one `loadex node` process per rank (the
 // binary re-executes itself), wires them through the ADDR/PEERS stdio
 // handshake and aggregates each node's STATS line. With -inproc the
 // same nodes run as goroutines inside this process — same sockets, no
-// fork — which is what CI uses.
+// fork — which is what CI uses. The scenario × mechanism × runtime
+// matrix lives in `loadex run`; cluster is the per-rank TCP view of one
+// scenario.
 
 import (
 	"bufio"
@@ -20,12 +22,11 @@ import (
 	"os/exec"
 	"strconv"
 	"strings"
-	"sync"
 	"text/tabwriter"
-	"time"
 
 	"repro/internal/core"
 	xnet "repro/internal/net"
+	"repro/internal/workload"
 )
 
 func runCluster(args []string) error {
@@ -43,89 +44,72 @@ func runCluster(args []string) error {
 	if p.masters > p.procs {
 		p.masters = p.procs
 	}
-	if err := p.validate(); err != nil {
+	if err := p.validate(true); err != nil {
 		return err
 	}
 	mechs := []string{p.mech}
 	if p.mech == "all" {
-		mechs = nil
-		for _, m := range core.Mechanisms() {
-			mechs = append(mechs, string(m))
-		}
+		mechs = mechNames()
 	}
-	for _, mech := range mechs {
-		// Fail here rather than as a cryptic handshake error after the
-		// fork.
-		if _, err := core.New(core.Mech(mech), 2, 0, core.Config{}); err != nil {
-			return err
-		}
+	scenarios := []string{p.scenario}
+	if p.scenario == "all" {
+		scenarios = workload.Names()
 	}
-	for _, mech := range mechs {
-		q := p
-		q.mech = mech
-		var (
-			stats []nodeStats
-			err   error
-		)
-		if *inproc {
-			stats, err = runClusterInProc(&q)
-		} else {
-			stats, err = runClusterForked(&q)
+	for _, scenario := range scenarios {
+		for _, mech := range mechs {
+			q := p
+			q.scenario, q.mech = scenario, mech
+			var (
+				stats []nodeStats
+				err   error
+			)
+			if *inproc {
+				stats, err = runClusterInProc(&q)
+			} else {
+				stats, err = runClusterForked(&q)
+			}
+			if err != nil {
+				return fmt.Errorf("scenario %s, mechanism %s: %w", scenario, mech, err)
+			}
+			writeClusterReport(os.Stdout, &q, *inproc, stats)
 		}
-		if err != nil {
-			return fmt.Errorf("mechanism %s: %w", mech, err)
-		}
-		writeClusterReport(os.Stdout, &q, *inproc, stats)
 	}
 	return nil
 }
 
-// runClusterInProc drives the workload on an in-process TCP cluster.
+// runClusterInProc compiles the scenario and drives it on an in-process
+// TCP cluster, keeping the per-rank transport counters the report
+// needs.
 func runClusterInProc(p *nodeParams) ([]nodeStats, error) {
+	progs, err := p.programs()
+	if err != nil {
+		return nil, err
+	}
 	codec, err := xnet.NewCodec(p.codec)
 	if err != nil {
 		return nil, err
 	}
-	cl, err := xnet.NewCluster(p.procs, core.Mech(p.mech), p.config(), xnet.Options{Codec: codec})
+	mech := core.Mech(p.mech)
+	cl, err := xnet.NewCluster(len(progs), mech, p.config(), xnet.ProgramOptions(xnet.Options{Codec: codec}, progs))
 	if err != nil {
 		return nil, err
 	}
 	defer cl.Stop()
-	var wg sync.WaitGroup
-	errs := make([]error, p.masters)
-	for m := 0; m < p.masters; m++ {
-		wg.Add(1)
-		go func(m int) {
-			defer wg.Done()
-			for i := 0; i < p.decisions; i++ {
-				if err := cl.Decide(m, p.work, p.slaves, p.spin); err != nil {
-					errs[m] = err
-					return
-				}
-			}
-		}(m)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	if err := cl.Drain(60 * time.Second); err != nil {
+	rep, err := workload.DriveCluster(cl, mech, progs, p.driveOptions())
+	if err != nil {
 		return nil, err
 	}
-	time.Sleep(p.settle)
-	stats := make([]nodeStats, p.procs)
-	for r := 0; r < p.procs; r++ {
+	stats := make([]nodeStats, len(progs))
+	for r := range stats {
 		stats[r] = nodeStats{
 			Rank:      r,
-			Executed:  cl.Executed(r),
-			Mech:      cl.Stats(r),
+			Executed:  rep.Executed[r],
+			Mech:      rep.Stats[r],
 			Transport: cl.Transport(r),
 		}
-		if r < p.masters {
-			stats[r].Decisions = p.decisions
-		}
+	}
+	for _, rec := range rep.Records {
+		stats[rec.Master].Decisions++
 	}
 	return stats, nil
 }
@@ -156,6 +140,7 @@ func runClusterForked(p *nodeParams) ([]nodeStats, error) {
 		cmd := exec.Command(exe, "node",
 			"-rank", strconv.Itoa(r),
 			"-n", strconv.Itoa(p.procs),
+			"-scenario", p.scenario,
 			"-mech", p.mech,
 			"-threshold", fmt.Sprint(p.threshold),
 			"-nomore="+strconv.FormatBool(p.noMore),
@@ -237,16 +222,16 @@ func scanPrefix(sc *bufio.Scanner, prefix string) (string, error) {
 	return "", fmt.Errorf("stream ended before %q line", strings.TrimSpace(prefix))
 }
 
-// writeClusterReport prints the per-mechanism table the paper-style
+// writeClusterReport prints the per-rank table the paper-style
 // experiments report: selections, mechanism messages, wire traffic.
 func writeClusterReport(w io.Writer, p *nodeParams, inproc bool, stats []nodeStats) {
 	mode := "forked processes"
 	if inproc {
 		mode = "in-process"
 	}
-	fmt.Fprintf(w, "== mechanism: %s — %d procs over localhost TCP (%s, codec %s) ==\n",
-		p.mech, p.procs, mode, p.codec)
-	fmt.Fprintf(w, "workload: %d masters × %d decisions × %g work units over %d least-loaded slaves (spin %s)\n",
+	fmt.Fprintf(w, "== scenario %s × mechanism %s — %d procs over localhost TCP (%s, codec %s) ==\n",
+		p.scenario, p.mech, p.procs, mode, p.codec)
+	fmt.Fprintf(w, "base workload: %d masters × %d decisions × %g work units over %d least-loaded slaves (spin %s)\n",
 		p.masters, p.decisions, p.work, p.slaves, p.spin)
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
 	fmt.Fprintln(tw, "rank\texecuted\tdecisions\tupdates\treservations\tsnapshots\trestarts\tstate_in\tmsgs_in\tmsgs_out\tbytes_in\tbytes_out")

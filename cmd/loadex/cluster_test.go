@@ -4,17 +4,24 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
 )
 
+func testParams(scenario, mech string) nodeParams {
+	return nodeParams{
+		procs: 5, scenario: scenario, mech: mech, threshold: 5, noMore: true, codec: "binary",
+		masters: 2, decisions: 2, work: 60, slaves: 2,
+		spin: 100 * time.Microsecond, settle: 10 * time.Millisecond,
+	}
+}
+
 func TestClusterInProcAllMechanisms(t *testing.T) {
-	for _, mech := range []string{"naive", "increments", "snapshot"} {
+	for _, mech := range mechNames() {
 		mech := mech
 		t.Run(mech, func(t *testing.T) {
-			p := nodeParams{
-				procs: 5, mech: mech, threshold: 5, noMore: true, codec: "binary",
-				masters: 2, decisions: 2, work: 60, slaves: 2,
-				spin: 100 * time.Microsecond, settle: 10 * time.Millisecond,
-			}
+			p := testParams("quickstart", mech)
 			stats, err := runClusterInProc(&p)
 			if err != nil {
 				t.Fatal(err)
@@ -32,7 +39,7 @@ func TestClusterInProcAllMechanisms(t *testing.T) {
 			}
 			var report strings.Builder
 			writeClusterReport(&report, &p, true, stats)
-			for _, want := range []string{"mechanism: " + mech, "quiescent"} {
+			for _, want := range []string{"mechanism " + mech, "scenario quickstart", "quiescent"} {
 				if !strings.Contains(report.String(), want) {
 					t.Fatalf("report missing %q:\n%s", want, report.String())
 				}
@@ -41,19 +48,108 @@ func TestClusterInProcAllMechanisms(t *testing.T) {
 	}
 }
 
+// TestClusterInProcScenarios smokes the non-default scenarios over real
+// in-process TCP under one mechanism each.
+func TestClusterInProcScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP scenario sweep")
+	}
+	for _, tc := range []struct{ scenario, mech string }{
+		{"burst", "increments"},
+		{"ramp", "naive"},
+		{"hetero", "snapshot"},
+		{"straggler", "snapshot"},
+	} {
+		tc := tc
+		t.Run(tc.scenario, func(t *testing.T) {
+			p := testParams(tc.scenario, tc.mech)
+			stats, err := runClusterInProc(&p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var decisions int
+			for _, s := range stats {
+				decisions += s.Decisions
+			}
+			if decisions == 0 {
+				t.Fatalf("scenario %s took no decisions", tc.scenario)
+			}
+		})
+	}
+}
+
 func TestNodeParamsValidate(t *testing.T) {
-	good := nodeParams{procs: 4, masters: 2, slaves: 1}
-	if err := good.validate(); err != nil {
+	good := testParams("quickstart", "snapshot")
+	if err := good.validate(false); err != nil {
 		t.Fatal(err)
 	}
-	for _, bad := range []nodeParams{
-		{procs: 1, masters: 1, slaves: 1},
-		{procs: 4, masters: 0, slaves: 1},
-		{procs: 4, masters: 5, slaves: 1},
-		{procs: 4, masters: 2, slaves: 0},
-	} {
-		if err := bad.validate(); err == nil {
-			t.Fatalf("params %+v validated", bad)
+	matrix := testParams("all", "all")
+	if err := matrix.validate(true); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := []struct {
+		mutate  func(*nodeParams)
+		mention string
+	}{
+		{func(p *nodeParams) { p.procs = 1 }, "at least 2 processes"},
+		{func(p *nodeParams) { p.masters = 0 }, "masters"},
+		{func(p *nodeParams) { p.masters = 9 }, "masters"},
+		{func(p *nodeParams) { p.slaves = 0 }, "slave"},
+		{func(p *nodeParams) { p.decisions = 0 }, "decision"},
+		{func(p *nodeParams) { p.mech = "gossip" }, "unknown mechanism"},
+		{func(p *nodeParams) { p.scenario = "nope" }, "unknown scenario"},
+		{func(p *nodeParams) { p.codec = "xml" }, "unknown codec"},
+	}
+	for _, tc := range bad {
+		p := testParams("quickstart", "snapshot")
+		tc.mutate(&p)
+		err := p.validate(false)
+		if err == nil {
+			t.Fatalf("params %+v validated", p)
+		}
+		if !strings.Contains(err.Error(), tc.mention) {
+			t.Errorf("error %q does not mention %q", err, tc.mention)
+		}
+	}
+
+	// Unknown-name errors must list the registered names so the usage
+	// message is self-updating.
+	p := testParams("nope", "snapshot")
+	err := p.validate(false)
+	if err == nil || !strings.Contains(err.Error(), "quickstart") {
+		t.Errorf("unknown-scenario error %v does not list registered scenarios", err)
+	}
+	p = testParams("quickstart", "gossip")
+	err = p.validate(false)
+	if err == nil || !strings.Contains(err.Error(), "snapshot") {
+		t.Errorf("unknown-mechanism error %v does not list registered mechanisms", err)
+	}
+	// "all" is a matrix-only value.
+	p = testParams("all", "snapshot")
+	if err := p.validate(false); err == nil {
+		t.Error("-scenario all validated for a single node")
+	}
+}
+
+// TestRunCellSim drives every scenario × mechanism cell through the
+// deterministic sim runtime — the `loadex run` hot path without
+// sockets.
+func TestRunCellSim(t *testing.T) {
+	p := testParams("quickstart", "snapshot")
+	for _, scenario := range workload.Names() {
+		for _, mech := range core.Mechanisms() {
+			rep, err := runCell(scenario, mech, "sim", false, &p)
+			if err != nil {
+				t.Fatalf("%s × %s: %v", scenario, mech, err)
+			}
+			if rep.DecisionsTaken == 0 || rep.TotalExecuted() == 0 {
+				t.Errorf("%s × %s: empty report (%d decisions, %d executed)",
+					scenario, mech, rep.DecisionsTaken, rep.TotalExecuted())
+			}
+			if rep.Runtime != "sim" || rep.Scenario != scenario {
+				t.Errorf("%s × %s: mislabeled report %s/%s", scenario, mech, rep.Scenario, rep.Runtime)
+			}
 		}
 	}
 }

@@ -14,12 +14,14 @@
 //	             apply on top)
 //	-seed n      generator seed (default 1)
 //
-// Besides the experiment tables, two subcommands run the mechanisms
-// over real localhost TCP (internal/net):
+// Besides the experiment tables, three subcommands run registered
+// workload scenarios (internal/workload) on the runtimes:
 //
-//	loadex cluster [-procs n] [-mech m] [...]   fork an n-process cluster,
-//	                                            run the quickstart workload,
-//	                                            report per-mechanism stats
+//	loadex run     [-scenario s] [-mech m] [-runtime r]   the scenario ×
+//	               mechanism × runtime matrix ("all" fans any axis out)
+//	loadex cluster [-procs n] [-mech m] [...]   fork an n-process TCP
+//	                                            cluster, run one scenario,
+//	                                            report per-rank stats
 //	loadex node    [-rank r] [...]              one cluster process
 //	                                            (normally forked by cluster)
 package main
@@ -28,9 +30,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -45,6 +49,12 @@ func main() {
 		case "cluster":
 			if err := runCluster(os.Args[2:]); err != nil {
 				fmt.Fprintln(os.Stderr, "loadex cluster:", err)
+				os.Exit(1)
+			}
+			return
+		case "run":
+			if err := runRun(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "loadex run:", err)
 				os.Exit(1)
 			}
 			return
@@ -171,6 +181,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: loadex [-scale f] [-seed n] <table1|table3|table4|table5|table6|table7|fig1|fig2|ablations|all>")
-	fmt.Fprintln(os.Stderr, "       loadex cluster [-procs n] [-mech naive|increments|snapshot|all] [-inproc] ...")
-	fmt.Fprintln(os.Stderr, "       loadex node -rank r -n procs [-mech m] ...   (normally forked by cluster)")
+	fmt.Fprintf(os.Stderr, "       loadex run [-scenario %s|all] [-mech %s|all] [-runtime sim|live|net|all] [-inproc] ...\n",
+		strings.Join(workload.Names(), "|"), strings.Join(mechNames(), "|"))
+	fmt.Fprintln(os.Stderr, "       loadex cluster [-procs n] [-scenario s] [-mech m|all] [-inproc] ...")
+	fmt.Fprintln(os.Stderr, "       loadex node -rank r -n procs [-scenario s] [-mech m] ...   (normally forked by cluster)")
 }

@@ -1,17 +1,18 @@
 package main
 
 // loadex node: one process of a TCP cluster. Normally forked by
-// `loadex cluster`, which drives the stdio handshake:
+// `loadex cluster` / `loadex run -runtime net`, which drive the stdio
+// handshake:
 //
 //	node   → parent:  ADDR <rank> <host:port>   (after binding)
 //	parent → node:    PEERS <addr0>,<addr1>,…   (once all ranks bound)
 //	node   → parent:  STATS <json>              (after quiescence)
 //
-// A node whose rank is below -masters takes -decisions dynamic
-// decisions, each distributing -work units over the -slaves least-loaded
-// peers per its coherent view. Masters announce Done after draining
-// their own assignments; every node exits once all masters announced,
-// plus a settle delay for trailing state messages.
+// Every rank compiles the scenario's per-rank programs locally
+// (deterministic in the shared flags), walks its own program, drains
+// the work it assigned and announces Done; the cluster is quiescent
+// once every rank's announcement arrived, plus a settle delay for
+// trailing state messages.
 
 import (
 	"bufio"
@@ -24,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	xnet "repro/internal/net"
+	"repro/internal/workload"
 )
 
 // nodeStats is the per-rank report a node prints and the cluster parent
@@ -36,10 +38,11 @@ type nodeStats struct {
 	Transport xnet.TransportStats `json:"transport"`
 }
 
-// nodeParams collects the workload flags shared by `loadex node` and
-// `loadex cluster`.
+// nodeParams collects the scenario-shaping flags shared by `loadex
+// node`, `loadex cluster` and `loadex run`.
 type nodeParams struct {
 	procs     int
+	scenario  string
 	mech      string
 	threshold float64
 	noMore    bool
@@ -54,16 +57,28 @@ type nodeParams struct {
 
 func (p *nodeParams) register(fs *flag.FlagSet) {
 	fs.IntVar(&p.procs, "n", 8, "number of processes in the cluster")
-	fs.StringVar(&p.mech, "mech", "snapshot", "mechanism: naive|increments|snapshot")
+	fs.StringVar(&p.scenario, "scenario", "quickstart",
+		"workload scenario: "+strings.Join(workload.Names(), "|"))
+	fs.StringVar(&p.mech, "mech", "snapshot", "mechanism: "+strings.Join(mechNames(), "|"))
 	fs.Float64Var(&p.threshold, "threshold", 5, "maintained-mechanism broadcast threshold (workload units)")
 	fs.BoolVar(&p.noMore, "nomore", true, "enable the No_more_master optimization (§2.3)")
-	fs.StringVar(&p.codec, "codec", "binary", "wire codec: binary|json")
-	fs.IntVar(&p.masters, "masters", 3, "ranks [0,masters) take dynamic decisions")
+	fs.StringVar(&p.codec, "codec", "binary", "wire codec: "+strings.Join(xnet.CodecNames(), "|"))
+	fs.IntVar(&p.masters, "masters", 3, "ranks [0,masters) take dynamic decisions (scenarios may widen)")
 	fs.IntVar(&p.decisions, "decisions", 4, "decisions per master")
 	fs.Float64Var(&p.work, "work", 120, "work units distributed per decision")
 	fs.IntVar(&p.slaves, "slaves", 3, "slaves selected per decision")
-	fs.DurationVar(&p.spin, "spin", time.Millisecond, "execution time per work item")
+	fs.DurationVar(&p.spin, "spin", time.Millisecond, "nominal execution time per work item")
 	fs.DurationVar(&p.settle, "settle", 50*time.Millisecond, "delay for trailing state messages before exit")
+}
+
+// mechNames lists the registered mechanism names in the order the
+// paper's tables use (core.Mechanisms()).
+func mechNames() []string {
+	names := make([]string, 0, len(core.Mechanisms()))
+	for _, m := range core.Mechanisms() {
+		names = append(names, string(m))
+	}
+	return names
 }
 
 func (p *nodeParams) config() core.Config {
@@ -73,17 +88,84 @@ func (p *nodeParams) config() core.Config {
 	}
 }
 
-func (p *nodeParams) validate() error {
+// driveOptions maps the flag values onto DriveCluster's options; an
+// explicit -settle 0 means "don't wait for views", not "use the
+// default".
+func (p *nodeParams) driveOptions() workload.DriveOptions {
+	opts := workload.DriveOptions{Spin: p.spin, Settle: p.settle}
+	if p.settle <= 0 {
+		opts.Settle = -1
+	}
+	return opts
+}
+
+func (p *nodeParams) params() workload.Params {
+	return workload.Params{
+		Procs:     p.procs,
+		Masters:   p.masters,
+		Decisions: p.decisions,
+		Work:      p.work,
+		Slaves:    p.slaves,
+		Spin:      p.spin,
+	}
+}
+
+// validate rejects unusable flag combinations with messages listing the
+// registered names. matrix commands (`cluster`, `run`) accept the
+// special value "all" for -mech and -scenario; a single node does not.
+func (p *nodeParams) validate(matrix bool) error {
 	if p.procs < 2 {
-		return fmt.Errorf("need at least 2 processes, got %d", p.procs)
+		return fmt.Errorf("need at least 2 processes, got -procs %d", p.procs)
 	}
 	if p.masters < 1 || p.masters > p.procs {
 		return fmt.Errorf("masters %d out of range [1,%d]", p.masters, p.procs)
 	}
 	if p.slaves < 1 {
-		return fmt.Errorf("need at least 1 slave per decision")
+		return fmt.Errorf("need at least 1 slave per decision, got -slaves %d", p.slaves)
+	}
+	if p.decisions < 1 {
+		return fmt.Errorf("need at least 1 decision per master, got -decisions %d", p.decisions)
+	}
+	// Work and spin reach workload.Params verbatim; reject the values
+	// Normalize would otherwise silently replace or Validate reject
+	// after the fork.
+	if p.work <= 0 {
+		return fmt.Errorf("work per decision must be positive, got -work %g", p.work)
+	}
+	if p.spin < 0 {
+		return fmt.Errorf("negative -spin %s", p.spin)
+	}
+	if !(matrix && p.mech == "all") {
+		if _, err := core.New(core.Mech(p.mech), 2, 0, core.Config{}); err != nil {
+			avail := strings.Join(mechNames(), ", ")
+			if matrix {
+				avail += ", all"
+			}
+			return fmt.Errorf("unknown mechanism %q (available: %s)", p.mech, avail)
+		}
+	}
+	if !(matrix && p.scenario == "all") {
+		if _, err := workload.Get(p.scenario); err != nil {
+			avail := strings.Join(workload.Names(), ", ")
+			if matrix {
+				avail += ", all"
+			}
+			return fmt.Errorf("unknown scenario %q (available: %s)", p.scenario, avail)
+		}
+	}
+	if _, err := xnet.NewCodec(p.codec); err != nil {
+		return fmt.Errorf("unknown codec %q (available: %s)", p.codec, strings.Join(xnet.CodecNames(), ", "))
 	}
 	return nil
+}
+
+// programs compiles the scenario for these params.
+func (p *nodeParams) programs() ([]workload.Program, error) {
+	w, err := workload.Get(p.scenario)
+	if err != nil {
+		return nil, err
+	}
+	return w.Programs(p.params())
 }
 
 func runNode(args []string) error {
@@ -95,18 +177,25 @@ func runNode(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if err := p.validate(); err != nil {
+	if err := p.validate(false); err != nil {
 		return err
+	}
+	progs, err := p.programs()
+	if err != nil {
+		return err
+	}
+	if *rank < 0 || *rank >= len(progs) {
+		return fmt.Errorf("rank %d out of range [0,%d)", *rank, len(progs))
 	}
 	codec, err := xnet.NewCodec(p.codec)
 	if err != nil {
 		return err
 	}
-	mech := core.Mech(p.mech)
-	nd, err := xnet.NewNode(*rank, p.procs, mech, p.config(), xnet.Options{
+	opts := xnet.ProgramOptions(xnet.Options{
 		Codec: codec,
 		Logf:  func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
-	})
+	}, progs)
+	nd, err := xnet.NewNode(*rank, p.procs, core.Mech(p.mech), p.config(), opts)
 	if err != nil {
 		return err
 	}
@@ -136,7 +225,7 @@ func runNode(args []string) error {
 		return err
 	}
 
-	stats, err := runNodeWorkload(nd, &p)
+	stats, err := runNodeProgram(nd, progs[*rank], &p)
 	if err != nil {
 		return err
 	}
@@ -148,30 +237,22 @@ func runNode(args []string) error {
 	return nd.Close()
 }
 
-// runNodeWorkload drives one node through the scripted workload until
-// cluster quiescence and returns its report.
-func runNodeWorkload(nd *xnet.Node, p *nodeParams) (nodeStats, error) {
+// runNodeProgram walks this rank's compiled program until cluster
+// quiescence and returns its report. Every rank announces Done after
+// draining its own assignments, so once all announcements arrived no
+// application work remains anywhere.
+func runNodeProgram(nd *xnet.Node, prog workload.Program, p *nodeParams) (nodeStats, error) {
 	st := nodeStats{Rank: nd.Rank()}
-	isMaster := nd.Rank() < p.masters
-	if isMaster {
-		for i := 0; i < p.decisions; i++ {
-			if _, err := nd.Decide(p.work, p.slaves, p.spin); err != nil {
-				return st, err
-			}
-			st.Decisions++
-		}
-		if err := nd.DrainOwn(60 * time.Second); err != nil {
-			return st, err
-		}
-		nd.AnnounceDone()
+	decisions, err := workload.RunRank(nd, prog, p.spin)
+	if err != nil {
+		return st, err
 	}
-	// Quiescence: every master announced Done after draining its own
-	// assignments, so once all announcements arrived no application
-	// work remains anywhere.
-	waitFor := int64(p.masters)
-	if isMaster {
-		waitFor--
+	st.Decisions = decisions
+	if err := nd.DrainOwn(60 * time.Second); err != nil {
+		return st, err
 	}
+	nd.AnnounceDone()
+	waitFor := int64(p.procs - 1)
 	deadline := time.Now().Add(120 * time.Second)
 	for nd.DonesReceived() < waitFor {
 		if time.Now().After(deadline) {

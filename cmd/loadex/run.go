@@ -1,0 +1,156 @@
+package main
+
+// loadex run: the scenario × mechanism × runtime matrix. Every
+// registered workload scenario runs unchanged on any runtime with any
+// mechanism:
+//
+//	loadex run -scenario burst -mech snapshot -runtime sim
+//	loadex run -scenario all -mech all -runtime net -inproc
+//	loadex run -scenario all -mech all -runtime all
+//
+// Each cell prints one row of message/selection statistics. The sim
+// runtime is the deterministic discrete-event simulator, live is
+// goroutines+channels, net is localhost TCP (forked OS processes by
+// default, -inproc for goroutine-hosted sockets).
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/live"
+	xnet "repro/internal/net"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// runtimeNames lists the runtimes `loadex run` can target.
+func runtimeNames() []string { return []string{"sim", "live", "net"} }
+
+func runRun(args []string) error {
+	fs := flag.NewFlagSet("loadex run", flag.ExitOnError)
+	var p nodeParams
+	p.register(fs)
+	procs := fs.Int("procs", 0, "number of processes (alias for -n)")
+	runtime := fs.String("runtime", "sim", "runtime: "+strings.Join(runtimeNames(), "|")+"|all")
+	inproc := fs.Bool("inproc", false, "net runtime: run the nodes in-process (same TCP sockets, no fork)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *procs > 0 {
+		p.procs = *procs
+	}
+	if p.masters > p.procs {
+		p.masters = p.procs
+	}
+	if err := p.validate(true); err != nil {
+		return err
+	}
+	runtimes := []string{*runtime}
+	if *runtime == "all" {
+		runtimes = runtimeNames()
+	} else if !isRuntime(*runtime) {
+		return fmt.Errorf("unknown runtime %q (available: %s, all)", *runtime, strings.Join(runtimeNames(), ", "))
+	}
+	scenarios := []string{p.scenario}
+	if p.scenario == "all" {
+		scenarios = workload.Names()
+	}
+	mechs := []core.Mech{core.Mech(p.mech)}
+	if p.mech == "all" {
+		mechs = core.Mechanisms()
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "scenario\tmech\truntime\tprocs\tdecisions\texecuted\tupdates\treservations\tsnapshots\trestarts\twire_msgs\twire_bytes\telapsed")
+	for _, scenario := range scenarios {
+		for _, mech := range mechs {
+			for _, rt := range runtimes {
+				rep, err := runCell(scenario, mech, rt, *inproc, &p)
+				if err != nil {
+					return fmt.Errorf("scenario %s × %s × %s: %w", scenario, mech, rt, err)
+				}
+				writeRunRow(tw, rep)
+			}
+		}
+	}
+	tw.Flush()
+	return nil
+}
+
+func isRuntime(name string) bool {
+	for _, r := range runtimeNames() {
+		if r == name {
+			return true
+		}
+	}
+	return false
+}
+
+// runCell executes one scenario × mechanism × runtime cell.
+func runCell(scenario string, mech core.Mech, rt string, inproc bool, p *nodeParams) (*workload.Report, error) {
+	w, err := workload.Get(scenario)
+	if err != nil {
+		return nil, err
+	}
+	drive := p.driveOptions()
+	switch rt {
+	case "sim":
+		return sim.NewWorkloadDriver().Run(w, mech, p.config(), p.params())
+	case "live":
+		return live.Driver{Drive: drive}.Run(w, mech, p.config(), p.params())
+	case "net":
+		if inproc {
+			codec, err := xnet.NewCodec(p.codec)
+			if err != nil {
+				return nil, err
+			}
+			return xnet.Driver{Opts: xnet.Options{Codec: codec}, Drive: drive}.Run(w, mech, p.config(), p.params())
+		}
+		return runCellForked(scenario, mech, p)
+	}
+	return nil, fmt.Errorf("unknown runtime %q", rt)
+}
+
+// runCellForked runs one net cell as forked OS processes, folding the
+// per-rank STATS reports into a matrix report.
+func runCellForked(scenario string, mech core.Mech, p *nodeParams) (*workload.Report, error) {
+	q := *p
+	q.scenario, q.mech = scenario, string(mech)
+	start := time.Now()
+	stats, err := runClusterForked(&q)
+	if err != nil {
+		return nil, err
+	}
+	rep := &workload.Report{
+		Scenario: scenario,
+		Runtime:  "net",
+		Mech:     mech,
+		Procs:    q.procs,
+		Elapsed:  time.Since(start),
+	}
+	for _, s := range stats {
+		rep.DecisionsTaken += s.Decisions
+		rep.Executed = append(rep.Executed, s.Executed)
+		rep.Stats = append(rep.Stats, s.Mech)
+		rep.WireMsgs += s.Transport.MsgsIn
+		rep.WireBytes += s.Transport.BytesIn
+	}
+	return rep, nil
+}
+
+// writeRunRow prints one matrix cell.
+func writeRunRow(tw *tabwriter.Writer, rep *workload.Report) {
+	st := rep.TotalStats()
+	fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+		rep.Scenario, rep.Mech, rep.Runtime, rep.Procs,
+		rep.DecisionsTaken, rep.TotalExecuted(),
+		st.UpdatesSent, st.ReservationsSent,
+		st.SnapshotsInitiated, st.SnapshotRestarts,
+		rep.WireMsgs, rep.WireBytes,
+		rep.Elapsed.Round(time.Millisecond))
+}

@@ -3,6 +3,12 @@
 // channels, take a few dynamic scheduling decisions, and watch how
 // coherent each mechanism's view of the system is.
 //
+// The workload is the registered "quickstart" scenario from
+// internal/workload; swap the name below (burst, ramp, hetero,
+// straggler) and the same driver runs it unchanged — that is the point
+// of the Workload/Driver split. `loadex run` exposes the full
+// scenario × mechanism × runtime matrix on the command line.
+//
 //	go run ./examples/quickstart
 package main
 
@@ -13,46 +19,40 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/live"
+	"repro/internal/workload"
 )
 
 func main() {
-	const nodes = 8
+	w, err := workload.Get("quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := workload.Params{
+		Procs: 8, Masters: 3, Decisions: 4, Work: 120, Slaves: 3,
+		Spin: 2 * time.Millisecond,
+	}
+	cfg := core.Config{
+		Threshold:       core.Load{core.Workload: 5},
+		NoMoreMasterOpt: true,
+	}
+	// Threshold-based mechanisms leave views slightly stale by design;
+	// don't wait long for them to settle before reading the report.
+	drv := live.Driver{Drive: workload.DriveOptions{Settle: 50 * time.Millisecond}}
 	for _, mech := range []core.Mech{core.MechNaive, core.MechIncrements, core.MechSnapshot} {
 		fmt.Printf("=== mechanism: %s ===\n", mech)
-		cl, err := live.NewCluster(nodes, mech, core.Config{
-			Threshold:       core.Load{core.Workload: 5},
-			NoMoreMasterOpt: true,
-		})
+		rep, err := drv.Run(w, mech, cfg, params)
 		if err != nil {
 			log.Fatal(err)
 		}
-
-		// Three masters take decisions concurrently: each distributes 120
-		// units of work over its 3 least-loaded peers (as it sees them).
-		errs := make(chan error, 3)
-		for _, master := range []int{0, 1, 2} {
-			go func(m int) { errs <- cl.Decide(m, 120, 3, 2*time.Millisecond) }(master)
-		}
-		for i := 0; i < 3; i++ {
-			if err := <-errs; err != nil {
-				log.Fatal(err)
-			}
-		}
-		if err := cl.Drain(5 * time.Second); err != nil {
-			log.Fatal(err)
-		}
-		time.Sleep(20 * time.Millisecond) // let trailing updates settle
-
 		fmt.Println("work items executed per node:")
-		for r := 0; r < nodes; r++ {
-			fmt.Printf("  node %d: %d\n", r, cl.Executed(r))
+		for r, n := range rep.Executed {
+			fmt.Printf("  node %d: %d\n", r, n)
 		}
 		if mech == core.MechSnapshot {
-			st := cl.Stats(0)
+			st := rep.Stats[0]
 			fmt.Printf("node 0 snapshot stats: initiated=%d restarts=%d\n",
 				st.SnapshotsInitiated, st.SnapshotRestarts)
 		}
-		cl.Stop()
 	}
-	fmt.Println("done — see cmd/loadex for the paper's full experiment suite")
+	fmt.Println("done — see `go run ./cmd/loadex run` for the scenario × mechanism × runtime matrix")
 }

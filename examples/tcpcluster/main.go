@@ -1,10 +1,11 @@
-// TCP cluster demo: the quickstart scenario — three masters take
-// concurrent dynamic scheduling decisions under each load-information
-// exchange mechanism of Guermouche & L'Excellent (RR-5478, 2005) — but
-// instead of goroutines and channels (examples/quickstart), the eight
-// nodes talk over real localhost TCP sockets with the length-prefixed
-// binary codec: the same core state machines, now facing serialization,
-// per-pair FIFO connections and acknowledgment-based quiescence.
+// TCP cluster demo: the same registered scenarios as
+// examples/quickstart — but instead of goroutines and channels, the
+// eight nodes talk over real localhost TCP sockets with the
+// length-prefixed binary codec: the same core state machines, now
+// facing serialization, per-pair FIFO connections and
+// acknowledgment-based quiescence. Because both runtimes implement
+// workload.Driver, the only difference from quickstart is the driver
+// constructed below.
 //
 //	go run ./examples/tcpcluster
 //
@@ -19,53 +20,43 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/net"
+	"repro/internal/workload"
 )
 
 func main() {
-	const nodes = 8
+	// The straggler scenario makes rank 7 execute its work 6x slower,
+	// which delays its snapshot replies — watch the restart counter.
+	w, err := workload.Get("straggler")
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := workload.Params{
+		Procs: 8, Masters: 3, Decisions: 4, Work: 120, Slaves: 3,
+		Spin: 2 * time.Millisecond,
+	}
+	cfg := core.Config{
+		Threshold:       core.Load{core.Workload: 5},
+		NoMoreMasterOpt: true,
+	}
+	// Threshold-based mechanisms leave views slightly stale by design;
+	// don't wait long for them to settle before reading the report.
+	drv := net.Driver{Drive: workload.DriveOptions{Settle: 50 * time.Millisecond}}
 	for _, mech := range []core.Mech{core.MechNaive, core.MechIncrements, core.MechSnapshot} {
-		fmt.Printf("=== mechanism: %s (localhost TCP, binary codec) ===\n", mech)
-		cl, err := net.NewCluster(nodes, mech, core.Config{
-			Threshold:       core.Load{core.Workload: 5},
-			NoMoreMasterOpt: true,
-		}, net.Options{})
+		fmt.Printf("=== mechanism: %s (localhost TCP, binary codec, scenario %s) ===\n", mech, w.Name())
+		rep, err := drv.Run(w, mech, cfg, params)
 		if err != nil {
 			log.Fatal(err)
 		}
-
-		// Three masters decide concurrently: each distributes 120 units
-		// of work over its 3 least-loaded peers (as it sees them).
-		errs := make(chan error, 3)
-		for _, master := range []int{0, 1, 2} {
-			go func(m int) { errs <- cl.Decide(m, 120, 3, 2*time.Millisecond) }(master)
-		}
-		for i := 0; i < 3; i++ {
-			if err := <-errs; err != nil {
-				log.Fatal(err)
-			}
-		}
-		if err := cl.Drain(5 * time.Second); err != nil {
-			log.Fatal(err)
-		}
-		time.Sleep(20 * time.Millisecond) // let trailing updates settle
-
 		fmt.Println("work items executed per node:")
-		for r := 0; r < nodes; r++ {
-			fmt.Printf("  node %d: %d\n", r, cl.Executed(r))
+		for r, n := range rep.Executed {
+			fmt.Printf("  node %d: %d\n", r, n)
 		}
-		var bytesIn, msgsIn int64
-		for r := 0; r < nodes; r++ {
-			tr := cl.Transport(r)
-			bytesIn += tr.BytesIn
-			msgsIn += tr.MsgsIn
-		}
-		fmt.Printf("wire traffic: %d messages, %d bytes\n", msgsIn, bytesIn)
+		fmt.Printf("wire traffic: %d messages, %d bytes\n", rep.WireMsgs, rep.WireBytes)
 		if mech == core.MechSnapshot {
-			st := cl.Stats(0)
-			fmt.Printf("node 0 snapshot stats: initiated=%d restarts=%d\n",
+			st := rep.TotalStats()
+			fmt.Printf("snapshot stats: initiated=%d restarts=%d\n",
 				st.SnapshotsInitiated, st.SnapshotRestarts)
 		}
-		cl.Stop()
 	}
-	fmt.Println("done — `go run ./cmd/loadex cluster` forks the same workload as separate OS processes")
+	fmt.Println("done — `go run ./cmd/loadex run -scenario all -mech all -runtime net` runs the full matrix as forked OS processes")
 }

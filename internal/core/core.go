@@ -263,6 +263,21 @@ func (v *View) Set(p int, l Load) { v.loads[p] = l }
 // AddTo adds a delta to the estimate for p.
 func (v *View) AddTo(p int, d Load) { v.loads[p] = v.loads[p].Add(d) }
 
+// SeedView installs the statically-known initial loads of every peer
+// into a freshly initialized mechanism's view — the paper's convention
+// that the static mapping, and hence everyone's starting load, is known
+// to all processes, so nothing needs to be broadcast. The owning rank's
+// entry is Init's job and is left untouched. Every runtime seeds
+// through this one helper so they cannot diverge.
+func SeedView(exch Exchanger, rank int, initial []Load) {
+	v := exch.View()
+	for p, l := range initial {
+		if p != rank {
+			v.Set(p, l)
+		}
+	}
+}
+
 // Snapshot returns a copy of all estimates.
 func (v *View) Snapshot() []Load {
 	out := make([]Load, len(v.loads))

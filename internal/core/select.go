@@ -7,32 +7,78 @@ package core
 // uses this one function, which is what lets the cross-runtime
 // equivalence tests re-derive a master's selection from its recorded
 // view.
+//
+// The selection is a bounded max-heap partial sort: O(n log k) instead
+// of scanning candidates quadratically, so the hot decision path scales
+// past the paper's 128 processes (see BenchmarkLeastLoaded).
 func LeastLoaded(v *View, m Metric, exclude, k int) []int {
+	n := v.N()
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return []int{}
+	}
+	// heap is a max-heap of the k best candidates seen so far, ordered
+	// by (load, rank): the root is the worst kept candidate, evicted
+	// when a strictly better one arrives. Ranks are visited in
+	// ascending order, so an incoming candidate that ties the root on
+	// load necessarily has the higher rank and loses the tie-break —
+	// strict comparison preserves the exact lower-rank-wins semantics.
 	type cand struct {
 		p int
 		l float64
 	}
-	cands := make([]cand, 0, v.N())
-	for p := 0; p < v.N(); p++ {
-		if p != exclude {
-			cands = append(cands, cand{p, v.Metric(p, m)})
-		}
+	worse := func(a, b cand) bool {
+		return a.l > b.l || (a.l == b.l && a.p > b.p)
 	}
-	// Insertion-style selection sort: n is small (the paper's clusters
-	// top out at 64-128 processes).
-	for i := range cands {
-		for j := i + 1; j < len(cands); j++ {
-			if cands[j].l < cands[i].l || (cands[j].l == cands[i].l && cands[j].p < cands[i].p) {
-				cands[i], cands[j] = cands[j], cands[i]
+	heap := make([]cand, 0, k)
+	siftDown := func(i int) {
+		for {
+			left, right := 2*i+1, 2*i+2
+			top := i
+			if left < len(heap) && worse(heap[left], heap[top]) {
+				top = left
 			}
+			if right < len(heap) && worse(heap[right], heap[top]) {
+				top = right
+			}
+			if top == i {
+				return
+			}
+			heap[i], heap[top] = heap[top], heap[i]
+			i = top
 		}
 	}
-	if k > len(cands) {
-		k = len(cands)
+	for p := 0; p < n; p++ {
+		if p == exclude {
+			continue
+		}
+		c := cand{p, v.Metric(p, m)}
+		if len(heap) < k {
+			heap = append(heap, c)
+			// Sift up.
+			for i := len(heap) - 1; i > 0; {
+				parent := (i - 1) / 2
+				if !worse(heap[i], heap[parent]) {
+					break
+				}
+				heap[i], heap[parent] = heap[parent], heap[i]
+				i = parent
+			}
+		} else if worse(heap[0], c) {
+			heap[0] = c
+			siftDown(0)
+		}
 	}
-	out := make([]int, k)
-	for i := 0; i < k; i++ {
-		out[i] = cands[i].p
+	// Drain the heap worst-first into the output, best-first.
+	out := make([]int, len(heap))
+	for len(heap) > 0 {
+		last := len(heap) - 1
+		out[last] = heap[0].p
+		heap[0] = heap[last]
+		heap = heap[:last]
+		siftDown(0)
 	}
 	return out
 }

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// leastLoadedRef is the original O(n²) selection-sort implementation,
+// kept as the oracle for the heap-based partial selection.
+func leastLoadedRef(v *View, m Metric, exclude, k int) []int {
+	type cand struct {
+		p int
+		l float64
+	}
+	cands := make([]cand, 0, v.N())
+	for p := 0; p < v.N(); p++ {
+		if p != exclude {
+			cands = append(cands, cand{p, v.Metric(p, m)})
+		}
+	}
+	for i := range cands {
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].l < cands[i].l || (cands[j].l == cands[i].l && cands[j].p < cands[i].p) {
+				cands[i], cands[j] = cands[j], cands[i]
+			}
+		}
+	}
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].p
+	}
+	return out
+}
+
+func TestLeastLoadedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(40)
+		v := NewView(n)
+		for p := 0; p < n; p++ {
+			// Quantized loads force plenty of ties, exercising the
+			// lower-rank-wins tie-break.
+			v.Set(p, Load{Workload: float64(rng.Intn(5)), Memory: rng.Float64()})
+		}
+		k := rng.Intn(n + 2)
+		exclude := rng.Intn(n+1) - 1 // -1 .. n-1
+		metric := Metric(rng.Intn(int(NumMetrics)))
+		got := LeastLoaded(v, metric, exclude, k)
+		want := leastLoadedRef(v, metric, exclude, k)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d k=%d exclude=%d: got %v, want %v", n, k, exclude, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d k=%d exclude=%d metric=%v: got %v, want %v", n, k, exclude, metric, got, want)
+			}
+		}
+	}
+}
+
+func TestLeastLoadedEdgeCases(t *testing.T) {
+	v := NewView(4)
+	for p := 0; p < 4; p++ {
+		v.Set(p, Load{Workload: float64(p)})
+	}
+	if got := LeastLoaded(v, Workload, -1, 0); len(got) != 0 {
+		t.Errorf("k=0: got %v, want empty", got)
+	}
+	if got := LeastLoaded(v, Workload, -1, -3); len(got) != 0 {
+		t.Errorf("k<0: got %v, want empty", got)
+	}
+	if got, want := LeastLoaded(v, Workload, 0, 10), []int{1, 2, 3}; fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("k>n: got %v, want %v", got, want)
+	}
+	// All-equal loads: pure rank tie-break.
+	for p := 0; p < 4; p++ {
+		v.Set(p, Load{Workload: 7})
+	}
+	if got, want := LeastLoaded(v, Workload, 2, 2), []int{0, 1}; fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("ties: got %v, want %v", got, want)
+	}
+}
+
+// BenchmarkLeastLoaded covers the dynamic-decision hot path at and far
+// beyond the paper's 128-process scale.
+func BenchmarkLeastLoaded(b *testing.B) {
+	for _, n := range []int{64, 1024, 16384} {
+		v := NewView(n)
+		rng := rand.New(rand.NewSource(1))
+		for p := 0; p < n; p++ {
+			v.Set(p, Load{Workload: rng.Float64() * 1000})
+		}
+		for _, k := range []int{3, 16} {
+			b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sel := LeastLoaded(v, Workload, 0, k)
+					if len(sel) != k {
+						b.Fatalf("selected %d, want %d", len(sel), k)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package live
+
+import (
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Driver implements workload.Driver over the goroutine runtime: any
+// registered scenario runs on real concurrency under the race detector
+// with no sockets in the way.
+type Driver struct {
+	// Drive tunes DriveCluster (Spin is always taken from the run's
+	// Params; the rest applies as given).
+	Drive workload.DriveOptions
+}
+
+// NewDriver returns the live runtime driver.
+func NewDriver() Driver { return Driver{} }
+
+// Runtime implements workload.Driver.
+func (Driver) Runtime() string { return "live" }
+
+// Run implements workload.Driver.
+func (d Driver) Run(w workload.Workload, mech core.Mech, cfg core.Config, p workload.Params) (*workload.Report, error) {
+	progs, err := w.Programs(p)
+	if err != nil {
+		return nil, err
+	}
+	var setup ClusterSetup
+	setup.Initial, setup.Speed = workload.Setup(progs)
+	cl, err := NewClusterSetup(len(progs), mech, cfg, setup)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Stop()
+	opts := d.Drive
+	opts.Spin = p.Spin
+	rep, err := workload.DriveCluster(cl, mech, progs, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep.Scenario, rep.Runtime = w.Name(), "live"
+	return rep, nil
+}

@@ -39,6 +39,9 @@ type Node struct {
 	stateCh chan message
 	dataCh  chan workItem
 	quit    chan struct{}
+	// speed multiplies the execution time of work items this node
+	// executes (1 = nominal).
+	speed float64
 
 	// executed counts completed work items.
 	executed int64
@@ -80,13 +83,42 @@ func (c ctx) Broadcast(kind int, payload any, bytes float64) {
 	}
 }
 
-// NewCluster starts n nodes running the given mechanism.
+// ClusterSetup seeds per-rank state at construction time. Initial loads
+// follow the paper's static-mapping convention — every process knows
+// everyone's starting load, so they are seeded into all views rather
+// than broadcast.
+type ClusterSetup struct {
+	// Initial is the per-rank initial load (nil means all zero).
+	Initial []core.Load
+	// Speed is the per-rank execution-time multiplier (nil or 0 entries
+	// mean nominal speed).
+	Speed []float64
+}
+
+// NewCluster starts n nodes running the given mechanism with zero
+// initial loads and nominal speeds.
 func NewCluster(n int, mech core.Mech, cfg core.Config) (*Cluster, error) {
+	return NewClusterSetup(n, mech, cfg, ClusterSetup{})
+}
+
+// NewClusterSetup starts n nodes running the given mechanism with the
+// given per-rank initial loads and speed factors.
+func NewClusterSetup(n int, mech core.Mech, cfg core.Config, setup ClusterSetup) (*Cluster, error) {
+	if setup.Initial != nil && len(setup.Initial) != n {
+		return nil, fmt.Errorf("live: %d initial loads for %d ranks", len(setup.Initial), n)
+	}
+	if setup.Speed != nil && len(setup.Speed) != n {
+		return nil, fmt.Errorf("live: %d speed factors for %d ranks", len(setup.Speed), n)
+	}
 	cl := &Cluster{start: time.Now()}
 	for r := 0; r < n; r++ {
 		exch, err := core.New(mech, n, r, cfg)
 		if err != nil {
 			return nil, err
+		}
+		speed := 1.0
+		if setup.Speed != nil && setup.Speed[r] > 0 {
+			speed = setup.Speed[r]
 		}
 		node := &Node{
 			rank:    r,
@@ -95,11 +127,17 @@ func NewCluster(n int, mech core.Mech, cfg core.Config) (*Cluster, error) {
 			stateCh: make(chan message, 1<<16),
 			dataCh:  make(chan workItem, 1<<12),
 			quit:    make(chan struct{}),
+			speed:   speed,
 		}
 		cl.nodes = append(cl.nodes, node)
 	}
-	for _, node := range cl.nodes {
-		node.exch.Init(ctx{node}, core.Load{})
+	for r, node := range cl.nodes {
+		initial := core.Load{}
+		if setup.Initial != nil {
+			initial = setup.Initial[r]
+		}
+		node.exch.Init(ctx{node}, initial)
+		core.SeedView(node.exch, r, setup.Initial)
 	}
 	for _, node := range cl.nodes {
 		cl.wg.Add(1)
@@ -143,12 +181,17 @@ func (n *Node) run() {
 	}
 }
 
-// execute performs one work item: account it, spin, release it.
+// execute performs one work item: account it, spin (scaled by the
+// node's speed factor), release it.
 func (n *Node) execute(w workItem) {
 	c := ctx{n}
 	n.exch.LocalChange(c, w.Load, true)
 	if w.Spin > 0 {
-		time.Sleep(w.Spin)
+		spin := w.Spin
+		if n.speed != 1 {
+			spin = time.Duration(float64(spin) * n.speed)
+		}
+		time.Sleep(spin)
 	}
 	neg := w.Load
 	for i := range neg {
@@ -213,6 +256,30 @@ func (n *Node) handle(m message) {
 		return
 	}
 	n.exch.HandleMessage(ctx{n}, m.from, m.kind, m.payload)
+}
+
+// LocalChange applies a spontaneous local load variation (not slave
+// work) on rank r's own goroutine and returns once it is applied.
+func (cl *Cluster) LocalChange(r int, delta core.Load) {
+	n := cl.nodes[r]
+	done := make(chan struct{})
+	n.stateCh <- message{from: r, kind: kindControl, payload: controlPayload{run: func() {
+		n.exch.LocalChange(ctx{n}, delta, false)
+		close(done)
+	}}}
+	<-done
+}
+
+// NoMoreMaster announces on rank r's own goroutine that r will never
+// take a dynamic decision again (§2.3) and returns once announced.
+func (cl *Cluster) NoMoreMaster(r int) {
+	n := cl.nodes[r]
+	done := make(chan struct{})
+	n.stateCh <- message{from: r, kind: kindControl, payload: controlPayload{run: func() {
+		n.exch.NoMoreMaster(ctx{n})
+		close(done)
+	}}}
+	<-done
 }
 
 // Drain waits until all assigned work has executed or the timeout expires.

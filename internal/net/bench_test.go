@@ -1,0 +1,107 @@
+package net
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// benchMessages is a representative traffic mix: a threshold update, a
+// reservation broadcast with three assignments, a snapshot reply and a
+// work item.
+func benchMessages() []Message {
+	return []Message{
+		{Type: TypeState, From: 3, Kind: int32(core.KindUpdate),
+			Load: core.Load{core.Workload: 42.5, core.Memory: 7}},
+		{Type: TypeState, From: 1, Kind: int32(core.KindMasterToAll),
+			Assignments: []core.Assignment{
+				{Proc: 2, Delta: core.Load{core.Workload: 30}},
+				{Proc: 4, Delta: core.Load{core.Workload: 30}},
+				{Proc: 5, Delta: core.Load{core.Workload: 30}},
+			}},
+		{Type: TypeState, From: 6, Kind: int32(core.KindSnp), Req: 9,
+			Load: core.Load{core.Workload: 13.25, core.Memory: 2}},
+		{Type: TypeWork, From: 0, Load: core.Load{core.Workload: 30}, Spin: 1_000_000},
+	}
+}
+
+func benchCodecs(b *testing.B) []Codec {
+	b.Helper()
+	return []Codec{BinaryCodec{}, JSONCodec{}}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	msgs := benchMessages()
+	for _, codec := range benchCodecs(b) {
+		// Report throughput as the average encoded size of the mix, a
+		// constant per iteration.
+		var mixBytes int64
+		for _, m := range msgs {
+			body, err := codec.Encode(nil, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mixBytes += int64(len(body))
+		}
+		b.Run(codec.Name(), func(b *testing.B) {
+			var buf []byte
+			var err error
+			b.ReportAllocs()
+			b.SetBytes(mixBytes / int64(len(msgs)))
+			for i := 0; i < b.N; i++ {
+				m := msgs[i%len(msgs)]
+				buf, err = codec.Encode(buf[:0], m)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			_ = buf
+		})
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	msgs := benchMessages()
+	for _, codec := range benchCodecs(b) {
+		encoded := make([][]byte, len(msgs))
+		for i, m := range msgs {
+			body, err := codec.Encode(nil, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			encoded[i] = body
+		}
+		b.Run(codec.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.Decode(encoded[i%len(encoded)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRoundTrip measures one full encode+decode of the whole mix,
+// the per-message cost a node's reader/writer pair pays.
+func BenchmarkRoundTrip(b *testing.B) {
+	msgs := benchMessages()
+	for _, codec := range benchCodecs(b) {
+		b.Run(fmt.Sprintf("%s/mix=%d", codec.Name(), len(msgs)), func(b *testing.B) {
+			var buf []byte
+			for i := 0; i < b.N; i++ {
+				for _, m := range msgs {
+					body, err := codec.Encode(buf[:0], m)
+					if err != nil {
+						b.Fatal(err)
+					}
+					buf = body
+					if _, err := codec.Decode(body); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -88,6 +88,12 @@ func (cl *Cluster) AcquireView(r int) ([]core.Load, error) {
 	return cl.nodes[r].AcquireView()
 }
 
+// LocalChange applies a spontaneous local load variation on rank r.
+func (cl *Cluster) LocalChange(r int, delta core.Load) { cl.nodes[r].LocalChange(delta) }
+
+// NoMoreMaster announces rank r will never take a decision again.
+func (cl *Cluster) NoMoreMaster(r int) { cl.nodes[r].NoMoreMaster() }
+
 // AssignedItems returns how many work items were ever assigned across
 // the cluster.
 func (cl *Cluster) AssignedItems() int64 {

@@ -171,8 +171,11 @@ func NewCodec(name string) (Codec, error) {
 	case "json":
 		return JSONCodec{}, nil
 	}
-	return nil, fmt.Errorf("net: unknown codec %q", name)
+	return nil, fmt.Errorf("net: unknown codec %q (available: %s)", name, "binary, json")
 }
+
+// CodecNames lists the available codec names for usage messages.
+func CodecNames() []string { return []string{"binary", "json"} }
 
 // ---- binary codec --------------------------------------------------------
 

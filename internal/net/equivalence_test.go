@@ -2,415 +2,21 @@ package net
 
 import (
 	"fmt"
-	"math"
 	"testing"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/live"
-	"repro/internal/sim"
 )
 
-// The cross-runtime equivalence suite runs one seeded workload — three
-// masters each taking several dynamic decisions of 90 work units over
-// their 3 least-loaded peers — under all three drivers of the core
-// state machines:
-//
-//   - internal/sim: the deterministic discrete-event simulator,
-//   - internal/live: goroutines and channels,
-//   - internal/net: real TCP sockets on localhost (this package),
-//
-// and asserts the mechanism-level invariants agree:
-//
-//  1. selection coherence — every slave selection targets exactly the
-//     processes the master believed least-loaded per its recorded view
-//     (re-derived independently with core.LeastLoaded);
-//  2. snapshot conservation — the total load a snapshot view reports
-//     lies within the committed-minus-completed window spanned by the
-//     acquire..ready interval, and the final snapshot after quiescence
-//     sees exactly zero everywhere (the cut conserves total load);
-//  3. count equivalence — executed work items, reservations and
-//     snapshots initiated are identical across the three runtimes.
-const (
-	eqProcs     = 6
-	eqMasters   = 3
-	eqDecisions = 3
-	eqWork      = 90.0
-	eqSlaves    = 3
-	eqShare     = eqWork / eqSlaves
-)
+// The cross-runtime equivalence suite lives in internal/workload
+// (TestScenarioMatrixEquivalence): every registered scenario runs under
+// every mechanism on sim, live and this package's TCP runtime through
+// the shared workload.Driver seam, asserting selection coherence,
+// snapshot load conservation and count equivalence. This file keeps the
+// net-specific heavier confidence pass.
 
-// eqDecision is one recorded decision plus the conservation window
-// samples: assigned/executed item counts at acquire time and at ready
-// time.
-type eqDecision struct {
-	core.Decision
-	c0, d0, c1, d1 int64
-}
-
-// eqResult is everything one runtime reports for the workload.
-type eqResult struct {
-	decisions  []eqDecision
-	executed   []int64
-	finalViews [][]core.Load // one coherent view per rank, post-quiescence
-	reserved   int64         // Master_To_All broadcasts (increments)
-	snapshots  int64         // snapshots initiated (snapshot)
-}
-
-func TestCrossRuntimeEquivalence(t *testing.T) {
-	for _, mech := range core.Mechanisms() {
-		mech := mech
-		t.Run(string(mech), func(t *testing.T) {
-			results := map[string]*eqResult{
-				"sim":  runEqSim(t, mech),
-				"live": runEqLive(t, mech),
-				"net":  runEqNet(t, mech),
-			}
-			for name, res := range results {
-				checkEqInvariants(t, name, mech, res)
-			}
-			// Count equivalence across runtimes.
-			want := results["sim"]
-			for _, name := range []string{"live", "net"} {
-				got := results[name]
-				if a, b := totalItems(got.executed), totalItems(want.executed); a != b {
-					t.Errorf("%s executed %d items, sim executed %d", name, a, b)
-				}
-				if got.reserved != want.reserved {
-					t.Errorf("%s sent %d reservations, sim sent %d", name, got.reserved, want.reserved)
-				}
-				if got.snapshots != want.snapshots {
-					t.Errorf("%s initiated %d snapshots, sim initiated %d", name, got.snapshots, want.snapshots)
-				}
-			}
-		})
-	}
-}
-
-func totalItems(per []int64) int64 {
-	var s int64
-	for _, v := range per {
-		s += v
-	}
-	return s
-}
-
-// checkEqInvariants asserts the per-runtime invariants on one result.
-func checkEqInvariants(t *testing.T, name string, mech core.Mech, res *eqResult) {
-	t.Helper()
-	if got, want := len(res.decisions), eqMasters*eqDecisions; got != want {
-		t.Fatalf("%s: recorded %d decisions, want %d", name, got, want)
-	}
-	if got, want := totalItems(res.executed), int64(eqMasters*eqDecisions*eqSlaves); got != want {
-		t.Errorf("%s: executed %d work items, want %d", name, got, want)
-	}
-	const eps = 1e-9
-	for i, dec := range res.decisions {
-		// Invariant 1: the assignment targets re-derive from the view.
-		sel := core.LeastLoaded(core.ViewOf(dec.View), core.Workload, dec.Master, eqSlaves)
-		if len(sel) != len(dec.Assignments) {
-			t.Fatalf("%s decision %d: %d assignments, want %d", name, i, len(dec.Assignments), len(sel))
-		}
-		for j, a := range dec.Assignments {
-			if int(a.Proc) != sel[j] {
-				t.Errorf("%s decision %d (master %d): assignment %d targets %d, least-loaded per view is %d (view %v)",
-					name, i, dec.Master, j, a.Proc, sel[j], workloads(dec.View))
-			}
-			if math.Abs(a.Delta[core.Workload]-eqShare) > eps {
-				t.Errorf("%s decision %d: share %v, want %v", name, i, a.Delta[core.Workload], eqShare)
-			}
-		}
-		// Invariant 2 (snapshot only): the view total lies in the
-		// committed-minus-completed window of the acquire..ready
-		// interval. Counter placement (assigned leads Commit, executed
-		// trails the load decrement) makes these bounds sound even
-		// under live concurrency.
-		if mech == core.MechSnapshot {
-			var sum float64
-			for _, l := range dec.View {
-				sum += l[core.Workload]
-			}
-			lo := float64(dec.c0-dec.d1) * eqShare
-			hi := float64(dec.c1-dec.d0) * eqShare
-			if sum < lo-eps || sum > hi+eps {
-				t.Errorf("%s decision %d (master %d): snapshot total %v outside conservation window [%v, %v] (c0=%d d0=%d c1=%d d1=%d)",
-					name, i, dec.Master, sum, lo, hi, dec.c0, dec.d0, dec.c1, dec.d1)
-			}
-		}
-	}
-	// Invariant 2, final cut: after quiescence every coherent view must
-	// report zero load everywhere — total load is conserved and all
-	// work is gone.
-	for r, view := range res.finalViews {
-		for p, l := range view {
-			if math.Abs(l[core.Workload]) > eps {
-				t.Errorf("%s: final view of rank %d sees %v workload on %d, want 0", name, r, l[core.Workload], p)
-			}
-		}
-	}
-}
-
-func workloads(view []core.Load) []float64 {
-	out := make([]float64, len(view))
-	for i, l := range view {
-		out[i] = l[core.Workload]
-	}
-	return out
-}
-
-// ---- live and net drivers ------------------------------------------------
-//
-// Both clusters expose the same shape (they both return core.Decision),
-// so one generic driver runs them.
-
-type eqCluster interface {
-	DecideObserved(master int, totalWork float64, slaves int, spin time.Duration) (core.Decision, error)
-	AssignedItems() int64
-	ExecutedItems() int64
-	Executed(r int) int64
-	AcquireView(r int) ([]core.Load, error)
-	View(r int) []core.Load
-	Stats(r int) core.Stats
-	Drain(timeout time.Duration) error
-	Stop()
-}
-
-func runEqLive(t *testing.T, mech core.Mech) *eqResult {
-	t.Helper()
-	cl, err := live.NewCluster(eqProcs, mech, core.Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer cl.Stop()
-	return driveEq(t, "live", mech, cl)
-}
-
-func runEqNet(t *testing.T, mech core.Mech) *eqResult {
-	t.Helper()
-	cl, err := NewCluster(eqProcs, mech, core.Config{}, Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer cl.Stop()
-	return driveEq(t, "net", mech, cl)
-}
-
-// driveEq runs the workload on a live-or-net cluster: eqMasters
-// goroutines each take eqDecisions decisions, sampling the conservation
-// window around each.
-func driveEq(t *testing.T, name string, mech core.Mech, cl eqCluster) *eqResult {
-	t.Helper()
-	res := &eqResult{}
-	decCh := make(chan eqDecision, eqMasters*eqDecisions)
-	errCh := make(chan error, eqMasters)
-	for master := 0; master < eqMasters; master++ {
-		go func(m int) {
-			for i := 0; i < eqDecisions; i++ {
-				c0, d0 := cl.AssignedItems(), cl.ExecutedItems()
-				dec, err := cl.DecideObserved(m, eqWork, eqSlaves, 200*time.Microsecond)
-				if err != nil {
-					errCh <- err
-					return
-				}
-				rec := eqDecision{Decision: dec, c0: c0, d0: d0}
-				rec.c1, rec.d1 = cl.AssignedItems(), cl.ExecutedItems()
-				decCh <- rec
-			}
-			errCh <- nil
-		}(master)
-	}
-	for m := 0; m < eqMasters; m++ {
-		if err := <-errCh; err != nil {
-			t.Fatalf("%s: %v", name, err)
-		}
-	}
-	close(decCh)
-	for dec := range decCh {
-		res.decisions = append(res.decisions, dec)
-	}
-	if err := cl.Drain(10 * time.Second); err != nil {
-		t.Fatalf("%s: %v", name, err)
-	}
-	for r := 0; r < eqProcs; r++ {
-		res.executed = append(res.executed, cl.Executed(r))
-	}
-	for m := 0; m < eqMasters; m++ {
-		st := cl.Stats(m)
-		res.reserved += st.ReservationsSent
-		res.snapshots += st.SnapshotsInitiated
-	}
-	// Final coherent views. The snapshot mechanism only refreshes views
-	// inside a snapshot, so acquire one per rank; the maintained
-	// mechanisms (zero threshold: every change broadcast) converge once
-	// the trailing updates land, so poll briefly before reading.
-	if mech == core.MechSnapshot {
-		for r := 0; r < eqProcs; r++ {
-			view, err := cl.AcquireView(r)
-			if err != nil {
-				t.Fatalf("%s: final acquire on %d: %v", name, r, err)
-			}
-			res.finalViews = append(res.finalViews, view)
-		}
-	} else {
-		waitViewsZero(t, cl.View, eqProcs, 5*time.Second)
-		for r := 0; r < eqProcs; r++ {
-			res.finalViews = append(res.finalViews, cl.View(r))
-		}
-	}
-	return res
-}
-
-// ---- sim driver ----------------------------------------------------------
-
-// eqSimApp drives the same workload through the discrete-event
-// simulator: masters start decisions from TryStart, work items travel
-// the data channel and execute as simulated compute tasks.
-type eqSimApp struct {
-	rt       *sim.Runtime
-	exs      []core.Exchanger
-	started  []int
-	inflight []bool
-	executed []int64
-	assigned int64
-	done     int64
-	res      *eqResult
-	t        *testing.T
-}
-
-const eqKindWork = 1000 // data-channel message kind for work items
-
-type eqWorkPayload struct {
-	Load core.Load
-	Dur  sim.Duration
-}
-
-// eqSimCtx adapts the sim runtime to core.Context for one rank.
-type eqSimCtx struct {
-	app  *eqSimApp
-	rank int
-}
-
-func (c eqSimCtx) Rank() int    { return c.rank }
-func (c eqSimCtx) N() int       { return len(c.app.exs) }
-func (c eqSimCtx) Now() float64 { return float64(c.app.rt.Now()) }
-func (c eqSimCtx) Send(to int, kind int, payload any, bytes float64) {
-	c.app.rt.Send(&sim.Message{
-		From: c.rank, To: to, Channel: sim.StateChannel,
-		Kind: kind, Payload: payload, Bytes: bytes,
-	})
-}
-func (c eqSimCtx) Broadcast(kind int, payload any, bytes float64) {
-	for to := 0; to < len(c.app.exs); to++ {
-		if to != c.rank {
-			c.Send(to, kind, payload, bytes)
-		}
-	}
-}
-
-func (a *eqSimApp) HandleState(p *sim.Proc, m *sim.Message) {
-	a.exs[p.ID].HandleMessage(eqSimCtx{a, p.ID}, m.From, m.Kind, m.Payload)
-}
-
-func (a *eqSimApp) HandleData(p *sim.Proc, m *sim.Message) {
-	w := m.Payload.(eqWorkPayload)
-	ctx := eqSimCtx{a, p.ID}
-	a.exs[p.ID].LocalChange(ctx, w.Load, true)
-	a.rt.Compute(p, w.Dur, func() {
-		neg := w.Load
-		for i := range neg {
-			neg[i] = -neg[i]
-		}
-		a.exs[p.ID].LocalChange(ctx, neg, true)
-		a.executed[p.ID]++
-		a.done++
-	})
-}
-
-func (a *eqSimApp) Blocked(p *sim.Proc) bool { return a.exs[p.ID].Busy() }
-
-func (a *eqSimApp) TryStart(p *sim.Proc) bool {
-	r := p.ID
-	if r >= eqMasters || a.started[r] >= eqDecisions || a.inflight[r] {
-		return false
-	}
-	a.inflight[r] = true
-	ctx := eqSimCtx{a, r}
-	dec := eqDecision{c0: a.assigned, d0: a.done}
-	a.exs[r].Acquire(ctx, func() {
-		dec.c1, dec.d1 = a.assigned, a.done
-		dec.Decision = core.PlanDecision(a.exs[r].View(), r, eqSlaves, eqWork)
-		a.assigned += int64(len(dec.Assignments))
-		a.exs[r].Commit(ctx, dec.Assignments)
-		for _, asg := range dec.Assignments {
-			a.rt.Send(&sim.Message{
-				From: r, To: int(asg.Proc), Channel: sim.DataChannel,
-				Kind: eqKindWork, Payload: eqWorkPayload{Load: asg.Delta, Dur: 3 * sim.Millisecond},
-				Bytes: 64,
-			})
-		}
-		a.started[r]++
-		a.inflight[r] = false
-		a.res.decisions = append(a.res.decisions, dec)
-		// A committed decision may enable the next one; the engine has
-		// no pending event for an idle master, so request a wakeup.
-		a.rt.Wake(r)
-	})
-	return true
-}
-
-func runEqSim(t *testing.T, mech core.Mech) *eqResult {
-	t.Helper()
-	res := &eqResult{}
-	eng := sim.NewEngine()
-	app := &eqSimApp{
-		started:  make([]int, eqProcs),
-		inflight: make([]bool, eqProcs),
-		executed: make([]int64, eqProcs),
-		res:      res,
-		t:        t,
-	}
-	app.rt = sim.NewRuntime(eng, eqProcs, sim.DefaultNetwork(), app)
-	for r := 0; r < eqProcs; r++ {
-		exch, err := core.New(mech, eqProcs, r, core.Config{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		app.exs = append(app.exs, exch)
-		exch.Init(eqSimCtx{app, r}, core.Load{})
-	}
-	app.rt.Start()
-	if err := eng.Run(); err != nil {
-		t.Fatal(err)
-	}
-	res.executed = app.executed
-	for m := 0; m < eqMasters; m++ {
-		st := app.exs[m].Stats()
-		res.reserved += st.ReservationsSent
-		res.snapshots += st.SnapshotsInitiated
-	}
-	// Final coherent views, post-quiescence (the engine drained: all
-	// work executed, all messages delivered).
-	for r := 0; r < eqProcs; r++ {
-		var view []core.Load
-		got := false
-		app.exs[r].Acquire(eqSimCtx{app, r}, func() {
-			view = app.exs[r].View().Snapshot()
-			app.exs[r].Commit(eqSimCtx{app, r}, nil)
-			got = true
-		})
-		if err := eng.Run(); err != nil {
-			t.Fatal(err)
-		}
-		if !got {
-			t.Fatalf("sim: final acquire on rank %d never completed", r)
-		}
-		res.finalViews = append(res.finalViews, view)
-	}
-	return res
-}
-
-// TestCrossRuntimeEquivalenceScale is a heavier confidence pass over
-// the in-process TCP runtime only; skipped in -short mode.
+// TestCrossRuntimeEquivalenceScale is a heavier selection-coherence
+// pass over the in-process TCP runtime only; skipped in -short mode.
 func TestCrossRuntimeEquivalenceScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy TCP workload")

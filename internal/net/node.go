@@ -24,6 +24,15 @@ type Options struct {
 	// CloseGrace bounds how long Close waits for peers to half-close
 	// their side before forcing connections shut (default 5s).
 	CloseGrace time.Duration
+	// Initial is the per-rank initial load vector (nil means all zero).
+	// Every process knows the full vector — the paper's static-mapping
+	// convention — so each node seeds every peer's entry into its view
+	// at Init time instead of broadcasting.
+	Initial []core.Load
+	// Speed is the per-rank execution-time multiplier (nil or 0 entries
+	// mean nominal speed); a node scales the spin of work items it
+	// executes by its own factor.
+	Speed []float64
 }
 
 // inMsg is one item of the prioritized state channel: either a decoded
@@ -72,12 +81,13 @@ type Node struct {
 	exch    core.Exchanger
 	codec   Codec
 	opts    Options
+	speed   float64
 	start   time.Time
 
-	ln      net.Listener
-	peers   []*peer
-	stateCh chan inMsg
-	dataCh  chan workMsg
+	ln        net.Listener
+	peers     []*peer
+	stateCh   chan inMsg
+	dataCh    chan workMsg
 	quit      chan struct{}
 	done      chan struct{} // main loop exited
 	wgReaders sync.WaitGroup
@@ -118,11 +128,22 @@ func NewNode(rank, n int, mech core.Mech, cfg core.Config, opts Options) (*Node,
 	if opts.CloseGrace <= 0 {
 		opts.CloseGrace = 5 * time.Second
 	}
+	if opts.Initial != nil && len(opts.Initial) != n {
+		return nil, fmt.Errorf("net: %d initial loads for %d ranks", len(opts.Initial), n)
+	}
+	if opts.Speed != nil && len(opts.Speed) != n {
+		return nil, fmt.Errorf("net: %d speed factors for %d ranks", len(opts.Speed), n)
+	}
+	speed := 1.0
+	if opts.Speed != nil && opts.Speed[rank] > 0 {
+		speed = opts.Speed[rank]
+	}
 	return &Node{
 		rank: rank, n: n,
 		exch:    exch,
 		codec:   opts.Codec,
 		opts:    opts,
+		speed:   speed,
 		start:   time.Now(),
 		peers:   make([]*peer, n),
 		stateCh: make(chan inMsg, 1<<16),
@@ -259,7 +280,12 @@ func (nd *Node) Start(addrs []string) error {
 		nd.peers[a.rank] = &peer{rank: a.rank, conn: a.conn, out: make(chan Message, 1<<14)}
 	}
 
-	nd.exch.Init(nodeCtx{nd}, core.Load{})
+	initial := core.Load{}
+	if nd.opts.Initial != nil {
+		initial = nd.opts.Initial[nd.rank]
+	}
+	nd.exch.Init(nodeCtx{nd}, initial)
+	core.SeedView(nd.exch, nd.rank, nd.opts.Initial)
 	for _, p := range nd.peers {
 		if p == nil {
 			continue
@@ -510,12 +536,17 @@ func (nd *Node) handle(m inMsg) {
 	nd.exch.HandleMessage(nodeCtx{nd}, m.from, m.kind, m.payload)
 }
 
-// execute performs one work item and acknowledges it to the assigner.
+// execute performs one work item (spin scaled by this node's speed
+// factor) and acknowledges it to the assigner.
 func (nd *Node) execute(w workMsg) {
 	c := nodeCtx{nd}
 	nd.exch.LocalChange(c, w.load, true)
 	if w.spin > 0 {
-		time.Sleep(w.spin)
+		spin := w.spin
+		if nd.speed != 1 {
+			spin = time.Duration(float64(spin) * nd.speed)
+		}
+		time.Sleep(spin)
 	}
 	neg := w.load
 	for i := range neg {
@@ -603,6 +634,22 @@ func (nd *Node) AcquireView() ([]core.Load, error) {
 		return nil, fmt.Errorf("net: node %d stopped during acquire", nd.rank)
 	}
 	return view, nil
+}
+
+// LocalChange applies a spontaneous local load variation (not slave
+// work) on the node goroutine and returns once it is applied.
+func (nd *Node) LocalChange(delta core.Load) {
+	nd.Invoke(func(ctx core.Context, exch core.Exchanger) {
+		exch.LocalChange(ctx, delta, false)
+	})
+}
+
+// NoMoreMaster announces this node will never take a dynamic decision
+// again (§2.3), on the node goroutine.
+func (nd *Node) NoMoreMaster() {
+	nd.Invoke(func(ctx core.Context, exch core.Exchanger) {
+		exch.NoMoreMaster(ctx)
+	})
 }
 
 // DrainOwn waits until every work item this node assigned has been

@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// WorkloadDriver implements workload.Driver on the deterministic
+// discrete-event simulator: rank programs advance from TryStart, work
+// items travel the data channel and execute as simulated compute tasks
+// whose duration is the nominal spin scaled by the executing rank's
+// speed factor. Runs are fully deterministic for fixed inputs.
+type WorkloadDriver struct {
+	// Network configures the simulated interconnect.
+	Network NetworkConfig
+}
+
+// NewWorkloadDriver returns a driver over the default interconnect.
+func NewWorkloadDriver() *WorkloadDriver {
+	return &WorkloadDriver{Network: DefaultNetwork()}
+}
+
+// Runtime implements workload.Driver.
+func (d *WorkloadDriver) Runtime() string { return "sim" }
+
+// Run implements workload.Driver.
+func (d *WorkloadDriver) Run(w workload.Workload, mech core.Mech, cfg core.Config, p workload.Params) (*workload.Report, error) {
+	progs, err := w.Programs(p)
+	if err != nil {
+		return nil, err
+	}
+	n := len(progs)
+	rep := &workload.Report{Scenario: w.Name(), Runtime: d.Runtime(), Mech: mech, Procs: n}
+	start := time.Now()
+
+	eng := NewEngine()
+	app := &wlApp{
+		progs:    progs,
+		pc:       make([]int, n),
+		inflight: make([]bool, n),
+		executed: make([]int64, n),
+		spin:     Duration(p.Spin.Seconds()),
+		rep:      rep,
+	}
+	app.rt = NewRuntime(eng, n, d.Network, app)
+	for r := 0; r < n; r++ {
+		exch, err := core.New(mech, n, r, cfg)
+		if err != nil {
+			return nil, err
+		}
+		app.exs = append(app.exs, exch)
+		workload.InitExchanger(wlCtx{app, r}, exch, r, progs)
+	}
+	app.rt.Start()
+	if err := eng.Run(); err != nil {
+		return nil, err
+	}
+	for r := range app.pc {
+		if app.pc[r] != len(progs[r].Steps) || app.inflight[r] {
+			return nil, fmt.Errorf("sim: rank %d stalled at step %d/%d (engine drained)",
+				r, app.pc[r], len(progs[r].Steps))
+		}
+	}
+	rep.DecisionsTaken = len(rep.Records)
+	rep.Executed = app.executed
+	for r := 0; r < n; r++ {
+		rep.Stats = append(rep.Stats, app.exs[r].Stats())
+	}
+	// Final coherent views: the engine drained, so all work executed and
+	// all messages were delivered; a fresh acquisition per rank is exact.
+	for r := 0; r < n; r++ {
+		ctx := wlCtx{app, r}
+		var view []core.Load
+		got := false
+		app.exs[r].Acquire(ctx, func() {
+			view = app.exs[r].View().Snapshot()
+			app.exs[r].Commit(ctx, nil)
+			got = true
+		})
+		if err := eng.Run(); err != nil {
+			return nil, err
+		}
+		if !got {
+			return nil, fmt.Errorf("sim: final acquire on rank %d never completed", r)
+		}
+		rep.FinalViews = append(rep.FinalViews, view)
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// wlKindWork is the data-channel message kind carrying a work item.
+const wlKindWork = 1000
+
+// wlWorkPayload is one work item on the simulated data channel.
+type wlWorkPayload struct {
+	Load core.Load
+	Dur  Duration
+}
+
+// wlApp drives rank programs through the Algorithm 1 loop.
+type wlApp struct {
+	rt       *Runtime
+	exs      []core.Exchanger
+	progs    []workload.Program
+	pc       []int  // per-rank program counter
+	inflight []bool // rank awaits a decision's view
+	executed []int64
+	assigned int64 // work items committed (leads Commit)
+	done     int64 // work items completed (trails the load decrement)
+	spin     Duration
+	rep      *workload.Report
+}
+
+// wlCtx adapts the runtime to core.Context for one rank.
+type wlCtx struct {
+	app  *wlApp
+	rank int
+}
+
+func (c wlCtx) Rank() int    { return c.rank }
+func (c wlCtx) N() int       { return len(c.app.exs) }
+func (c wlCtx) Now() float64 { return float64(c.app.rt.Now()) }
+
+func (c wlCtx) Send(to int, kind int, payload any, bytes float64) {
+	c.app.rt.Send(&Message{
+		From: c.rank, To: to, Channel: StateChannel,
+		Kind: kind, Payload: payload, Bytes: bytes,
+	})
+}
+
+func (c wlCtx) Broadcast(kind int, payload any, bytes float64) {
+	for to := 0; to < len(c.app.exs); to++ {
+		if to != c.rank {
+			c.Send(to, kind, payload, bytes)
+		}
+	}
+}
+
+func (a *wlApp) HandleState(p *Proc, m *Message) {
+	a.exs[p.ID].HandleMessage(wlCtx{a, p.ID}, m.From, m.Kind, m.Payload)
+}
+
+func (a *wlApp) HandleData(p *Proc, m *Message) {
+	w := m.Payload.(wlWorkPayload)
+	ctx := wlCtx{a, p.ID}
+	a.exs[p.ID].LocalChange(ctx, w.Load, true)
+	a.rt.Compute(p, w.Dur, func() {
+		neg := w.Load
+		for i := range neg {
+			neg[i] = -neg[i]
+		}
+		a.exs[p.ID].LocalChange(ctx, neg, true)
+		a.executed[p.ID]++
+		a.done++
+	})
+}
+
+func (a *wlApp) Blocked(p *Proc) bool { return a.exs[p.ID].Busy() }
+
+// TryStart advances rank p's program by one step.
+func (a *wlApp) TryStart(p *Proc) bool {
+	r := p.ID
+	if a.inflight[r] || a.pc[r] >= len(a.progs[r].Steps) {
+		return false
+	}
+	st := a.progs[r].Steps[a.pc[r]]
+	ctx := wlCtx{a, r}
+	switch st.Op {
+	case workload.OpLocalChange:
+		a.pc[r]++
+		a.exs[r].LocalChange(ctx, st.Delta, false)
+		return true
+	case workload.OpNoMoreMaster:
+		a.pc[r]++
+		a.exs[r].NoMoreMaster(ctx)
+		return true
+	case workload.OpDecide:
+		a.inflight[r] = true
+		rec := workload.DecisionRecord{AssignedAtAcquire: a.assigned, ExecutedAtAcquire: a.done}
+		a.exs[r].Acquire(ctx, func() {
+			rec.AssignedAtReady, rec.ExecutedAtReady = a.assigned, a.done
+			rec.Decision = core.PlanDecision(a.exs[r].View(), r, st.Slaves, st.Work)
+			// The cumulative counter leads Commit so any snapshot cut
+			// that observed this decision's credits is covered by a
+			// later read (the conservation window relies on it).
+			a.assigned += int64(len(rec.Assignments))
+			a.exs[r].Commit(ctx, rec.Assignments)
+			for _, asg := range rec.Assignments {
+				dur := a.spin * Duration(a.progs[asg.Proc].SpeedFactor())
+				a.rt.Send(&Message{
+					From: r, To: int(asg.Proc), Channel: DataChannel,
+					Kind: wlKindWork, Payload: wlWorkPayload{Load: asg.Delta, Dur: dur},
+					Bytes: 64,
+				})
+			}
+			a.pc[r]++
+			a.inflight[r] = false
+			a.rep.Records = append(a.rep.Records, rec)
+			// A committed decision may enable the next step; the engine
+			// has no pending event for an idle rank, so request a wakeup.
+			a.rt.Wake(r)
+		})
+		return true
+	}
+	return false
+}

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Workload{}
+)
+
+// Register adds a scenario to the registry. It panics on an empty or
+// duplicate name — scenario registration is a program-initialization
+// concern, not a runtime one.
+func Register(w Workload) {
+	name := w.Name()
+	if name == "" || name == "all" {
+		panic(fmt.Sprintf("workload: invalid scenario name %q", name))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("workload: scenario %q registered twice", name))
+	}
+	registry[name] = w
+}
+
+// Get returns the scenario registered under name; the error for an
+// unknown name lists every registered scenario.
+func Get(name string) (Workload, error) {
+	regMu.RLock()
+	w, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown scenario %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return w, nil
+}
+
+// Names returns the registered scenario names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns every registered scenario in Names order.
+func All() []Workload {
+	names := Names()
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Workload, 0, len(names))
+	for _, name := range names {
+		out = append(out, registry[name])
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package workload
+
+import "repro/internal/core"
+
+// scenario implements Workload from a name, a description and a program
+// builder that may assume normalized, validated params.
+type scenario struct {
+	name     string
+	describe string
+	build    func(p Params) []Program
+}
+
+func (s scenario) Name() string     { return s.name }
+func (s scenario) Describe() string { return s.describe }
+
+func (s scenario) Programs(p Params) ([]Program, error) {
+	p.Normalize()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return s.build(p), nil
+}
+
+// blank returns one zero-load, nominal-speed program per rank.
+func blank(p Params) []Program {
+	progs := make([]Program, p.Procs)
+	for r := range progs {
+		progs[r].Speed = 1
+	}
+	return progs
+}
+
+// decide appends one OpDecide step to rank r.
+func decide(progs []Program, r int, work float64, slaves int) {
+	progs[r].Steps = append(progs[r].Steps, Step{Op: OpDecide, Work: work, Slaves: slaves})
+}
+
+func init() {
+	Register(scenario{
+		name:     "quickstart",
+		describe: "the paper's base workload: the first Masters ranks each take Decisions concurrent dynamic decisions",
+		build: func(p Params) []Program {
+			progs := blank(p)
+			for m := 0; m < p.Masters; m++ {
+				for i := 0; i < p.Decisions; i++ {
+					decide(progs, m, p.Work, p.Slaves)
+				}
+			}
+			return progs
+		},
+	})
+
+	Register(scenario{
+		name:     "burst",
+		describe: "synchronized decision storm: every rank is a master and all fire their decisions concurrently",
+		build: func(p Params) []Program {
+			progs := blank(p)
+			for r := 0; r < p.Procs; r++ {
+				for i := 0; i < p.Decisions; i++ {
+					decide(progs, r, p.Work, p.Slaves)
+				}
+			}
+			return progs
+		},
+	})
+
+	Register(scenario{
+		name:     "ramp",
+		describe: "monotone drain: shrinking decisions, every rank drains its initial load and declares No_more_master",
+		build: func(p Params) []Program {
+			progs := blank(p)
+			for r := range progs {
+				progs[r].Initial = core.Load{core.Workload: p.Work}
+			}
+			for m := 0; m < p.Masters; m++ {
+				for i := 0; i < p.Decisions; i++ {
+					frac := float64(p.Decisions-i) / float64(p.Decisions)
+					decide(progs, m, p.Work*frac, p.Slaves)
+				}
+			}
+			// Everyone drains its initial load, then announces it will
+			// never decide again — exercising the §2.3 recipient pruning
+			// when NoMoreMasterOpt is on.
+			for r := range progs {
+				drain := progs[r].Initial
+				for i := range drain {
+					drain[i] = -drain[i]
+				}
+				progs[r].Steps = append(progs[r].Steps,
+					Step{Op: OpLocalChange, Delta: drain},
+					Step{Op: OpNoMoreMaster})
+			}
+			return progs
+		},
+	})
+
+	Register(scenario{
+		name:     "hetero",
+		describe: "heterogeneous cluster: linearly skewed initial loads and per-rank execution speeds",
+		build: func(p Params) []Program {
+			progs := blank(p)
+			for r := range progs {
+				progs[r].Initial = core.Load{core.Workload: p.Work * float64(r) / float64(p.Procs)}
+				progs[r].Speed = 1 + float64(r)/float64(p.Procs)
+			}
+			for m := 0; m < p.Masters; m++ {
+				for i := 0; i < p.Decisions; i++ {
+					decide(progs, m, p.Work, p.Slaves)
+				}
+			}
+			return progs
+		},
+	})
+
+	Register(scenario{
+		name:     "straggler",
+		describe: "one rank executes 6x slower, delaying its snapshot replies and stressing concurrent elections",
+		build: func(p Params) []Program {
+			progs := blank(p)
+			progs[p.Procs-1].Speed = 6
+			for m := 0; m < p.Masters; m++ {
+				for i := 0; i < p.Decisions; i++ {
+					decide(progs, m, p.Work, p.Slaves)
+				}
+			}
+			return progs
+		},
+	})
+}
