@@ -1,0 +1,88 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestFailedCellsErrorNamesEveryCell(t *testing.T) {
+	if err := failedCellsError(nil); err != nil {
+		t.Fatalf("no failures must mean nil error, got %v", err)
+	}
+	failed := []experiments.CellError{
+		{Cell: experiments.Cell{Scenario: "burst", Mech: "naive", Runtime: "net"}, Err: errors.New("dial refused")},
+		{Cell: experiments.Cell{Scenario: "ramp", Mech: "snapshot", Runtime: "sim"}, Err: errors.New("stalled")},
+	}
+	err := failedCellsError(failed)
+	if err == nil {
+		t.Fatal("failures must produce a non-nil error (non-zero exit)")
+	}
+	for _, want := range []string{"2 cell(s) failed", "burst × naive × net", "dial refused", "ramp × snapshot × sim", "stalled"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestExperimentCommandSimSweep runs the real subcommand over the full
+// scenario × mechanism matrix on the sim runtime and checks the
+// benchmark JSON holds aggregates for every cell — the acceptance shape
+// of `loadex experiment -scenario all -mech all -runtime sim`.
+func TestExperimentCommandSimSweep(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	// Divert the markdown tables away from the test output.
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	err = runExperiment([]string{
+		"-scenario", "all", "-mech", "all", "-runtime", "sim",
+		"-repeat", "2", "-json", path, "-procs", "5",
+		"-masters", "2", "-decisions", "2", "-work", "40", "-slaves", "2",
+		"-spin", "200us",
+	})
+	os.Stdout = old
+	null.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	bench, err := experiments.ReadBenchJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := 5 * 3 // scenarios × mechanisms on one runtime
+	if len(bench.Cells) != wantCells {
+		t.Fatalf("bench holds %d cells, want %d", len(bench.Cells), wantCells)
+	}
+	if len(bench.Failed) != 0 {
+		t.Fatalf("failed cells recorded: %v", bench.Failed)
+	}
+	for _, cell := range bench.Cells {
+		if cell.Repeats != 2 {
+			t.Fatalf("%s: repeats = %d, want 2", cell.Cell, cell.Repeats)
+		}
+		for _, name := range []string{
+			experiments.MetricStateMsgs, experiments.MetricStateBytes,
+			experiments.MetricDecisions, experiments.MetricDecisionLatency,
+		} {
+			if s := cell.Metric(name); s.N != 2 {
+				t.Fatalf("%s: metric %s missing (%+v)", cell.Cell, name, s)
+			}
+		}
+		if cell.Metric(experiments.MetricStateMsgs).Mean <= 0 {
+			t.Fatalf("%s: no state traffic measured", cell.Cell)
+		}
+	}
+}

@@ -19,6 +19,9 @@
 //
 //	loadex run     [-scenario s] [-mech m] [-runtime r]   the scenario ×
 //	               mechanism × runtime matrix ("all" fans any axis out)
+//	loadex experiment [-repeat k] [-json file] [...]   the measured matrix:
+//	               per-cell message/byte/latency aggregates over k runs,
+//	               paper-shaped markdown tables + benchmark JSON
 //	loadex cluster [-procs n] [-mech m] [...]   fork an n-process TCP
 //	                                            cluster, run one scenario,
 //	                                            report per-rank stats
@@ -55,6 +58,12 @@ func main() {
 		case "run":
 			if err := runRun(os.Args[2:]); err != nil {
 				fmt.Fprintln(os.Stderr, "loadex run:", err)
+				os.Exit(1)
+			}
+			return
+		case "experiment":
+			if err := runExperiment(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "loadex experiment:", err)
 				os.Exit(1)
 			}
 			return
@@ -183,6 +192,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: loadex [-scale f] [-seed n] <table1|table3|table4|table5|table6|table7|fig1|fig2|ablations|all>")
 	fmt.Fprintf(os.Stderr, "       loadex run [-scenario %s|all] [-mech %s|all] [-runtime sim|live|net|all] [-inproc] ...\n",
 		strings.Join(workload.Names(), "|"), strings.Join(mechNames(), "|"))
+	fmt.Fprintln(os.Stderr, "       loadex experiment [-scenario s|all] [-mech m|all] [-runtime r|all] [-repeat k] [-json file] ...")
 	fmt.Fprintln(os.Stderr, "       loadex cluster [-procs n] [-scenario s] [-mech m|all] [-inproc] ...")
 	fmt.Fprintln(os.Stderr, "       loadex node -rank r -n procs [-scenario s] [-mech m] ...   (normally forked by cluster)")
 }

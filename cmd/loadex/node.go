@@ -36,6 +36,7 @@ type nodeStats struct {
 	Decisions int                 `json:"decisions"`
 	Mech      core.Stats          `json:"mech"`
 	Transport xnet.TransportStats `json:"transport"`
+	Counters  core.Counters       `json:"counters"`
 }
 
 // nodeParams collects the scenario-shaping flags shared by `loadex
@@ -265,5 +266,6 @@ func runNodeProgram(nd *xnet.Node, prog workload.Program, p *nodeParams) (nodeSt
 	st.Executed = nd.Executed()
 	st.Mech = nd.MechStats()
 	st.Transport = nd.Transport()
+	st.Counters = nd.Counters()
 	return st, nil
 }

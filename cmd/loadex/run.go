@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/live"
 	xnet "repro/internal/net"
 	"repro/internal/sim"
@@ -50,21 +51,15 @@ func runRun(args []string) error {
 	if err := p.validate(true); err != nil {
 		return err
 	}
-	runtimes := []string{*runtime}
-	if *runtime == "all" {
-		runtimes = runtimeNames()
-	} else if !isRuntime(*runtime) {
-		return fmt.Errorf("unknown runtime %q (available: %s, all)", *runtime, strings.Join(runtimeNames(), ", "))
-	}
-	scenarios := []string{p.scenario}
-	if p.scenario == "all" {
-		scenarios = workload.Names()
-	}
-	mechs := []core.Mech{core.Mech(p.mech)}
-	if p.mech == "all" {
-		mechs = core.Mechanisms()
+	runtimes, scenarios, mechs, err := expandAxes(*runtime, &p)
+	if err != nil {
+		return err
 	}
 
+	// Visit every cell even when one fails: an `all` sweep must report
+	// which cells broke, not abort on (or worse, report only) the last
+	// one, and must exit non-zero if any did.
+	var failed []experiments.CellError
 	tw := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
 	fmt.Fprintln(tw, "scenario\tmech\truntime\tprocs\tdecisions\texecuted\tupdates\treservations\tsnapshots\trestarts\twire_msgs\twire_bytes\telapsed")
 	for _, scenario := range scenarios {
@@ -72,14 +67,17 @@ func runRun(args []string) error {
 			for _, rt := range runtimes {
 				rep, err := runCell(scenario, mech, rt, *inproc, &p)
 				if err != nil {
-					return fmt.Errorf("scenario %s × %s × %s: %w", scenario, mech, rt, err)
+					cell := experiments.Cell{Scenario: scenario, Mech: string(mech), Runtime: rt}
+					failed = append(failed, experiments.CellError{Cell: cell, Err: err})
+					fmt.Fprintf(tw, "%s\t%s\t%s\tFAILED: %v\n", scenario, mech, rt, err)
+					continue
 				}
 				writeRunRow(tw, rep)
 			}
 		}
 	}
 	tw.Flush()
-	return nil
+	return failedCellsError(failed)
 }
 
 func isRuntime(name string) bool {
@@ -137,6 +135,7 @@ func runCellForked(scenario string, mech core.Mech, p *nodeParams) (*workload.Re
 		rep.DecisionsTaken += s.Decisions
 		rep.Executed = append(rep.Executed, s.Executed)
 		rep.Stats = append(rep.Stats, s.Mech)
+		rep.Counters.Merge(s.Counters)
 		rep.WireMsgs += s.Transport.MsgsIn
 		rep.WireBytes += s.Transport.BytesIn
 	}

@@ -124,22 +124,44 @@ func KindName(kind int) string {
 	return fmt.Sprintf("kind(%d)", kind)
 }
 
-// Approximate on-wire sizes in bytes, used for bandwidth accounting. A
+// On-wire sizes in bytes of the state-channel messages, used for
+// bandwidth accounting everywhere a real wire is absent (sim, live) and
+// checked against the real wire where one exists. Each constant is the
+// exact frame-body length produced by internal/net's BinaryCodec — the
+// reference encoding — for that kind; the TCP transport adds a 4-byte
+// length prefix per frame (net.FrameHeaderBytes), which is transport
+// framing, not message payload, and is therefore excluded here. A
 // snapshot reply carries every metric at once (the paper notes snapshot
-// messages are larger, §4.5).
+// messages are larger, §4.5). internal/net's codec tests assert that
+// these constants and BinaryCodec.Encode never drift apart.
 const (
-	BytesUpdate        = 8 + 8*float64(NumMetrics)
-	BytesMasterToAll   = 16 // + 16 per assignment, see MasterToAllBytes
-	BytesNoMoreMaster  = 8
-	BytesStartSnp      = 12
-	BytesSnp           = 12 + 8*float64(NumMetrics)
-	BytesEndSnp        = 8
-	BytesMasterToSlave = 8 + 8*float64(NumMetrics)
+	// BytesStateHeader is the header every state message carries:
+	// type (u8) + sender rank (i32) + state kind (i32).
+	BytesStateHeader = 1 + 4 + 4
+	// BytesLoad is one Load vector: NumMetrics raw float64s.
+	BytesLoad = 8 * float64(NumMetrics)
+	// BytesAssignment is one Assignment of a Master_To_All list:
+	// processor rank (i32) + reserved load delta.
+	BytesAssignment = 4 + BytesLoad
+
+	BytesUpdate        = BytesStateHeader + BytesLoad
+	BytesMasterToAll   = BytesStateHeader + 4 // + assignment list, see MasterToAllBytes
+	BytesNoMoreMaster  = BytesStateHeader
+	BytesStartSnp      = BytesStateHeader + 4 // + request id
+	BytesSnp           = BytesStateHeader + 4 + BytesLoad
+	BytesEndSnp        = BytesStateHeader
+	BytesMasterToSlave = BytesStateHeader + BytesLoad
+
+	// BytesWorkItem is a data-channel work item: type (u8) + sender
+	// rank (i32) + load + spin duration (u64). The runtimes without a
+	// real wire charge this for each shipped work item so data-channel
+	// volume is comparable across runtimes.
+	BytesWorkItem = 1 + 4 + BytesLoad + 8
 )
 
 // MasterToAllBytes returns the size of a Master_To_All message with k
 // assignments.
-func MasterToAllBytes(k int) float64 { return BytesMasterToAll + 16*float64(k) }
+func MasterToAllBytes(k int) float64 { return BytesMasterToAll + BytesAssignment*float64(k) }
 
 // Assignment is one slave's share in a dynamic decision: the load delta
 // the master reserves on processor Proc.

@@ -1,0 +1,158 @@
+package core
+
+import "testing"
+
+// Regression tests for the leader-election restart path (§3): an
+// initiator that answers a better leader re-broadcasts with a fresh
+// request id, stale replies to the superseded round must be discarded,
+// and the restart statistics must count each event exactly once.
+
+// TestSnapshotRestartStaleReplyDiscarded scripts the exact interleaving
+// where a reply to the initiator's superseded round arrives after the
+// restart: P2 initiates, P1 answers P2's round 1, P2 then loses the
+// election to P0 and restarts — so P1's round-1 reply reaches P2 with a
+// stale request id and must not advance the new collection, and the
+// restart and snapshot-time counters must not double-count.
+func TestSnapshotRestartStaleReplyDiscarded(t *testing.T) {
+	net, exs := mkSnapshot(t, 3, nil)
+	p0Ready, p2Ready := 0, 0
+	t0 := net.now
+	var tReady float64
+	exs[2].Acquire(net.ctx(2), func() {
+		p2Ready++
+		tReady = net.now
+		// P2's snapshot runs after P0's, so it must observe P0's
+		// assignment of 100 to P1 (10 initial + 100).
+		if got := exs[2].View().Metric(1, Workload); got != 110 {
+			t.Fatalf("P2's view of P1 = %v, want 110", got)
+		}
+		exs[2].Commit(net.ctx(2), nil)
+	})
+	exs[0].Acquire(net.ctx(0), func() {
+		p0Ready++
+		exs[0].Commit(net.ctx(0), []Assignment{{Proc: 1, Delta: Load{Workload: 100}}})
+	})
+
+	// P1 answers P2's round 1: the reply that will go stale.
+	if !net.deliverNext(func(m fakeMsg) bool { return m.kind == KindStartSnp && m.from == 2 && m.to == 1 }) {
+		t.Fatal("missing start_snp 2→1")
+	}
+	// P2 receives P0's start, answers the better leader and restarts.
+	if !net.deliverNext(func(m fakeMsg) bool { return m.kind == KindStartSnp && m.from == 0 && m.to == 2 }) {
+		t.Fatal("missing start_snp 0→2")
+	}
+	if st := exs[2].Stats(); st.SnapshotRestarts != 1 {
+		t.Fatalf("after answering the better leader: restarts = %d, want 1", st.SnapshotRestarts)
+	}
+	// The stale round-1 reply lands after the restart: discarded.
+	if !net.deliverNext(func(m fakeMsg) bool { return m.kind == KindSnp && m.from == 1 && m.to == 2 }) {
+		t.Fatal("missing stale snp 1→2")
+	}
+	if p2Ready != 0 {
+		t.Fatal("stale reply completed the superseded round")
+	}
+	if exs[2].nbMsgs != 0 {
+		t.Fatalf("stale reply was counted: nbMsgs = %d, want 0", exs[2].nbMsgs)
+	}
+
+	net.drain(10000)
+	if p0Ready != 1 || p2Ready != 1 {
+		t.Fatalf("ready counts: P0=%d P2=%d, want 1 and 1", p0Ready, p2Ready)
+	}
+	st := exs[2].Stats()
+	if st.SnapshotsInitiated != 1 || st.SnapshotRestarts != 1 {
+		t.Fatalf("P2 stats = %+v, want 1 initiated, 1 restart", st)
+	}
+	// SnapshotTime covers the whole Acquire→ready span once — a
+	// double-count (e.g. one add per round) would exceed the wall span.
+	if want := tReady - t0; st.SnapshotTime != want {
+		t.Fatalf("P2 SnapshotTime = %v, want exactly %v (counted once)", st.SnapshotTime, want)
+	}
+	for r := 0; r < 3; r++ {
+		if exs[r].Busy() {
+			t.Fatalf("P%d busy after completion", r)
+		}
+	}
+}
+
+// TestSnapshotDelayedReplyAfterRestart scripts the other stale-id path:
+// P1 owes P2 a delayed reply, the current leader P0 finishes, and P1's
+// postponed answer goes out with the request id of P2's superseded
+// round (P2's re-broadcast has not reached P1 yet). P2 must discard it,
+// and P1 must answer again — with the fresh id — once the re-broadcast
+// arrives, so the restarted snapshot still completes with a coherent
+// view.
+func TestSnapshotDelayedReplyAfterRestart(t *testing.T) {
+	net, exs := mkSnapshot(t, 3, nil)
+	p0Ready, p2Ready := 0, 0
+	exs[2].Acquire(net.ctx(2), func() {
+		p2Ready++
+		if got := exs[2].View().Metric(1, Workload); got != 110 {
+			t.Fatalf("P2's view of P1 = %v, want 110", got)
+		}
+		exs[2].Commit(net.ctx(2), nil)
+	})
+	exs[0].Acquire(net.ctx(0), func() {
+		p0Ready++
+		exs[0].Commit(net.ctx(0), []Assignment{{Proc: 1, Delta: Load{Workload: 100}}})
+	})
+
+	// P1 hears the leader P0 first, then P2's round 1: it answers P0 and
+	// owes P2 a delayed reply recorded under P2's round-1 id.
+	if !net.deliverNext(func(m fakeMsg) bool { return m.kind == KindStartSnp && m.from == 0 && m.to == 1 }) {
+		t.Fatal("missing start_snp 0→1")
+	}
+	if !net.deliverNext(func(m fakeMsg) bool { return m.kind == KindStartSnp && m.from == 2 && m.to == 1 }) {
+		t.Fatal("missing start_snp 2→1")
+	}
+	// P2 answers the better leader and restarts (round 2) — but the
+	// re-broadcast stays in flight for now.
+	if !net.deliverNext(func(m fakeMsg) bool { return m.kind == KindStartSnp && m.from == 0 && m.to == 2 }) {
+		t.Fatal("missing start_snp 0→2")
+	}
+	// P0 collects both replies and finishes; per-pair FIFO: the
+	// master_to_slave to P1 precedes P0's end_snp.
+	if !net.deliverNext(func(m fakeMsg) bool { return m.kind == KindSnp && m.to == 0 && m.from == 1 }) {
+		t.Fatal("missing snp 1→0")
+	}
+	if !net.deliverNext(func(m fakeMsg) bool { return m.kind == KindSnp && m.to == 0 && m.from == 2 }) {
+		t.Fatal("missing snp 2→0")
+	}
+	if p0Ready != 1 {
+		t.Fatal("P0's snapshot should be ready")
+	}
+	if !net.deliverNext(func(m fakeMsg) bool { return m.kind == KindMasterToSlave && m.from == 0 && m.to == 1 }) {
+		t.Fatal("missing master_to_slave 0→1")
+	}
+	// P0's end_snp reaches P1 before P2's re-broadcast: P1's delayed
+	// reply goes out under the superseded round-1 id.
+	if !net.deliverNext(func(m fakeMsg) bool { return m.kind == KindEndSnp && m.from == 0 && m.to == 1 }) {
+		t.Fatal("missing end_snp 0→1")
+	}
+	if !net.deliverNext(func(m fakeMsg) bool { return m.kind == KindSnp && m.from == 1 && m.to == 2 }) {
+		t.Fatal("P1 did not flush its delayed reply after the leader's end_snp")
+	}
+	if p2Ready != 0 {
+		t.Fatal("stale delayed reply completed P2's restarted round")
+	}
+	if exs[2].nbMsgs != 0 {
+		t.Fatalf("stale delayed reply was counted: nbMsgs = %d, want 0", exs[2].nbMsgs)
+	}
+	// P2's round-2 broadcast finally reaches P1: it must answer afresh
+	// under the new id and the snapshot must complete.
+	if !net.deliverNext(func(m fakeMsg) bool { return m.kind == KindStartSnp && m.from == 2 && m.to == 1 }) {
+		t.Fatal("missing re-broadcast start_snp 2→1")
+	}
+	net.drain(10000)
+	if p0Ready != 1 || p2Ready != 1 {
+		t.Fatalf("ready counts: P0=%d P2=%d, want 1 and 1", p0Ready, p2Ready)
+	}
+	if st := exs[2].Stats(); st.SnapshotRestarts != 1 {
+		t.Fatalf("P2 restarts = %d, want exactly 1", st.SnapshotRestarts)
+	}
+	for r := 0; r < 3; r++ {
+		if exs[r].Busy() {
+			t.Fatalf("P%d busy after completion", r)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package experiments
+
+// The scenario × mechanism × runtime sweep behind `loadex experiment`:
+// run any subset of the matrix, repeat each cell, aggregate every
+// measurement the runtimes' counters expose (messages sent, volume
+// exchanged, time spent acquiring coherent views — the paper's table
+// axes) with the stats toolkit, and emit both paper-shaped markdown
+// tables (mechanism rows, per-metric columns) and a machine-readable
+// benchmark record for the perf trajectory.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Cell is one scenario × mechanism × runtime coordinate of the matrix.
+type Cell struct {
+	Scenario string `json:"scenario"`
+	Mech     string `json:"mech"`
+	Runtime  string `json:"runtime"`
+}
+
+// String names the cell the way error messages and logs refer to it.
+func (c Cell) String() string {
+	return c.Scenario + " × " + c.Mech + " × " + c.Runtime
+}
+
+// Cells expands the scenario, mechanism and runtime axes into the cell
+// list of their cross product, in table order (scenario-major,
+// mechanisms in paper order).
+func Cells(scenarios []string, mechs []core.Mech, runtimes []string) []Cell {
+	var cells []Cell
+	for _, s := range scenarios {
+		for _, m := range mechs {
+			for _, r := range runtimes {
+				cells = append(cells, Cell{Scenario: s, Mech: string(m), Runtime: r})
+			}
+		}
+	}
+	return cells
+}
+
+// CellRunner executes one repetition of one cell.
+type CellRunner func(Cell) (*workload.Report, error)
+
+// CellResult aggregates the repeated runs of one cell: one summary per
+// metric over the per-run totals.
+type CellResult struct {
+	Cell
+	Procs   int                      `json:"procs"`
+	Repeats int                      `json:"repeats"`
+	Metrics map[string]stats.Summary `json:"metrics"`
+}
+
+// Metric returns the summary for a named metric (zero Summary when the
+// metric was not recorded).
+func (r CellResult) Metric(name string) stats.Summary { return r.Metrics[name] }
+
+// CellError is one failed cell of a sweep.
+type CellError struct {
+	Cell
+	Err error
+}
+
+func (e CellError) Error() string { return e.Cell.String() + ": " + e.Err.Error() }
+
+// The headline metric names, in report order. Per-kind breakdowns are
+// additionally recorded as "msgs[<kind>]" and "bytes[<kind>]".
+const (
+	MetricDecisions       = "decisions"
+	MetricExecuted        = "executed"
+	MetricStateMsgs       = "state_msgs"
+	MetricStateBytes      = "state_bytes"
+	MetricDataMsgs        = "data_msgs"
+	MetricDataBytes       = "data_bytes"
+	MetricUpdates         = "updates_sent"
+	MetricReservations    = "reservations_sent"
+	MetricSnapshots       = "snapshots_initiated"
+	MetricRestarts        = "snapshot_restarts"
+	MetricSnapshotRounds  = "snapshot_rounds"
+	MetricSnapshotTime    = "snapshot_time_s"
+	MetricDecisionLatency = "decision_latency_s"
+	MetricBusyTime        = "busy_time_s"
+	MetricWireMsgs        = "wire_msgs"
+	MetricWireBytes       = "wire_bytes"
+	MetricElapsed         = "elapsed_s"
+)
+
+// MetricNames lists the headline metrics in report order.
+func MetricNames() []string {
+	return []string{
+		MetricDecisions, MetricExecuted,
+		MetricStateMsgs, MetricStateBytes, MetricDataMsgs, MetricDataBytes,
+		MetricUpdates, MetricReservations,
+		MetricSnapshots, MetricRestarts, MetricSnapshotRounds, MetricSnapshotTime,
+		MetricDecisionLatency, MetricBusyTime,
+		MetricWireMsgs, MetricWireBytes, MetricElapsed,
+	}
+}
+
+// metricsOf flattens one report into named samples.
+func metricsOf(rep *workload.Report) map[string]float64 {
+	st := rep.TotalStats()
+	c := rep.Counters
+	m := map[string]float64{
+		MetricDecisions:       float64(rep.DecisionsTaken),
+		MetricExecuted:        float64(rep.TotalExecuted()),
+		MetricStateMsgs:       float64(c.StateMsgs),
+		MetricStateBytes:      c.StateBytes,
+		MetricDataMsgs:        float64(c.DataMsgs),
+		MetricDataBytes:       c.DataBytes,
+		MetricUpdates:         float64(st.UpdatesSent),
+		MetricReservations:    float64(st.ReservationsSent),
+		MetricSnapshots:       float64(st.SnapshotsInitiated),
+		MetricRestarts:        float64(st.SnapshotRestarts),
+		MetricSnapshotRounds:  float64(c.SnapshotRounds),
+		MetricSnapshotTime:    st.SnapshotTime,
+		MetricDecisionLatency: c.DecisionLatency,
+		MetricBusyTime:        c.BusyTime,
+		MetricWireMsgs:        float64(rep.WireMsgs),
+		MetricWireBytes:       float64(rep.WireBytes),
+		MetricElapsed:         rep.Elapsed.Seconds(),
+	}
+	for kind, t := range c.PerKind {
+		m["msgs["+kind+"]"] = float64(t.Msgs)
+		m["bytes["+kind+"]"] = t.Bytes
+	}
+	return m
+}
+
+// Aggregate summarizes the repeated reports of one cell. A metric
+// absent from some runs (a per-kind tally for a kind that run never
+// sent) counts as zero there, not as a missing sample — otherwise an
+// intermittent kind's mean would be inflated by only averaging over the
+// runs that sent it.
+func Aggregate(cell Cell, reps []*workload.Report) CellResult {
+	res := CellResult{Cell: cell, Repeats: len(reps), Metrics: map[string]stats.Summary{}}
+	perRun := make([]map[string]float64, len(reps))
+	names := map[string]bool{}
+	for i, rep := range reps {
+		res.Procs = rep.Procs
+		perRun[i] = metricsOf(rep)
+		for name := range perRun[i] {
+			names[name] = true
+		}
+	}
+	for name := range names {
+		xs := make([]float64, len(reps))
+		for i := range reps {
+			xs[i] = perRun[i][name] // zero when this run lacks the metric
+		}
+		res.Metrics[name] = stats.Summarize(xs)
+	}
+	return res
+}
+
+// Sweep runs every cell repeat times through run and aggregates per
+// cell. Cells that fail (on any repetition) are skipped in the results
+// and reported in failed — the sweep always visits every cell, so one
+// broken cell cannot hide the state of the rest of the matrix.
+func Sweep(cells []Cell, repeat int, run CellRunner, progress func(Cell, int)) (results []CellResult, failed []CellError) {
+	if repeat < 1 {
+		repeat = 1
+	}
+	for _, cell := range cells {
+		var reps []*workload.Report
+		var cellErr error
+		for i := 0; i < repeat; i++ {
+			if progress != nil {
+				progress(cell, i)
+			}
+			rep, err := run(cell)
+			if err != nil {
+				cellErr = err
+				break
+			}
+			reps = append(reps, rep)
+		}
+		if cellErr != nil {
+			failed = append(failed, CellError{Cell: cell, Err: cellErr})
+			continue
+		}
+		results = append(results, Aggregate(cell, reps))
+	}
+	return results, failed
+}
+
+// Bench is the machine-readable record of one sweep — the benchmark
+// trajectory format CI uploads so successive PRs can be compared.
+type Bench struct {
+	// Label identifies the sweep (e.g. "pr3").
+	Label   string          `json:"label"`
+	Repeat  int             `json:"repeat"`
+	Params  workload.Params `json:"params"`
+	Cells   []CellResult    `json:"cells"`
+	Failed  []string        `json:"failed,omitempty"`
+	Version int             `json:"version"`
+}
+
+// BenchVersion is the current Bench schema version.
+const BenchVersion = 1
+
+// WriteBenchJSON writes the sweep record as indented JSON.
+func WriteBenchJSON(w io.Writer, b Bench) error {
+	b.Version = BenchVersion
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBenchJSON parses a sweep record.
+func ReadBenchJSON(r io.Reader) (Bench, error) {
+	var b Bench
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return Bench{}, err
+	}
+	return b, nil
+}
+
+// markdownColumns are the paper-shaped table columns: the three
+// quantities the paper compares mechanisms by (messages, volume, time
+// to a coherent view) plus the mechanism-specific counts that explain
+// them.
+var markdownColumns = []struct{ header, metric string }{
+	{"decisions", MetricDecisions},
+	{"state msgs", MetricStateMsgs},
+	{"state bytes", MetricStateBytes},
+	{"updates", MetricUpdates},
+	{"reservations", MetricReservations},
+	{"snp rounds", MetricSnapshotRounds},
+	{"acquire latency (s)", MetricDecisionLatency},
+	{"busy (s)", MetricBusyTime},
+}
+
+// WriteSweepMarkdown writes one paper-shaped table per scenario ×
+// runtime group: mechanism rows in the order the paper's tables use,
+// per-metric columns, mean over the repeats (with min–max when the runs
+// disagree).
+func WriteSweepMarkdown(w io.Writer, results []CellResult) {
+	type group struct{ scenario, runtime string }
+	groups := []group{}
+	byGroup := map[group][]CellResult{}
+	for _, res := range results {
+		g := group{res.Scenario, res.Runtime}
+		if _, ok := byGroup[g]; !ok {
+			groups = append(groups, g)
+		}
+		byGroup[g] = append(byGroup[g], res)
+	}
+	for _, g := range groups {
+		cells := byGroup[g]
+		sort.SliceStable(cells, func(i, j int) bool {
+			return mechOrder(cells[i].Mech) < mechOrder(cells[j].Mech)
+		})
+		fmt.Fprintf(w, "### %s — %s runtime (%d procs, %d run(s) per cell)\n\n",
+			g.scenario, g.runtime, cells[0].Procs, cells[0].Repeats)
+		headers := make([]string, 0, len(markdownColumns)+1)
+		headers = append(headers, "mechanism")
+		for _, col := range markdownColumns {
+			headers = append(headers, col.header)
+		}
+		fmt.Fprintln(w, "| "+strings.Join(headers, " | ")+" |")
+		fmt.Fprintln(w, "|"+strings.Repeat("---|", len(headers)))
+		for _, res := range cells {
+			row := []string{res.Mech}
+			for _, col := range markdownColumns {
+				row = append(row, formatSummary(res.Metrics[col.metric]))
+			}
+			fmt.Fprintln(w, "| "+strings.Join(row, " | ")+" |")
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// mechOrder ranks mechanisms in the paper's table order.
+func mechOrder(mech string) int {
+	for i, m := range core.Mechanisms() {
+		if string(m) == mech {
+			return i
+		}
+	}
+	return len(core.Mechanisms())
+}
+
+// formatSummary renders a metric summary compactly: the mean, plus the
+// min–max spread when the repeated runs disagree.
+func formatSummary(s stats.Summary) string {
+	if s.N == 0 {
+		return "-"
+	}
+	if s.Min == s.Max {
+		return formatValue(s.Mean)
+	}
+	return fmt.Sprintf("%s (%s–%s)", formatValue(s.Mean), formatValue(s.Min), formatValue(s.Max))
+}
+
+// formatValue renders a number without trailing noise: integers
+// verbatim, small reals with enough precision to compare runs.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}

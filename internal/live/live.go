@@ -45,6 +45,15 @@ type Node struct {
 
 	// executed counts completed work items.
 	executed int64
+
+	// counters is the node's measurement accumulator. Only the node's
+	// own goroutine touches it (sends, decisions and busy transitions
+	// all happen there); other goroutines read it via a control
+	// closure, so no lock is needed.
+	counters core.Counters
+	// busy meters snapshot-blocked wall-clock time, observed after
+	// every handled state message.
+	busy core.BusyMeter
 }
 
 // Cluster is a set of live nodes.
@@ -73,6 +82,7 @@ func (c ctx) Rank() int    { return c.n.rank }
 func (c ctx) N() int       { return len(c.n.cluster.nodes) }
 func (c ctx) Now() float64 { return time.Since(c.n.cluster.start).Seconds() }
 func (c ctx) Send(to int, kind int, payload any, bytes float64) {
+	c.n.counters.AddState(kind, bytes)
 	c.n.cluster.nodes[to].stateCh <- message{from: c.n.rank, kind: kind, payload: payload}
 }
 func (c ctx) Broadcast(kind int, payload any, bytes float64) {
@@ -225,17 +235,21 @@ func (cl *Cluster) DecideObserved(master int, totalWork float64, slaves int, spi
 	// The decision must run on the master's goroutine; mechanisms are
 	// single-goroutine objects, so the decision is delivered as a
 	// closure via a dedicated control message.
+	var acquireAt time.Time
 	sel := func() {
+		n.counters.AddDecision(time.Since(acquireAt).Seconds())
 		dec = core.PlanDecision(n.exch.View(), master, slaves, totalWork)
 		atomic.AddInt64(&cl.assigned, int64(len(dec.Assignments)))
 		n.exch.Commit(ctx{n}, dec.Assignments)
 		for _, a := range dec.Assignments {
 			atomic.AddInt64(&cl.outstanding, 1)
+			n.counters.AddData(core.BytesWorkItem)
 			cl.nodes[a.Proc].dataCh <- workItem{Load: a.Delta, Spin: spin}
 		}
 		close(done)
 	}
 	n.stateCh <- message{from: master, kind: kindControl, payload: controlPayload{run: func() {
+		acquireAt = time.Now()
 		n.exch.Acquire(ctx{n}, sel)
 	}}}
 	<-done
@@ -249,13 +263,17 @@ const kindControl = -1
 type controlPayload struct{ run func() }
 
 // handleControl intercepts control messages before the mechanism sees
-// them. Wired into the loop via HandleMessage dispatch below.
+// them. Wired into the loop via HandleMessage dispatch below. Both paths
+// can flip the mechanism's Busy state (control closures run Acquire and
+// Commit), so both are followed by a busy-time check.
 func (n *Node) handle(m message) {
 	if m.kind == kindControl {
 		m.payload.(controlPayload).run()
+		n.busy.Observe(n.exch.Busy())
 		return
 	}
 	n.exch.HandleMessage(ctx{n}, m.from, m.kind, m.payload)
+	n.busy.Observe(n.exch.Busy())
 }
 
 // LocalChange applies a spontaneous local load variation (not slave
@@ -359,6 +377,21 @@ func (cl *Cluster) Stats(r int) core.Stats {
 	out := make(chan core.Stats, 1)
 	n.stateCh <- message{from: r, kind: kindControl, payload: controlPayload{run: func() {
 		out <- n.exch.Stats()
+	}}}
+	return <-out
+}
+
+// Counters returns node r's measurement accumulator (on its own
+// goroutine). Snapshot rounds derive from the mechanism stats at read
+// time.
+func (cl *Cluster) Counters(r int) core.Counters {
+	n := cl.nodes[r]
+	out := make(chan core.Counters, 1)
+	n.stateCh <- message{from: r, kind: kindControl, payload: controlPayload{run: func() {
+		c := n.counters.Clone()
+		c.BusyTime = n.busy.Seconds
+		c.SnapshotRounds = core.SnapshotRoundsOf(n.exch.Stats())
+		out <- c
 	}}}
 	return <-out
 }

@@ -142,6 +142,9 @@ func (cl *Cluster) View(r int) []core.Load { return cl.nodes[r].ViewSnapshot() }
 // Stats returns node r's mechanism counters.
 func (cl *Cluster) Stats(r int) core.Stats { return cl.nodes[r].MechStats() }
 
+// Counters returns node r's measurement accumulator (real wire sizes).
+func (cl *Cluster) Counters(r int) core.Counters { return cl.nodes[r].Counters() }
+
 // Transport returns node r's wire-level counters.
 func (cl *Cluster) Transport(r int) TransportStats { return cl.nodes[r].Transport() }
 

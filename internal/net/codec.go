@@ -401,6 +401,11 @@ func (JSONCodec) Decode(b []byte) (Message, error) {
 // (the biggest legitimate message is a master_to_all over every rank).
 const MaxFrame = 1 << 20
 
+// FrameHeaderBytes is the length prefix WriteFrame puts before every
+// frame body. The core.Bytes* constants measure frame bodies only; add
+// this per message to get true on-wire volume.
+const FrameHeaderBytes = 4
+
 // WriteFrame writes one length-prefixed frame.
 func WriteFrame(w io.Writer, body []byte) error {
 	if len(body) > MaxFrame {

@@ -94,6 +94,11 @@ type Node struct {
 	wgWriters sync.WaitGroup
 	started   atomic.Bool
 	closing   atomic.Bool
+	// lifeMu serializes Start against Close's teardown: Close sets
+	// closing, then waits for an in-flight Start to finish (Start aborts
+	// at its final gate when it observes closing), so the run loop is
+	// never launched after Close decided nobody would close done.
+	lifeMu sync.Mutex
 
 	// executed counts completed work items; outstanding counts work
 	// items this node assigned that have not been acknowledged yet;
@@ -107,6 +112,22 @@ type Node struct {
 	msgsIn, msgsOut   atomic.Int64
 	bytesIn, bytesOut atomic.Int64
 	stateIn, workIn   atomic.Int64
+
+	// Real wire tallies by state kind, in encoded frame-body bytes
+	// (excluding the FrameHeaderBytes length prefix), updated by the
+	// writer goroutines at encode time — the ground truth the
+	// core.Bytes* estimates are checked against.
+	stateKindMsgs  [core.KindMasterToSlave + 1]atomic.Int64
+	stateKindBytes [core.KindMasterToSlave + 1]atomic.Int64
+	workMsgsOut    atomic.Int64
+	workBytesOut   atomic.Int64
+
+	// Measurement state owned by the node goroutine (read elsewhere only
+	// through Invoke, or after Close when everything is quiesced).
+	est        core.Counters  // state/data tallies from the core byte hints
+	busy       core.BusyMeter // snapshot-blocked wall-clock time
+	decisions  int64
+	decLatency float64 // seconds, Acquire → view-ready, summed
 }
 
 // NewNode creates a node of rank within n processes running mech. The
@@ -173,6 +194,11 @@ func (nd *Node) Listen(addr string) (string, error) {
 // higher rank, identified by a Hello frame, so each pair ends up with
 // exactly one connection.
 func (nd *Node) Start(addrs []string) error {
+	nd.lifeMu.Lock()
+	defer nd.lifeMu.Unlock()
+	if nd.closing.Load() {
+		return fmt.Errorf("net: rank %d: Start after Close", nd.rank)
+	}
 	if nd.ln == nil {
 		return fmt.Errorf("net: Start before Listen")
 	}
@@ -295,6 +321,13 @@ func (nd *Node) Start(addrs []string) error {
 		go nd.readLoop(p)
 		go nd.writeLoop(p)
 	}
+	// Final gate: a Close that raced this Start set closing and is now
+	// blocked on lifeMu; do not launch the run loop it will not stop —
+	// Close will see started=false and close done itself. The readers
+	// and writers just launched exit through the closed conns and quit.
+	if nd.closing.Load() {
+		return fail(fmt.Errorf("net: rank %d: node closed during start", nd.rank))
+	}
 	nd.started.Store(true)
 	go nd.run()
 	return nil
@@ -332,7 +365,7 @@ func (nd *Node) readLoop(p *peer) {
 			continue // draining toward EOF; the node is gone
 		}
 		nd.msgsIn.Add(1)
-		nd.bytesIn.Add(int64(len(body)) + 4)
+		nd.bytesIn.Add(int64(len(body)) + FrameHeaderBytes)
 		// Rank fields index views and peer tables downstream; a frame
 		// that decodes but carries an out-of-range rank is as hostile
 		// as one that does not decode.
@@ -400,7 +433,17 @@ func (nd *Node) writeLoop(p *peer) {
 			return false
 		}
 		nd.msgsOut.Add(1)
-		nd.bytesOut.Add(int64(len(body)) + 4)
+		nd.bytesOut.Add(int64(len(body)) + FrameHeaderBytes)
+		switch m.Type {
+		case TypeState:
+			if k := int(m.Kind); k >= 0 && k < len(nd.stateKindMsgs) {
+				nd.stateKindMsgs[k].Add(1)
+				nd.stateKindBytes[k].Add(int64(len(body)))
+			}
+		case TypeWork:
+			nd.workMsgsOut.Add(1)
+			nd.workBytesOut.Add(int64(len(body)))
+		}
 		return true
 	}
 	for {
@@ -477,6 +520,10 @@ func (c nodeCtx) Send(to int, kind int, payload any, bytes float64) {
 		c.nd.stateCh <- inMsg{from: to, kind: kind, payload: payload}
 		return
 	}
+	// Tally what the core constants claim this message weighs; the
+	// writer goroutine tallies what the codec actually emits. The codec
+	// tests assert the two never drift apart.
+	c.nd.est.AddState(kind, bytes)
 	m, err := StateMessage(c.nd.rank, kind, payload)
 	if err != nil {
 		panic(err) // a core payload the codec cannot carry is a programming error
@@ -528,12 +575,17 @@ func (nd *Node) run() {
 	}
 }
 
+// handle treats one state-channel item. Both branches can flip the
+// mechanism's Busy state (control closures run Acquire and Commit), so
+// both are followed by a busy-time check.
 func (nd *Node) handle(m inMsg) {
 	if m.ctl != nil {
 		m.ctl()
+		nd.busy.Observe(nd.exch.Busy())
 		return
 	}
 	nd.exch.HandleMessage(nodeCtx{nd}, m.from, m.kind, m.payload)
+	nd.busy.Observe(nd.exch.Busy())
 }
 
 // execute performs one work item (spin scaled by this node's speed
@@ -580,6 +632,7 @@ func (nd *Node) Invoke(fn func(ctx core.Context, exch core.Exchanger)) {
 // called from the node goroutine (inside Invoke).
 func (nd *Node) AssignWork(to int, load core.Load, spin time.Duration) {
 	nd.outstanding.Add(1)
+	nd.est.AddData(core.BytesWorkItem)
 	nd.post(to, Message{Type: TypeWork, From: int32(nd.rank), Load: load, Spin: int64(spin)})
 }
 
@@ -594,7 +647,10 @@ func (nd *Node) Decide(totalWork float64, slaves int, spin time.Duration) (core.
 	dec := core.Decision{Master: nd.rank}
 	done := make(chan struct{})
 	nd.Invoke(func(ctx core.Context, exch core.Exchanger) {
+		acquireAt := time.Now()
 		exch.Acquire(ctx, func() {
+			nd.decisions++
+			nd.decLatency += time.Since(acquireAt).Seconds()
 			dec = core.PlanDecision(exch.View(), nd.rank, slaves, totalWork)
 			// The cumulative counter leads Commit: any snapshot cut that
 			// observed this decision's credits is covered by a later
@@ -707,6 +763,69 @@ func (nd *Node) MechStats() core.Stats {
 	return st
 }
 
+// sampleCounters builds the canonical counters from the real wire
+// tallies plus the node-goroutine measurement state. Callers must be on
+// the node goroutine, or the node must be stopped.
+func (nd *Node) sampleCounters() core.Counters {
+	c := core.Counters{
+		Decisions:       nd.decisions,
+		DecisionLatency: nd.decLatency,
+		BusyTime:        nd.busy.Seconds,
+		SnapshotRounds:  core.SnapshotRoundsOf(nd.exch.Stats()),
+		DataMsgs:        nd.workMsgsOut.Load(),
+		DataBytes:       float64(nd.workBytesOut.Load()),
+	}
+	for k := core.KindUpdate; k <= core.KindMasterToSlave; k++ {
+		msgs := nd.stateKindMsgs[k].Load()
+		if msgs == 0 {
+			continue
+		}
+		bytes := float64(nd.stateKindBytes[k].Load())
+		c.StateMsgs += msgs
+		c.StateBytes += bytes
+		if c.PerKind == nil {
+			c.PerKind = make(map[string]core.KindTally)
+		}
+		c.PerKind[core.KindName(k)] = core.KindTally{Msgs: msgs, Bytes: bytes}
+	}
+	return c
+}
+
+// Counters returns the node's measurement accumulator. State and data
+// tallies are real encoded frame-body sizes (add FrameHeaderBytes per
+// message for on-wire volume); decision latency and busy time are wall
+// clock. While the node runs the sample is taken on the node goroutine;
+// after Close everything is quiesced and read directly.
+func (nd *Node) Counters() core.Counters {
+	var c core.Counters
+	ran := false
+	nd.Invoke(func(_ core.Context, _ core.Exchanger) {
+		c = nd.sampleCounters()
+		ran = true
+	})
+	if !ran {
+		c = nd.sampleCounters() // node stopped: goroutines quiesced
+	}
+	return c
+}
+
+// EstimatedCounters returns the state/data tallies accumulated from the
+// core.Bytes* hints at send time — what a runtime without a real wire
+// charges for the same traffic. The codec coherence test asserts these
+// match Counters' wire-derived tallies exactly.
+func (nd *Node) EstimatedCounters() core.Counters {
+	var c core.Counters
+	ran := false
+	nd.Invoke(func(_ core.Context, _ core.Exchanger) {
+		c = nd.est.Clone()
+		ran = true
+	})
+	if !ran {
+		c = nd.est.Clone()
+	}
+	return c
+}
+
 // Transport returns the wire-level counters.
 func (nd *Node) Transport() TransportStats {
 	return TransportStats{
@@ -731,6 +850,12 @@ func (nd *Node) Close() error {
 		return nil
 	}
 	close(nd.quit)
+	// Wait for an in-flight Start to finish (it aborts at its final gate
+	// once closing is set), so started, peers and done are settled
+	// before teardown — without this, Close racing Start could close
+	// done twice or close connections Start is still installing.
+	nd.lifeMu.Lock()
+	defer nd.lifeMu.Unlock()
 	if nd.started.Load() {
 		<-nd.done
 	} else {

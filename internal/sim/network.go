@@ -82,9 +82,10 @@ type Network struct {
 
 	// Counters, indexed by channel.
 	counts [2]MessageCount
-	// PerKind counts messages by (channel, kind) for the experiment
-	// harness (Table 6 reports mechanism messages only).
-	perKind map[[2]int]int64
+	// PerKind counts messages and bytes by (channel, kind) for the
+	// experiment harness (Table 6 reports mechanism messages only; the
+	// PR-3 counters report per-kind volume too).
+	perKind map[[2]int]MessageCount
 }
 
 // NewNetwork creates a network of n processes delivering messages through
@@ -100,7 +101,7 @@ func NewNetwork(eng *Engine, n int, cfg NetworkConfig, deliver func(*Message)) *
 		deliver:     deliver,
 		linkFree:    make([]Time, n*n),
 		ingressFree: make([]Time, n),
-		perKind:     make(map[[2]int]int64),
+		perKind:     make(map[[2]int]MessageCount),
 	}
 }
 
@@ -162,7 +163,10 @@ func (nw *Network) Send(m *Message) {
 	m.Arrived = arrive
 	nw.counts[m.Channel].Messages++
 	nw.counts[m.Channel].Bytes += m.Bytes
-	nw.perKind[[2]int{int(m.Channel), m.Kind}]++
+	pk := nw.perKind[[2]int{int(m.Channel), m.Kind}]
+	pk.Messages++
+	pk.Bytes += m.Bytes
+	nw.perKind[[2]int{int(m.Channel), m.Kind}] = pk
 
 	nw.eng.At(arrive, func() { nw.deliver(m) })
 }
@@ -191,7 +195,23 @@ func (nw *Network) Count(c Channel) MessageCount { return nw.counts[c] }
 // KindCount returns how many messages of the given channel and kind were
 // sent.
 func (nw *Network) KindCount(c Channel, kind int) int64 {
+	return nw.perKind[[2]int{int(c), kind}].Messages
+}
+
+// KindTally returns the message and byte totals of one (channel, kind).
+func (nw *Network) KindTally(c Channel, kind int) MessageCount {
 	return nw.perKind[[2]int{int(c), kind}]
+}
+
+// Kinds returns the kinds seen on a channel, in unspecified order.
+func (nw *Network) Kinds(c Channel) []int {
+	var kinds []int
+	for key := range nw.perKind {
+		if key[0] == int(c) {
+			kinds = append(kinds, key[1])
+		}
+	}
+	return kinds
 }
 
 // TotalOnChannelExcept returns the number of messages on channel c whose
@@ -205,7 +225,7 @@ func (nw *Network) TotalOnChannelExcept(c Channel, excluded ...int) int64 {
 	var total int64
 	for key, v := range nw.perKind {
 		if key[0] == int(c) && !skip[key[1]] {
-			total += v
+			total += v.Messages
 		}
 	}
 	return total

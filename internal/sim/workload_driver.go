@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -16,6 +17,11 @@ import (
 type WorkloadDriver struct {
 	// Network configures the simulated interconnect.
 	Network NetworkConfig
+	// Trace, when set, receives one EvDecision event per committed
+	// decision (Proc = deciding rank, At = virtual ready time, Value =
+	// acquire→ready latency in virtual seconds) — the hook the trace
+	// package's ring/counter tracers consume for verbose modes.
+	Trace trace.Tracer
 }
 
 // NewWorkloadDriver returns a driver over the default interconnect.
@@ -38,12 +44,18 @@ func (d *WorkloadDriver) Run(w workload.Workload, mech core.Mech, cfg core.Confi
 
 	eng := NewEngine()
 	app := &wlApp{
-		progs:    progs,
-		pc:       make([]int, n),
-		inflight: make([]bool, n),
-		executed: make([]int64, n),
-		spin:     Duration(p.Spin.Seconds()),
-		rep:      rep,
+		progs:     progs,
+		pc:        make([]int, n),
+		inflight:  make([]bool, n),
+		executed:  make([]int64, n),
+		busySince: make([]float64, n),
+		spin:      Duration(p.Spin.Seconds()),
+		rep:       rep,
+		trace:     d.Trace,
+		measuring: true,
+	}
+	for r := range app.busySince {
+		app.busySince[r] = -1
 	}
 	app.rt = NewRuntime(eng, n, d.Network, app)
 	for r := 0; r < n; r++ {
@@ -68,7 +80,12 @@ func (d *WorkloadDriver) Run(w workload.Workload, mech core.Mech, cfg core.Confi
 	rep.Executed = app.executed
 	for r := 0; r < n; r++ {
 		rep.Stats = append(rep.Stats, app.exs[r].Stats())
+		rep.Counters.SnapshotRounds += core.SnapshotRoundsOf(rep.Stats[r])
 	}
+	// Freeze the counters before the final view acquisitions: the extra
+	// snapshots are harness bookkeeping, not workload traffic.
+	app.sampleCounters()
+	app.measuring = false
 	// Final coherent views: the engine drained, so all work executed and
 	// all messages were delivered; a fresh acquisition per rank is exact.
 	for r := 0; r < n; r++ {
@@ -113,6 +130,46 @@ type wlApp struct {
 	done     int64 // work items completed (trails the load decrement)
 	spin     Duration
 	rep      *workload.Report
+	trace    trace.Tracer
+
+	// busySince[r] is the virtual time rank r became Busy, -1 when it is
+	// not; measuring gates all counter accumulation so the final view
+	// acquisitions stay out of the workload's numbers.
+	busySince []float64
+	measuring bool
+}
+
+// sampleCounters copies the network's per-kind tallies into the report.
+// The simulated network already accounts every message for bandwidth
+// modelling, so the sim counters are exact by construction.
+func (a *wlApp) sampleCounters() {
+	c := &a.rep.Counters
+	state := a.rt.Net.Count(StateChannel)
+	data := a.rt.Net.Count(DataChannel)
+	c.StateMsgs, c.StateBytes = state.Messages, state.Bytes
+	c.DataMsgs, c.DataBytes = data.Messages, data.Bytes
+	for _, kind := range a.rt.Net.Kinds(StateChannel) {
+		t := a.rt.Net.KindTally(StateChannel, kind)
+		if c.PerKind == nil {
+			c.PerKind = make(map[string]core.KindTally)
+		}
+		c.PerKind[core.KindName(kind)] = core.KindTally{Msgs: t.Messages, Bytes: t.Bytes}
+	}
+}
+
+// busyCheck accumulates Busy (snapshot-blocked) time for rank r across
+// state transitions, in virtual seconds.
+func (a *wlApp) busyCheck(r int) {
+	if !a.measuring {
+		return
+	}
+	busy := a.exs[r].Busy()
+	if busy && a.busySince[r] < 0 {
+		a.busySince[r] = float64(a.rt.Now())
+	} else if !busy && a.busySince[r] >= 0 {
+		a.rep.Counters.BusyTime += float64(a.rt.Now()) - a.busySince[r]
+		a.busySince[r] = -1
+	}
 }
 
 // wlCtx adapts the runtime to core.Context for one rank.
@@ -142,6 +199,7 @@ func (c wlCtx) Broadcast(kind int, payload any, bytes float64) {
 
 func (a *wlApp) HandleState(p *Proc, m *Message) {
 	a.exs[p.ID].HandleMessage(wlCtx{a, p.ID}, m.From, m.Kind, m.Payload)
+	a.busyCheck(p.ID)
 }
 
 func (a *wlApp) HandleData(p *Proc, m *Message) {
@@ -181,7 +239,18 @@ func (a *wlApp) TryStart(p *Proc) bool {
 	case workload.OpDecide:
 		a.inflight[r] = true
 		rec := workload.DecisionRecord{AssignedAtAcquire: a.assigned, ExecutedAtAcquire: a.done}
+		acquireAt := float64(a.rt.Now())
 		a.exs[r].Acquire(ctx, func() {
+			if a.measuring {
+				latency := float64(a.rt.Now()) - acquireAt
+				a.rep.Counters.AddDecision(latency)
+				if a.trace != nil {
+					a.trace.Emit(trace.Event{
+						At: float64(a.rt.Now()), Proc: r,
+						Type: trace.EvDecision, Node: -1, Value: latency,
+					})
+				}
+			}
 			rec.AssignedAtReady, rec.ExecutedAtReady = a.assigned, a.done
 			rec.Decision = core.PlanDecision(a.exs[r].View(), r, st.Slaves, st.Work)
 			// The cumulative counter leads Commit so any snapshot cut
@@ -194,7 +263,7 @@ func (a *wlApp) TryStart(p *Proc) bool {
 				a.rt.Send(&Message{
 					From: r, To: int(asg.Proc), Channel: DataChannel,
 					Kind: wlKindWork, Payload: wlWorkPayload{Load: asg.Delta, Dur: dur},
-					Bytes: 64,
+					Bytes: core.BytesWorkItem,
 				})
 			}
 			a.pc[r]++
@@ -204,6 +273,7 @@ func (a *wlApp) TryStart(p *Proc) bool {
 			// has no pending event for an idle rank, so request a wakeup.
 			a.rt.Wake(r)
 		})
+		a.busyCheck(r)
 		return true
 	}
 	return false

@@ -53,6 +53,13 @@ type Report struct {
 	// Stats is the per-rank mechanism counters, sampled after drain and
 	// before the final view acquisitions.
 	Stats []core.Stats
+	// Counters is the cluster-wide measurement accumulator (messages,
+	// bytes per kind, decision latency, busy time, snapshot rounds),
+	// sampled at the same point as Stats so the final view acquisitions
+	// do not pollute the workload's numbers. The sim and live runtimes
+	// charge the core.Bytes* constants; the net runtime counts real
+	// encoded frame sizes.
+	Counters core.Counters
 	// FinalViews is one coherent post-quiescence view per rank.
 	FinalViews [][]core.Load
 	// WireMsgs/WireBytes are inbound transport totals (net runtime only).
@@ -99,6 +106,7 @@ type Cluster interface {
 	View(r int) []core.Load
 	AcquireView(r int) ([]core.Load, error)
 	Stats(r int) core.Stats
+	Counters(r int) core.Counters
 	Drain(timeout time.Duration) error
 }
 
@@ -183,6 +191,7 @@ func DriveCluster(cl Cluster, mech core.Mech, progs []Program, opts DriveOptions
 	for r := 0; r < n; r++ {
 		rep.Executed = append(rep.Executed, cl.Executed(r))
 		rep.Stats = append(rep.Stats, cl.Stats(r))
+		rep.Counters.Merge(cl.Counters(r))
 	}
 	if mech == core.MechSnapshot {
 		// Snapshot views are only refreshed inside a snapshot: acquire
