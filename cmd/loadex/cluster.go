@@ -53,7 +53,16 @@ func runCluster(args []string) error {
 	}
 	scenarios := []string{p.scenario}
 	if p.scenario == "all" {
-		scenarios = workload.Names()
+		// Application scenarios (the solver) have no per-rank program to
+		// fork; `loadex run` hosts them over the same sockets in-process.
+		scenarios = scenarios[:0]
+		for _, name := range workload.Names() {
+			if !workload.IsAppScenario(name) {
+				scenarios = append(scenarios, name)
+			}
+		}
+	} else if workload.IsAppScenario(p.scenario) {
+		return fmt.Errorf("scenario %q is an application scenario; run it with `loadex run -scenario %s -runtime net` (hosted in-process over the same TCP sockets)", p.scenario, p.scenario)
 	}
 	for _, scenario := range scenarios {
 		for _, mech := range mechs {

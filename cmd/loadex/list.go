@@ -1,0 +1,60 @@
+package main
+
+// loadex list: print every sweep axis of the scenario × mechanism ×
+// runtime matrix — the registered workload scenarios (with their kind:
+// program scenarios compile to per-rank step scripts, application
+// scenarios host a real distributed application through the
+// application port), the load-exchange mechanisms, the runtimes and
+// the wire codecs — so the axes are discoverable without reading
+// source.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	xnet "repro/internal/net"
+	"repro/internal/workload"
+)
+
+func runList(args []string) error {
+	fs := flag.NewFlagSet("loadex list", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("loadex list takes no arguments, got %q", fs.Args())
+	}
+	w := os.Stdout
+
+	fmt.Fprintln(w, "scenarios (-scenario; \"all\" sweeps them):")
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	for _, wl := range workload.All() {
+		kind := "program"
+		if _, ok := wl.(workload.AppScenario); ok {
+			kind = "app"
+		}
+		fmt.Fprintf(tw, "  %s\t%s\t%s\n", wl.Name(), kind, wl.Describe())
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "  (app scenarios run in-process on every runtime; `loadex cluster`/`node` cannot fork them)")
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "mechanisms (-mech; \"all\" sweeps them):")
+	for _, m := range core.Mechanisms() {
+		fmt.Fprintf(w, "  %s\n", m)
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "runtimes (-runtime; \"all\" sweeps them):")
+	fmt.Fprintln(w, "  sim \tdeterministic discrete-event simulator")
+	fmt.Fprintln(w, "  live\tgoroutines + channels (race-detector friendly)")
+	fmt.Fprintln(w, "  net \tlocalhost TCP (forked processes; -inproc or app scenarios: in-process)")
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "codecs (-codec, net runtime): %s\n", strings.Join(xnet.CodecNames(), ", "))
+	return nil
+}

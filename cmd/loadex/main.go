@@ -27,6 +27,13 @@
 //	                                            report per-rank stats
 //	loadex node    [-rank r] [...]              one cluster process
 //	                                            (normally forked by cluster)
+//	loadex list    print the registered scenarios (program and app),
+//	               mechanisms, runtimes and codecs — the sweep axes
+//
+// Scenarios come in two kinds: program scenarios compile to per-rank
+// synthetic step scripts, and application scenarios (solver-wl,
+// solver-mem) host the paper's real multifrontal solver through the
+// application port on any runtime.
 package main
 
 import (
@@ -64,6 +71,12 @@ func main() {
 		case "experiment":
 			if err := runExperiment(os.Args[2:]); err != nil {
 				fmt.Fprintln(os.Stderr, "loadex experiment:", err)
+				os.Exit(1)
+			}
+			return
+		case "list":
+			if err := runList(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "loadex list:", err)
 				os.Exit(1)
 			}
 			return
@@ -195,4 +208,5 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "       loadex experiment [-scenario s|all] [-mech m|all] [-runtime r|all] [-repeat k] [-json file] ...")
 	fmt.Fprintln(os.Stderr, "       loadex cluster [-procs n] [-scenario s] [-mech m|all] [-inproc] ...")
 	fmt.Fprintln(os.Stderr, "       loadex node -rank r -n procs [-scenario s] [-mech m] ...   (normally forked by cluster)")
+	fmt.Fprintln(os.Stderr, "       loadex list   (print registered scenarios, mechanisms, runtimes and codecs)")
 }

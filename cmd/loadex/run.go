@@ -102,7 +102,10 @@ func runCell(scenario string, mech core.Mech, rt string, inproc bool, p *nodePar
 	case "live":
 		return live.Driver{Drive: drive}.Run(w, mech, p.config(), p.params())
 	case "net":
-		if inproc {
+		// Application scenarios are always hosted in-process: the same
+		// TCP mesh and codec, one node per rank, no fork (the app shares
+		// its progress table; see the execution model in workload/app.go).
+		if inproc || workload.IsAppScenario(scenario) {
 			codec, err := xnet.NewCodec(p.codec)
 			if err != nil {
 				return nil, err

@@ -1,9 +1,15 @@
 // Memorystudy reproduces a slice of the paper's Table 4 on one matrix:
 // the peak of active memory reached by the memory-based dynamic
 // scheduling strategy under each load-exchange mechanism, on the
-// simulated multifrontal solver.
+// multifrontal solver.
 //
-//	go run ./examples/memorystudy [matrix] [procs]
+// The solver is transport-neutral (it targets the application port,
+// workload.AppHost), so the same study runs on any runtime: pass `sim`
+// (deterministic simulator, the default and the paper's reference),
+// `live` (goroutines) or `net` (localhost TCP sockets) as the third
+// argument.
+//
+//	go run ./examples/memorystudy [matrix] [procs] [sim|live|net]
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 func main() {
 	name := "ULTRASOUND3"
 	procs := 32
+	runtime := "sim"
 	if len(os.Args) > 1 {
 		name = os.Args[1]
 	}
@@ -30,12 +37,19 @@ func main() {
 		}
 		procs = p
 	}
+	if len(os.Args) > 3 {
+		runtime = os.Args[3]
+	}
+	runner, err := experiments.AppRunnerFor(runtime, 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	lab := experiments.NewLab(experiments.DefaultConfig())
-	fmt.Printf("memory-based scheduling on %s over %d processes\n", name, procs)
+	fmt.Printf("memory-based scheduling on %s over %d processes (%s runtime)\n", name, procs, runtime)
 	fmt.Printf("%-12s %16s %14s %12s\n", "mechanism", "peak(10^6 entr.)", "time(s)", "state msgs")
 	for _, mech := range []core.Mech{core.MechNaive, core.MechIncrements, core.MechSnapshot} {
-		res, err := lab.RunOne(name, procs, mech, sched.Memory(), nil)
+		res, err := lab.RunOneOn(name, procs, mech, sched.Memory(), runner, nil)
 		if err != nil {
 			log.Fatal(err)
 		}

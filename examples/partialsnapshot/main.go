@@ -4,7 +4,11 @@
 // factorization with full and partial snapshots and prints both run
 // reports — fewer messages, weaker synchronization, same decisions.
 //
-//	go run ./examples/partialsnapshot [matrix] [procs]
+// The solver targets the transport-neutral application port, so the
+// comparison runs on any runtime: `sim` (default), `live` (goroutines)
+// or `net` (localhost TCP).
+//
+//	go run ./examples/partialsnapshot [matrix] [procs] [sim|live|net]
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 func main() {
 	name := "ULTRASOUND80"
 	procs := 64
+	runtime := "sim"
 	if len(os.Args) > 1 {
 		name = os.Args[1]
 	}
@@ -32,6 +37,13 @@ func main() {
 		}
 		procs = p
 	}
+	if len(os.Args) > 3 {
+		runtime = os.Args[3]
+	}
+	runner, err := experiments.AppRunnerFor(runtime, 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	lab := experiments.NewLab(experiments.DefaultConfig())
 	for _, partial := range []bool{false, true} {
@@ -39,13 +51,13 @@ func main() {
 		if partial {
 			label = "partial snapshots (§5 extension)"
 		}
-		res, err := lab.RunOne(name, procs, core.MechSnapshot, sched.Workload(), func(p *solver.Params) {
+		res, err := lab.RunOneOn(name, procs, core.MechSnapshot, sched.Workload(), runner, func(p *solver.Params) {
 			p.PartialSnapshots = partial
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("=== %s on %s over %d processes ===\n", label, name, procs)
+		fmt.Printf("=== %s on %s over %d processes (%s runtime) ===\n", label, name, procs, runtime)
 		res.WriteReport(os.Stdout)
 		fmt.Println()
 	}

@@ -180,9 +180,8 @@ func (l *Lab) AblationNetwork(procs int) ([]AblationNetworkRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			slow, err := l.RunOne(name, procs, mech, sched.Workload(), func(p *solver.Params) {
-				p.Net = sim.HighLatencyNetwork()
-			})
+			slow, err := l.RunOneOn(name, procs, mech, sched.Workload(),
+				&sim.AppRunner{Network: sim.HighLatencyNetwork()}, nil)
 			if err != nil {
 				return nil, err
 			}

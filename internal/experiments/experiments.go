@@ -14,12 +14,16 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/live"
 	"repro/internal/mapping"
+	xnet "repro/internal/net"
 	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/solver"
 	"repro/internal/sparse"
 	"repro/internal/symbolic"
 	"repro/internal/tree"
+	"repro/internal/workload"
 )
 
 // Config tunes the whole experiment suite.
@@ -119,8 +123,34 @@ func (l *Lab) Mapping(name string, nprocs int) (*mapping.Mapping, error) {
 	return mapping.Map(tr, mapping.DefaultConfig(nprocs))
 }
 
-// RunOne executes a single (problem, nprocs, mechanism, strategy) cell.
+// RunOne executes a single (problem, nprocs, mechanism, strategy) cell
+// on the deterministic simulator with the default interconnect.
 func (l *Lab) RunOne(name string, nprocs int, mech core.Mech, strat *sched.Strategy, mutate func(*solver.Params)) (*solver.Result, error) {
+	return l.RunOneOn(name, nprocs, mech, strat, &sim.AppRunner{}, mutate)
+}
+
+// AppRunnerFor builds the application runner for a runtime name
+// ("sim", "live", "net"; empty means sim). timeScale is the wall-clock
+// duration of one application second on the wall-clock runtimes
+// (ignored by the simulator; 0 means real time) — the experiment
+// matrices have virtual makespans of tens of seconds, so interactive
+// callers typically compress by ~100x (timeScale 0.01).
+func AppRunnerFor(runtime string, timeScale float64) (workload.AppRunner, error) {
+	switch runtime {
+	case "", "sim":
+		return &sim.AppRunner{}, nil
+	case "live":
+		return &live.AppRunner{TimeScale: timeScale}, nil
+	case "net":
+		return &xnet.AppRunner{TimeScale: timeScale}, nil
+	}
+	return nil, fmt.Errorf("unknown runtime %q (sim, live, net)", runtime)
+}
+
+// RunOneOn executes the cell on an explicit application runner — the
+// hook for a non-default interconnect model (sim.AppRunner{Network:
+// sim.HighLatencyNetwork()}) or a different runtime altogether.
+func (l *Lab) RunOneOn(name string, nprocs int, mech core.Mech, strat *sched.Strategy, rt workload.AppRunner, mutate func(*solver.Params)) (*solver.Result, error) {
 	m, err := l.Mapping(name, nprocs)
 	if err != nil {
 		return nil, err
@@ -129,7 +159,7 @@ func (l *Lab) RunOne(name string, nprocs int, mech core.Mech, strat *sched.Strat
 	if mutate != nil {
 		mutate(&prm)
 	}
-	res, err := solver.Run(m, prm)
+	res, err := solver.Run(m, prm, rt)
 	if err != nil {
 		return nil, fmt.Errorf("%s@%dp/%s: %w", name, nprocs, mech, err)
 	}

@@ -1,0 +1,330 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// AppRunner implements workload.AppRunner over real goroutines and
+// channels: the live side of the application port. Each rank runs one
+// Algorithm 1 loop on its own goroutine — prioritized state channel,
+// data channel, Blocked gating, deferred compute as real (scaled)
+// sleeps — while application callbacks are serialized by one lock, per
+// the port's execution model. Quiescence is detected by outstanding-
+// work tracking: the run ends once the application reports Done and
+// every data message sent has been handled.
+type AppRunner struct {
+	// TimeScale is the wall-clock duration of one application second of
+	// compute (default 1: application seconds are wall seconds; the
+	// solver's virtual makespans are milliseconds, so default runs stay
+	// fast). Lower it to compress long virtual runs into short wall
+	// clock.
+	TimeScale float64
+	// Timeout bounds the whole run (default 120s).
+	Timeout time.Duration
+}
+
+// Runtime implements workload.AppRunner.
+func (*AppRunner) Runtime() string { return "live" }
+
+// RunApp implements workload.AppRunner.
+func (r *AppRunner) RunApp(n int, app workload.App, opts workload.AppRunOptions) (*workload.AppReport, error) {
+	scale := r.TimeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	timeout := r.Timeout
+	if timeout <= 0 {
+		timeout = 120 * time.Second
+	}
+	h := &liveAppHost{
+		app:      app,
+		opts:     opts,
+		scale:    scale,
+		start:    time.Now(),
+		ranks:    make([]liveAppRank, n),
+		counters: make([]core.Counters, n),
+		busy:     make([]core.BusyMeter, n),
+		doneCh:   make(chan struct{}),
+		quit:     make(chan struct{}),
+	}
+	for i := range h.ranks {
+		h.ranks[i] = liveAppRank{
+			stateCh: make(chan liveStateMsg, 1<<16),
+			dataCh:  make(chan liveDataMsg, 1<<14),
+			wakeCh:  make(chan struct{}, 1),
+		}
+	}
+	h.mu.Lock()
+	err := app.Attach(h)
+	if err == nil {
+		h.checkQuiet()
+	}
+	h.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	var wg sync.WaitGroup
+	for rank := 0; rank < n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			h.runRank(rank)
+		}(rank)
+	}
+	var runErr error
+	select {
+	case <-h.doneCh:
+	case <-time.After(timeout):
+		// Diagnose from the atomics only: a wedged callback may hold
+		// h.mu forever, and the timeout guard must still report.
+		runErr = fmt.Errorf("live: application not quiescent after %s (data %d sent / %d handled)",
+			timeout, h.dataSent.Load(), h.dataDone.Load())
+	}
+	// Sample the makespan at quiescence, before loop teardown.
+	elapsed := time.Since(h.start).Seconds()
+	close(h.quit)
+	wg.Wait()
+	rep := h.report()
+	rep.Time = elapsed
+	return rep, runErr
+}
+
+// liveStateMsg is one state-channel item; liveDataMsg one data-channel
+// item.
+type liveStateMsg struct {
+	from, kind int
+	payload    any
+}
+
+type liveDataMsg struct {
+	from int
+	m    workload.DataMsg
+}
+
+// liveAppRank is one rank's hosting state. pending is only touched by
+// the rank's own goroutine (Compute is called from the rank's own
+// callbacks, per the port's callback discipline).
+type liveAppRank struct {
+	stateCh chan liveStateMsg
+	dataCh  chan liveDataMsg
+	wakeCh  chan struct{}
+	pending *liveCompute
+}
+
+type liveCompute struct {
+	seconds float64
+	done    func()
+}
+
+// liveAppHost hosts one App over goroutines.
+type liveAppHost struct {
+	app   workload.App
+	opts  workload.AppRunOptions
+	scale float64
+	start time.Time
+
+	// mu serializes every application callback (and the send tallies,
+	// since sends only happen inside callbacks).
+	mu       sync.Mutex
+	ranks    []liveAppRank
+	counters []core.Counters
+	busy     []core.BusyMeter
+
+	dataSent, dataDone atomic.Int64
+	doneCh             chan struct{}
+	doneOnce           sync.Once
+	quit               chan struct{}
+}
+
+// ---- workload.AppHost ---------------------------------------------------
+
+func (h *liveAppHost) N() int                        { return len(h.ranks) }
+func (h *liveAppHost) Now() float64                  { return time.Since(h.start).Seconds() }
+func (h *liveAppHost) Context(rank int) core.Context { return liveAppCtx{h, rank} }
+
+func (h *liveAppHost) SendData(from, to int, m workload.DataMsg) {
+	h.counters[from].AddData(m.Bytes)
+	h.dataSent.Add(1)
+	// The send runs under the callback mutex; the receiver's buffer
+	// (16k messages) is the deadlock guard, as in live.Cluster. In-
+	// process application scale keeps traffic orders of magnitude
+	// below it; revisit before hosting much larger task graphs.
+	h.ranks[to].dataCh <- liveDataMsg{from: from, m: m}
+}
+
+func (h *liveAppHost) Compute(rank int, seconds float64, done func()) {
+	rk := &h.ranks[rank]
+	if rk.pending != nil {
+		panic(fmt.Sprintf("live: rank %d started a task while busy", rank))
+	}
+	rk.pending = &liveCompute{seconds: seconds * h.opts.SpeedOf(rank), done: done}
+}
+
+func (h *liveAppHost) Wake(rank int) {
+	select {
+	case h.ranks[rank].wakeCh <- struct{}{}:
+	default:
+	}
+}
+
+// liveAppCtx is one rank's core.Context: mechanism sends on the
+// prioritized state channel, charged at the modeled byte sizes.
+type liveAppCtx struct {
+	h    *liveAppHost
+	rank int
+}
+
+func (c liveAppCtx) Rank() int    { return c.rank }
+func (c liveAppCtx) N() int       { return c.h.N() }
+func (c liveAppCtx) Now() float64 { return c.h.Now() }
+
+func (c liveAppCtx) Send(to int, kind int, payload any, bytes float64) {
+	c.h.counters[c.rank].AddState(kind, bytes)
+	c.h.ranks[to].stateCh <- liveStateMsg{from: c.rank, kind: kind, payload: payload}
+}
+
+func (c liveAppCtx) Broadcast(kind int, payload any, bytes float64) {
+	for to := range c.h.ranks {
+		if to != c.rank {
+			c.Send(to, kind, payload, bytes)
+		}
+	}
+}
+
+// ---- rank main loop -----------------------------------------------------
+
+// runRank is rank's Algorithm 1 loop: pending compute first (a task the
+// application just started runs immediately, as on the simulator), then
+// the prioritized state channel, Blocked gating, data messages, and
+// finally TryStart; it blocks when nothing is available.
+func (h *liveAppHost) runRank(rank int) {
+	rk := &h.ranks[rank]
+	for {
+		select {
+		case <-h.quit:
+			return
+		default:
+		}
+		if p := rk.pending; p != nil {
+			rk.pending = nil
+			h.sleep(p.seconds)
+			h.mu.Lock()
+			p.done()
+			h.checkQuiet()
+			h.mu.Unlock()
+			continue
+		}
+		// Priority 1: drain state-information messages.
+		if m, ok := h.pollState(rk); ok {
+			h.handleState(rank, m)
+			continue
+		}
+		h.mu.Lock()
+		blocked := h.app.Blocked(rank)
+		h.mu.Unlock()
+		if blocked {
+			// Snapshot in progress: treat only state messages.
+			select {
+			case m := <-rk.stateCh:
+				h.handleState(rank, m)
+			case <-h.quit:
+				return
+			}
+			continue
+		}
+		// Priority 2: data messages.
+		select {
+		case m := <-rk.dataCh:
+			h.handleData(rank, m)
+			continue
+		default:
+		}
+		// Priority 3: local ready tasks. TryStart can open a snapshot
+		// (Acquire broadcast → Blocked), so the busy meter observes
+		// here too — otherwise the request-to-first-reply interval
+		// would be dropped from BusyTime (the simulator host meters
+		// this transition as well).
+		h.mu.Lock()
+		started := h.app.TryStart(rank)
+		h.busy[rank].Observe(h.app.Blocked(rank))
+		h.mu.Unlock()
+		if started {
+			continue
+		}
+		select {
+		case m := <-rk.stateCh:
+			h.handleState(rank, m)
+		case m := <-rk.dataCh:
+			h.handleData(rank, m)
+		case <-rk.wakeCh:
+		case <-h.quit:
+			return
+		}
+	}
+}
+
+func (h *liveAppHost) pollState(rk *liveAppRank) (liveStateMsg, bool) {
+	select {
+	case m := <-rk.stateCh:
+		return m, true
+	default:
+		return liveStateMsg{}, false
+	}
+}
+
+func (h *liveAppHost) handleState(rank int, m liveStateMsg) {
+	h.mu.Lock()
+	h.app.HandleState(rank, m.from, m.kind, m.payload)
+	h.busy[rank].Observe(h.app.Blocked(rank))
+	h.checkQuiet()
+	h.mu.Unlock()
+}
+
+func (h *liveAppHost) handleData(rank int, m liveDataMsg) {
+	h.mu.Lock()
+	h.app.HandleData(rank, m.from, m.m)
+	h.dataDone.Add(1)
+	h.checkQuiet()
+	h.mu.Unlock()
+}
+
+// sleep spends one compute interval of wall clock, bounded by quit so
+// shutdown is prompt.
+func (h *liveAppHost) sleep(seconds float64) {
+	d := time.Duration(seconds * h.scale * float64(time.Second))
+	if d <= 0 {
+		return
+	}
+	select {
+	case <-time.After(d):
+	case <-h.quit:
+	}
+}
+
+// checkQuiet closes doneCh once the application is Done and every data
+// message has been handled (outstanding-work quiescence). Callers hold
+// mu.
+func (h *liveAppHost) checkQuiet() {
+	if h.app.Done() && h.dataSent.Load() == h.dataDone.Load() {
+		h.doneOnce.Do(func() { close(h.doneCh) })
+	}
+}
+
+// report aggregates the per-rank transport tallies.
+func (h *liveAppHost) report() *workload.AppReport {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rep := &workload.AppReport{Time: time.Since(h.start).Seconds()}
+	for r := range h.counters {
+		c := h.counters[r].Clone()
+		c.BusyTime = h.busy[r].Seconds
+		rep.Counters.Merge(c)
+	}
+	return rep
+}

@@ -12,6 +12,9 @@ type Driver struct {
 	// Drive tunes DriveCluster (Spin is always taken from the run's
 	// Params; the rest applies as given).
 	Drive workload.DriveOptions
+	// App tunes the application-port host used for application
+	// scenarios (zero value = defaults).
+	App AppRunner
 }
 
 // NewDriver returns the live runtime driver.
@@ -22,6 +25,11 @@ func (Driver) Runtime() string { return "live" }
 
 // Run implements workload.Driver.
 func (d Driver) Run(w workload.Workload, mech core.Mech, cfg core.Config, p workload.Params) (*workload.Report, error) {
+	if as, ok := w.(workload.AppScenario); ok {
+		// Application scenarios (the solver) are hosted through the
+		// application port instead of compiled to rank programs.
+		return workload.RunAppScenario(&d.App, as, mech, cfg, p)
+	}
 	progs, err := w.Programs(p)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,346 @@
+package net
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// This file is the net side of the application port (workload.App /
+// workload.AppHost): hosting a real distributed application — the
+// multifrontal solver — over the same TCP mesh, codec and peer loops
+// the synthetic workloads use. Each rank is one Node whose main loop
+// runs the application's Algorithm 1 instead of the built-in workload
+// loop; state messages and application data messages (TypeData frames
+// carrying workload.DataMsg) genuinely travel the sockets, while
+// application callbacks are serialized by the binding's lock per the
+// port's execution model. Application clusters are therefore hosted
+// in-process (one mesh of localhost nodes), not forked.
+
+// appMsg is one inbound application data-channel message.
+type appMsg struct {
+	from int
+	m    workload.DataMsg
+}
+
+// appCompute is one deferred compute interval.
+type appCompute struct {
+	seconds float64
+	done    func()
+}
+
+// appBinding is the hosting state shared by every node of one
+// application cluster.
+type appBinding struct {
+	app   workload.App
+	opts  workload.AppRunOptions
+	scale float64
+
+	// mu serializes every application callback across ranks.
+	mu sync.Mutex
+	// ready is closed once Attach ran; node loops park on it so the
+	// application never sees a callback before its host is wired.
+	ready chan struct{}
+
+	// dataSent / dataDone track outstanding application data messages
+	// cluster-wide: quiescence is Done() plus an empty data channel.
+	dataSent, dataDone atomic.Int64
+	doneCh             chan struct{}
+	doneOnce           sync.Once
+}
+
+// checkQuiet closes doneCh once the application reports Done and every
+// data message sent has been handled. Callers hold mu.
+func (b *appBinding) checkQuiet() {
+	if b.app.Done() && b.dataSent.Load() == b.dataDone.Load() {
+		b.doneOnce.Do(func() { close(b.doneCh) })
+	}
+}
+
+// runApp is the node main loop in app mode: the hosted application's
+// Algorithm 1 — pending compute first (a task the application just
+// started runs immediately), then the prioritized state channel,
+// Blocked gating, application data messages, TryStart, and blocking
+// when idle.
+func (nd *Node) runApp() {
+	defer close(nd.done)
+	b := nd.appB
+	select {
+	case <-b.ready:
+	case <-nd.quit:
+		return
+	}
+	r := nd.rank
+	for {
+		select {
+		case <-nd.quit:
+			return
+		default:
+		}
+		if p := nd.appPend; p != nil {
+			nd.appPend = nil
+			nd.appSleep(p.seconds)
+			b.mu.Lock()
+			p.done()
+			b.checkQuiet()
+			b.mu.Unlock()
+			continue
+		}
+		// Priority 1: state-information messages.
+		select {
+		case m := <-nd.stateCh:
+			nd.appHandleState(m)
+			continue
+		default:
+		}
+		b.mu.Lock()
+		blocked := b.app.Blocked(r)
+		b.mu.Unlock()
+		if blocked {
+			// Snapshot in progress: treat only state messages.
+			select {
+			case m := <-nd.stateCh:
+				nd.appHandleState(m)
+			case <-nd.quit:
+				return
+			}
+			continue
+		}
+		// Priority 2: application data messages.
+		select {
+		case m := <-nd.appCh:
+			nd.appHandleData(m)
+			continue
+		default:
+		}
+		// Priority 3: local ready tasks. TryStart can open a snapshot
+		// (Acquire broadcast → Blocked), so the busy meter observes
+		// here too — otherwise the request-to-first-reply interval
+		// would be dropped from BusyTime (the simulator host meters
+		// this transition as well).
+		b.mu.Lock()
+		started := b.app.TryStart(r)
+		nd.busy.Observe(b.app.Blocked(r))
+		b.mu.Unlock()
+		if started {
+			continue
+		}
+		select {
+		case m := <-nd.stateCh:
+			nd.appHandleState(m)
+		case m := <-nd.appCh:
+			nd.appHandleData(m)
+		case <-nd.wakeCh:
+		case <-nd.quit:
+			return
+		}
+	}
+}
+
+// appHandleState treats one state-channel item in app mode. Control
+// closures (Invoke: counter sampling) bypass the application.
+func (nd *Node) appHandleState(m inMsg) {
+	if m.ctl != nil {
+		m.ctl()
+		return
+	}
+	b := nd.appB
+	b.mu.Lock()
+	b.app.HandleState(nd.rank, m.from, m.kind, m.payload)
+	nd.busy.Observe(b.app.Blocked(nd.rank))
+	b.checkQuiet()
+	b.mu.Unlock()
+}
+
+// appHandleData treats one application data message.
+func (nd *Node) appHandleData(m appMsg) {
+	b := nd.appB
+	b.mu.Lock()
+	b.app.HandleData(nd.rank, m.from, m.m)
+	b.dataDone.Add(1)
+	b.checkQuiet()
+	b.mu.Unlock()
+}
+
+// appSleep spends one compute interval of wall clock, bounded by quit
+// so shutdown is prompt.
+func (nd *Node) appSleep(seconds float64) {
+	d := time.Duration(seconds * nd.appB.scale * float64(time.Second))
+	if d <= 0 {
+		return
+	}
+	select {
+	case <-time.After(d):
+	case <-nd.quit:
+	}
+}
+
+// netAppHost implements workload.AppHost over a mesh of nodes.
+type netAppHost struct {
+	b     *appBinding
+	nodes []*Node
+	start time.Time
+}
+
+func (h *netAppHost) N() int                        { return len(h.nodes) }
+func (h *netAppHost) Now() float64                  { return time.Since(h.start).Seconds() }
+func (h *netAppHost) Context(rank int) core.Context { return nodeCtx{h.nodes[rank]} }
+
+func (h *netAppHost) SendData(from, to int, m workload.DataMsg) {
+	nd := h.nodes[from]
+	// The estimate tallies charge the application's modeled byte size;
+	// the writer goroutine tallies the real encoded frame.
+	nd.est.AddData(m.Bytes)
+	h.b.dataSent.Add(1)
+	if to == from {
+		// Applications do not normally self-send; deliver locally.
+		nd.appCh <- appMsg{from: from, m: m}
+		return
+	}
+	nd.post(to, DataMessage(from, m))
+}
+
+func (h *netAppHost) Compute(rank int, seconds float64, done func()) {
+	nd := h.nodes[rank]
+	if nd.appPend != nil {
+		panic(fmt.Sprintf("net: rank %d started a task while busy", rank))
+	}
+	nd.appPend = &appCompute{seconds: seconds * h.b.opts.SpeedOf(rank), done: done}
+}
+
+func (h *netAppHost) Wake(rank int) {
+	select {
+	case h.nodes[rank].wakeCh <- struct{}{}:
+	default:
+	}
+}
+
+// AppRunner implements workload.AppRunner over localhost TCP: the same
+// mesh, codec and graceful-shutdown machinery as Cluster, with the node
+// main loops running a hosted application. State and data tallies in
+// the report are real encoded frame-body sizes counted at the writers.
+type AppRunner struct {
+	// Opts is the node option template (codec, timeouts, logging);
+	// Initial and Speed are ignored — application state comes from the
+	// App itself.
+	Opts Options
+	// TimeScale is the wall-clock duration of one application second of
+	// compute (default 1).
+	TimeScale float64
+	// Timeout bounds the whole run (default 120s).
+	Timeout time.Duration
+}
+
+// Runtime implements workload.AppRunner.
+func (*AppRunner) Runtime() string { return "net" }
+
+// RunApp implements workload.AppRunner.
+func (r *AppRunner) RunApp(n int, app workload.App, opts workload.AppRunOptions) (*workload.AppReport, error) {
+	scale := r.TimeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	timeout := r.Timeout
+	if timeout <= 0 {
+		timeout = 120 * time.Second
+	}
+	b := &appBinding{
+		app:    app,
+		opts:   opts,
+		scale:  scale,
+		ready:  make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}
+	nodeOpts := r.Opts
+	nodeOpts.Initial, nodeOpts.Speed = nil, nil
+
+	nodes := make([]*Node, 0, n)
+	stop := func() {
+		var wg sync.WaitGroup
+		for _, nd := range nodes {
+			wg.Add(1)
+			go func(nd *Node) {
+				defer wg.Done()
+				nd.Close()
+			}(nd)
+		}
+		wg.Wait()
+	}
+	addrs := make([]string, n)
+	for rank := 0; rank < n; rank++ {
+		// The node's own exchanger is unused in app mode (the
+		// application owns its mechanisms); any registered mechanism
+		// satisfies the constructor.
+		nd, err := NewNode(rank, n, core.MechNaive, core.Config{}, nodeOpts)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		nd.appB = b
+		nodes = append(nodes, nd)
+		if addrs[rank], err = nd.Listen("127.0.0.1:0"); err != nil {
+			stop()
+			return nil, err
+		}
+	}
+	// Start the whole mesh concurrently: rank r's Start blocks until
+	// every higher rank has dialed it.
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for rank := 0; rank < n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = nodes[rank].Start(addrs)
+		}(rank)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			stop()
+			return nil, err
+		}
+	}
+
+	host := &netAppHost{b: b, nodes: nodes, start: time.Now()}
+	b.mu.Lock()
+	err := app.Attach(host)
+	if err == nil {
+		b.checkQuiet()
+	}
+	b.mu.Unlock()
+	if err != nil {
+		stop()
+		return nil, err
+	}
+	close(b.ready)
+
+	var runErr error
+	select {
+	case <-b.doneCh:
+	case <-time.After(timeout):
+		// Diagnose from the atomics only: a wedged callback may hold
+		// b.mu forever, and the timeout guard must still report.
+		runErr = fmt.Errorf("net: application not quiescent after %s (data %d sent / %d handled)",
+			timeout, b.dataSent.Load(), b.dataDone.Load())
+	}
+	// Sample the makespan at quiescence, before the mesh teardown
+	// (graceful Close — writer flushes, FIN exchanges — can take as
+	// long as a small run itself).
+	elapsed := time.Since(host.start).Seconds()
+	stop()
+
+	rep := &workload.AppReport{Time: elapsed}
+	for _, nd := range nodes {
+		// Every goroutine is quiesced after Close: sample directly.
+		rep.Counters.Merge(nd.sampleCounters())
+		tr := nd.Transport()
+		rep.WireMsgs += tr.MsgsIn
+		rep.WireBytes += tr.BytesIn
+	}
+	return rep, runErr
+}

@@ -27,13 +27,16 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/workload"
 )
 
 // MsgType tags a wire message. Hello identifies a connection; State
 // carries a core state-channel message; Work/WorkDone are the data
 // channel (a work item and its execution acknowledgment); Done is the
 // cluster termination protocol (a master announcing all its work
-// drained).
+// drained); Data carries one application-port data-channel message
+// (workload.DataMsg: the solver's subtasks, contribution-block pieces
+// and ship requests travel as these frames).
 type MsgType uint8
 
 // The wire message types.
@@ -43,6 +46,7 @@ const (
 	TypeWork
 	TypeWorkDone
 	TypeDone
+	TypeData
 )
 
 // String returns a short name for the message type.
@@ -58,6 +62,8 @@ func (t MsgType) String() string {
 		return "work_done"
 	case TypeDone:
 		return "done"
+	case TypeData:
+		return "data"
 	}
 	return fmt.Sprintf("type(%d)", uint8(t))
 }
@@ -82,6 +88,15 @@ type Message struct {
 	// Spin is the work item's execution duration in nanoseconds
 	// (TypeWork only).
 	Spin int64 `json:"spin,omitempty"`
+	// Data is the application-port payload (TypeData only); its Kind
+	// tag lives inside the struct, the transport does not interpret it.
+	Data workload.DataMsg `json:"data,omitzero"`
+}
+
+// DataMessage builds the wire message for one application data-channel
+// send.
+func DataMessage(from int, m workload.DataMsg) Message {
+	return Message{Type: TypeData, From: int32(from), Data: m}
 }
 
 // StateMessage builds the wire message for one core state-channel send.
@@ -203,6 +218,14 @@ func (BinaryCodec) Encode(dst []byte, m Message) ([]byte, error) {
 	case TypeWork:
 		dst = appendLoad(dst, m.Load)
 		dst = binary.BigEndian.AppendUint64(dst, uint64(m.Spin))
+	case TypeData:
+		dst = binary.BigEndian.AppendUint32(dst, uint32(m.Data.Kind))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(m.Data.Node))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(m.Data.Peer))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(m.Data.Count))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(m.Data.Work))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(m.Data.Size))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(m.Data.Bytes))
 	case TypeState:
 		dst = binary.BigEndian.AppendUint32(dst, uint32(m.Kind))
 		switch int(m.Kind) {
@@ -253,6 +276,28 @@ func (BinaryCodec) Decode(b []byte) (Message, error) {
 			return m, err
 		}
 		m.Spin = int64(u)
+	case TypeData:
+		if m.Data.Kind, err = r.i32(); err != nil {
+			return m, err
+		}
+		if m.Data.Node, err = r.i32(); err != nil {
+			return m, err
+		}
+		if m.Data.Peer, err = r.i32(); err != nil {
+			return m, err
+		}
+		if m.Data.Count, err = r.i32(); err != nil {
+			return m, err
+		}
+		if m.Data.Work, err = r.f64(); err != nil {
+			return m, err
+		}
+		if m.Data.Size, err = r.f64(); err != nil {
+			return m, err
+		}
+		if m.Data.Bytes, err = r.f64(); err != nil {
+			return m, err
+		}
 	case TypeState:
 		if m.Kind, err = r.i32(); err != nil {
 			return m, err
@@ -353,6 +398,14 @@ func (r *reader) u64() (uint64, error) {
 		return 0, err
 	}
 	return binary.BigEndian.Uint64(b), nil
+}
+
+func (r *reader) f64() (float64, error) {
+	u, err := r.u64()
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(u), nil
 }
 
 func (r *reader) load() (core.Load, error) {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/workload"
 )
 
 // sampleMessages covers every wire type and every state kind, including
@@ -28,6 +29,13 @@ func sampleMessages() []Message {
 			{Proc: 3, Delta: core.Load{20, 2}},
 		}},
 		{Type: TypeState, From: 0, Kind: int32(core.KindMasterToAll)},
+		{Type: TypeData, From: 3, Data: workload.DataMsg{
+			Kind: 101, Node: 17, Peer: 2, Count: 48, Work: 1.5e6, Size: 2304, Bytes: 18432,
+		}},
+		{Type: TypeData, From: 1, Data: workload.DataMsg{Kind: 105, Bytes: 32}},
+		{Type: TypeData, From: 0, Data: workload.DataMsg{
+			Kind: 102, Node: 5, Peer: -1, Count: 1, Size: -2.5,
+		}},
 	}
 }
 

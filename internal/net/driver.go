@@ -28,6 +28,12 @@ func (Driver) Runtime() string { return "net" }
 
 // Run implements workload.Driver.
 func (d Driver) Run(w workload.Workload, mech core.Mech, cfg core.Config, p workload.Params) (*workload.Report, error) {
+	if as, ok := w.(workload.AppScenario); ok {
+		// Application scenarios (the solver) are hosted through the
+		// application port: the same TCP mesh and codec, one node per
+		// rank, in-process (see the execution model in workload/app.go).
+		return workload.RunAppScenario(&AppRunner{Opts: d.Opts}, as, mech, cfg, p)
+	}
 	progs, err := w.Programs(p)
 	if err != nil {
 		return nil, err

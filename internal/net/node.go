@@ -88,6 +88,10 @@ type Node struct {
 	peers     []*peer
 	stateCh   chan inMsg
 	dataCh    chan workMsg
+	appCh     chan appMsg   // inbound application-port data messages
+	wakeCh    chan struct{} // cross-rank main-loop wakeups (app mode)
+	appB      *appBinding   // non-nil when the node hosts a workload.App rank
+	appPend   *appCompute   // deferred compute, owned by the node goroutine
 	quit      chan struct{}
 	done      chan struct{} // main loop exited
 	wgReaders sync.WaitGroup
@@ -169,6 +173,8 @@ func NewNode(rank, n int, mech core.Mech, cfg core.Config, opts Options) (*Node,
 		peers:   make([]*peer, n),
 		stateCh: make(chan inMsg, 1<<16),
 		dataCh:  make(chan workMsg, 1<<12),
+		appCh:   make(chan appMsg, 1<<14),
+		wakeCh:  make(chan struct{}, 1),
 		quit:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}, nil
@@ -306,12 +312,16 @@ func (nd *Node) Start(addrs []string) error {
 		nd.peers[a.rank] = &peer{rank: a.rank, conn: a.conn, out: make(chan Message, 1<<14)}
 	}
 
-	initial := core.Load{}
-	if nd.opts.Initial != nil {
-		initial = nd.opts.Initial[nd.rank]
+	if nd.appB == nil {
+		// App mode leaves the node's own exchanger untouched: the hosted
+		// application owns its mechanisms and initializes them at Attach.
+		initial := core.Load{}
+		if nd.opts.Initial != nil {
+			initial = nd.opts.Initial[nd.rank]
+		}
+		nd.exch.Init(nodeCtx{nd}, initial)
+		core.SeedView(nd.exch, nd.rank, nd.opts.Initial)
 	}
-	nd.exch.Init(nodeCtx{nd}, initial)
-	core.SeedView(nd.exch, nd.rank, nd.opts.Initial)
 	for _, p := range nd.peers {
 		if p == nil {
 			continue
@@ -329,7 +339,11 @@ func (nd *Node) Start(addrs []string) error {
 		return fail(fmt.Errorf("net: rank %d: node closed during start", nd.rank))
 	}
 	nd.started.Store(true)
-	go nd.run()
+	if nd.appB != nil {
+		go nd.runApp()
+	} else {
+		go nd.run()
+	}
 	return nil
 }
 
@@ -389,6 +403,13 @@ func (nd *Node) readLoop(p *peer) {
 			case <-nd.quit:
 				return
 			}
+		case TypeData:
+			nd.workIn.Add(1)
+			select {
+			case nd.appCh <- appMsg{from: int(m.From), m: m.Data}:
+			case <-nd.quit:
+				return
+			}
 		case TypeWorkDone:
 			nd.outstanding.Add(-1)
 		case TypeDone:
@@ -413,19 +434,34 @@ func (nd *Node) validRanks(m *Message) bool {
 	return true
 }
 
+// encodeBufs pools encode scratch buffers across every writer
+// goroutine of every node in the process: a writer holds a buffer only
+// for the duration of one encode+write, so a cluster of n nodes with
+// n-1 writers each retains O(active writers) buffers instead of one
+// grown buffer per (node, peer) pair for the node's whole lifetime.
+var encodeBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
 // writeLoop encodes and writes one peer's outbound messages, flushing
 // when the queue momentarily empties.
 func (nd *Node) writeLoop(p *peer) {
 	defer nd.wgWriters.Done()
 	bw := bufio.NewWriterSize(p.conn, 1<<16)
-	var buf []byte
 	send := func(m Message) bool {
-		body, err := nd.codec.Encode(buf[:0], m)
+		bp := encodeBufs.Get().(*[]byte)
+		defer func() {
+			encodeBufs.Put(bp)
+		}()
+		body, err := nd.codec.Encode((*bp)[:0], m)
 		if err != nil {
 			nd.logf("net: rank %d encode for %d: %v", nd.rank, p.rank, err)
 			return false
 		}
-		buf = body
+		*bp = body[:0]
 		if err := WriteFrame(bw, body); err != nil {
 			if !nd.closing.Load() {
 				nd.logf("net: rank %d write to %d: %v", nd.rank, p.rank, err)
@@ -440,7 +476,7 @@ func (nd *Node) writeLoop(p *peer) {
 				nd.stateKindMsgs[k].Add(1)
 				nd.stateKindBytes[k].Add(int64(len(body)))
 			}
-		case TypeWork:
+		case TypeWork, TypeData:
 			nd.workMsgsOut.Add(1)
 			nd.workBytesOut.Add(int64(len(body)))
 		}

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// AppRunner implements workload.AppRunner on the deterministic
+// discrete-event simulator: the sim side of the application port. It
+// reproduces exactly the runtime surface the solver used before the
+// port existed — state sends become StateChannel messages, SendData
+// becomes DataChannel messages carrying the flattened workload.DataMsg,
+// Compute schedules a simulated task — so a hosted application behaves
+// bit-for-bit like the old sim-wired code.
+type AppRunner struct {
+	// Network configures the simulated interconnect. The zero value
+	// means DefaultNetwork().
+	Network NetworkConfig
+}
+
+// Runtime implements workload.AppRunner.
+func (*AppRunner) Runtime() string { return "sim" }
+
+// RunApp implements workload.AppRunner: it drives the application's
+// Algorithm 1 loops through the engine until the event queue drains.
+func (r *AppRunner) RunApp(n int, app workload.App, opts workload.AppRunOptions) (*workload.AppReport, error) {
+	net := r.Network
+	if net == (NetworkConfig{}) {
+		net = DefaultNetwork()
+	}
+	eng := NewEngine()
+	eng.MaxSteps = opts.MaxSteps
+	h := &appHost{app: app, opts: opts, busySince: make([]float64, n)}
+	for i := range h.busySince {
+		h.busySince[i] = -1
+	}
+	h.rt = NewRuntime(eng, n, net, h)
+	h.rt.Threaded = opts.Threaded
+	if opts.PollPeriod > 0 {
+		h.rt.PollPeriod = Duration(opts.PollPeriod)
+	}
+	if err := app.Attach(h); err != nil {
+		return nil, err
+	}
+	h.rt.Start()
+	if err := eng.Run(); err != nil {
+		return nil, err
+	}
+	return h.report(), nil
+}
+
+// appHost adapts the simulator to workload.AppHost and the hosted
+// application to sim.App.
+type appHost struct {
+	rt   *Runtime
+	app  workload.App
+	opts workload.AppRunOptions
+
+	// busySince[r] is the virtual time rank r became Blocked, -1 when
+	// it is not; busyTime accumulates the closed intervals.
+	busySince []float64
+	busyTime  float64
+}
+
+// ---- workload.AppHost ---------------------------------------------------
+
+func (h *appHost) N() int                        { return len(h.rt.Procs) }
+func (h *appHost) Now() float64                  { return float64(h.rt.Now()) }
+func (h *appHost) Context(rank int) core.Context { return appCtx{h, rank} }
+func (h *appHost) Wake(rank int)                 { h.rt.Wake(rank) }
+
+func (h *appHost) SendData(from, to int, m workload.DataMsg) {
+	h.rt.Send(&Message{
+		From: from, To: to, Channel: DataChannel,
+		Kind: int(m.Kind), Payload: m, Bytes: m.Bytes,
+	})
+}
+
+func (h *appHost) Compute(rank int, seconds float64, done func()) {
+	h.rt.Compute(h.rt.Procs[rank], Duration(seconds*h.opts.SpeedOf(rank)), done)
+}
+
+// appCtx is one rank's core.Context: mechanism sends on the prioritized
+// state channel, exactly as the pre-port solver wired them.
+type appCtx struct {
+	h    *appHost
+	rank int
+}
+
+func (c appCtx) Rank() int    { return c.rank }
+func (c appCtx) N() int       { return c.h.N() }
+func (c appCtx) Now() float64 { return c.h.Now() }
+
+func (c appCtx) Send(to int, kind int, payload any, bytes float64) {
+	c.h.rt.Send(&Message{
+		From: c.rank, To: to, Channel: StateChannel,
+		Kind: kind, Payload: payload, Bytes: bytes,
+	})
+}
+
+func (c appCtx) Broadcast(kind int, payload any, bytes float64) {
+	c.h.rt.Broadcast(c.rank, Message{
+		Channel: StateChannel, Kind: kind, Payload: payload, Bytes: bytes,
+	})
+}
+
+// ---- sim.App ------------------------------------------------------------
+
+func (h *appHost) HandleState(p *Proc, m *Message) {
+	h.app.HandleState(p.ID, m.From, m.Kind, m.Payload)
+	h.busyCheck(p.ID)
+}
+
+func (h *appHost) HandleData(p *Proc, m *Message) {
+	h.app.HandleData(p.ID, m.From, m.Payload.(workload.DataMsg))
+}
+
+func (h *appHost) TryStart(p *Proc) bool {
+	started := h.app.TryStart(p.ID)
+	h.busyCheck(p.ID)
+	return started
+}
+
+func (h *appHost) Blocked(p *Proc) bool { return h.app.Blocked(p.ID) }
+
+// busyCheck accumulates Blocked (snapshot-participation) time across
+// state transitions, in virtual seconds. It schedules no event, so it
+// never perturbs the simulation.
+func (h *appHost) busyCheck(r int) {
+	blocked := h.app.Blocked(r)
+	if blocked && h.busySince[r] < 0 {
+		h.busySince[r] = float64(h.rt.Now())
+	} else if !blocked && h.busySince[r] >= 0 {
+		h.busyTime += float64(h.rt.Now()) - h.busySince[r]
+		h.busySince[r] = -1
+	}
+}
+
+// report samples the network's exact per-kind tallies into the uniform
+// counters, plus the engine and threading metrics only the simulator
+// has.
+func (h *appHost) report() *workload.AppReport {
+	rep := &workload.AppReport{
+		Time:  float64(h.rt.Now()),
+		Steps: h.rt.Eng.Steps(),
+	}
+	for _, p := range h.rt.Procs {
+		rep.PausedTime += float64(p.PausedTime())
+	}
+	c := &rep.Counters
+	state := h.rt.Net.Count(StateChannel)
+	data := h.rt.Net.Count(DataChannel)
+	c.StateMsgs, c.StateBytes = state.Messages, state.Bytes
+	c.DataMsgs, c.DataBytes = data.Messages, data.Bytes
+	c.BusyTime = h.busyTime
+	for _, kind := range h.rt.Net.Kinds(StateChannel) {
+		t := h.rt.Net.KindTally(StateChannel, kind)
+		if c.PerKind == nil {
+			c.PerKind = make(map[string]core.KindTally)
+		}
+		c.PerKind[core.KindName(kind)] = core.KindTally{Msgs: t.Messages, Bytes: t.Bytes}
+	}
+	return rep
+}

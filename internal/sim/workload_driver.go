@@ -34,6 +34,11 @@ func (d *WorkloadDriver) Runtime() string { return "sim" }
 
 // Run implements workload.Driver.
 func (d *WorkloadDriver) Run(w workload.Workload, mech core.Mech, cfg core.Config, p workload.Params) (*workload.Report, error) {
+	if as, ok := w.(workload.AppScenario); ok {
+		// Application scenarios (the solver) are hosted through the
+		// application port instead of compiled to rank programs.
+		return workload.RunAppScenario(&AppRunner{Network: d.Network}, as, mech, cfg, p)
+	}
 	progs, err := w.Programs(p)
 	if err != nil {
 		return nil, err

@@ -6,9 +6,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/mapping"
 	"repro/internal/sched"
-	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/tree"
+	"repro/internal/workload"
 )
 
 // itemKind classifies entries of a process's local ready queue.
@@ -37,13 +37,17 @@ type item struct {
 // procState is the per-process application state.
 type procState struct {
 	exch      core.Exchanger
-	ctx       *mechCtx
+	ctx       core.Context
 	ready     []item
 	activeMem float64
 	peakMem   float64
 	// mastersLeft counts Type 2 selections this process still has to
 	// perform; reaching zero triggers No_more_master (§2.3).
 	mastersLeft int
+	// executed counts completed tasks; flops accumulates the executed
+	// floating-point work (panel chunks as they finish).
+	executed int64
+	flops    float64
 }
 
 // piece is a contribution block stacked on its producer, awaiting the
@@ -67,50 +71,44 @@ type nodeState struct {
 	type3Done  int32
 }
 
-// app implements sim.App: the Algorithm 1 behaviours of every process.
+// app implements workload.App: the Algorithm 1 behaviours of every
+// process, expressed against the transport-neutral application port.
+// Any runtime's AppRunner (sim, live, net) can host it.
 type app struct {
-	m   *mapping.Mapping
-	prm Params
-	rt  *sim.Runtime
+	m    *mapping.Mapping
+	prm  Params
+	host workload.AppHost
 
-	procs     []*procState
-	nodes     []nodeState
-	doneCount int
-	decisions int
+	procs       []*procState
+	nodes       []nodeState
+	doneCount   int
+	decisions   int
+	assignments int
+	counters    core.Counters // decision counts + acquire-to-ready latency
+}
+
+// newApp builds the application for a normalized parameter set; the
+// mechanisms and per-process state are created when a host attaches.
+func newApp(m *mapping.Mapping, prm Params) *app {
+	return &app{m: m, prm: prm}
 }
 
 // emit sends a trace event when tracing is enabled.
-func (a *app) emit(proc int, ty trace.Type, node int32, value float64, note string) {
+func (a *app) emit(rank int, ty trace.Type, node int32, value float64, note string) {
 	if a.prm.Tracer == nil {
 		return
 	}
 	a.prm.Tracer.Emit(trace.Event{
-		At: float64(a.rt.Now()), Proc: proc, Type: ty,
+		At: a.host.Now(), Proc: rank, Type: ty,
 		Node: node, Value: value, Note: note,
 	})
 }
 
-// mechCtx adapts the runtime to core.Context for one process.
-type mechCtx struct {
-	app  *app
-	rank int
-}
-
-func (c *mechCtx) Rank() int    { return c.rank }
-func (c *mechCtx) N() int       { return len(c.app.procs) }
-func (c *mechCtx) Now() float64 { return float64(c.app.rt.Now()) }
-
-func (c *mechCtx) Send(to int, kind int, payload any, bytes float64) {
-	c.app.rt.Send(&sim.Message{
-		From: c.rank, To: to, Channel: sim.StateChannel,
-		Kind: kind, Payload: payload, Bytes: bytes,
-	})
-}
-
-func (c *mechCtx) Broadcast(kind int, payload any, bytes float64) {
-	c.app.rt.Broadcast(c.rank, sim.Message{
-		Channel: sim.StateChannel, Kind: kind, Payload: payload, Bytes: bytes,
-	})
+// Attach implements workload.App: wire the host, create the mechanisms
+// and seed the ready queues.
+func (a *app) Attach(host workload.AppHost) error {
+	a.host = host
+	return a.init()
 }
 
 func (a *app) init() error {
@@ -128,7 +126,7 @@ func (a *app) init() error {
 		if err != nil {
 			return err
 		}
-		ps := &procState{exch: exch, ctx: &mechCtx{app: a, rank: p}}
+		ps := &procState{exch: exch, ctx: a.host.Context(p)}
 		a.procs[p] = ps
 		exch.Init(ps.ctx, initial[p])
 		// The static mapping is global knowledge: everyone starts with
@@ -157,35 +155,32 @@ func (a *app) init() error {
 	return nil
 }
 
-// ---- sim.App implementation -------------------------------------------
+// ---- workload.App implementation --------------------------------------
 
 // HandleState treats one state-information message (Algorithm 1 line 3).
-func (a *app) HandleState(p *sim.Proc, m *sim.Message) {
-	ps := a.procs[p.ID]
-	ps.exch.HandleMessage(ps.ctx, m.From, m.Kind, m.Payload)
+func (a *app) HandleState(rank, from, kind int, payload any) {
+	ps := a.procs[rank]
+	ps.exch.HandleMessage(ps.ctx, from, kind, payload)
 }
 
 // HandleData treats one application message (Algorithm 1 line 5).
-func (a *app) HandleData(p *sim.Proc, m *sim.Message) {
-	ps := a.procs[p.ID]
-	switch m.Kind {
+func (a *app) HandleData(rank, from int, m workload.DataMsg) {
+	ps := a.procs[rank]
+	switch int(m.Kind) {
 	case KindSubtask:
-		pl := m.Payload.(subtaskPayload)
-		n := &a.m.Tree.Nodes[pl.Node]
-		work := tree.SlaveFlops(n.Nfront, n.Npiv, pl.Rows, a.m.Tree.Sym)
-		mem := tree.SlaveBlockEntries(n.Nfront, n.Npiv, pl.Rows, a.m.Tree.Sym)
-		a.addMem(p.ID, mem)
+		n := &a.m.Tree.Nodes[m.Node]
+		work := tree.SlaveFlops(n.Nfront, n.Npiv, m.Count, a.m.Tree.Sym)
+		mem := tree.SlaveBlockEntries(n.Nfront, n.Npiv, m.Count, a.m.Tree.Sym)
+		a.addMem(rank, mem)
 		ps.exch.LocalChange(ps.ctx, core.Load{core.Workload: work, core.Memory: mem}, true)
-		ps.ready = append(ps.ready, item{kind: itemSlave, node: pl.Node, rows: pl.Rows})
+		ps.ready = append(ps.ready, item{kind: itemSlave, node: m.Node, rows: m.Count})
 	case KindCB:
-		a.deliverPiece(p.ID, m.Payload.(cbPayload))
+		a.deliverPiece(rank, m)
 	case KindType3Start:
-		pl := m.Payload.(type3Payload)
-		ps.exch.LocalChange(ps.ctx, core.Load{core.Workload: pl.Flops}, false)
-		ps.ready = append(ps.ready, item{kind: itemType3, node: pl.Node, flops: pl.Flops, entries: pl.Entries})
+		ps.exch.LocalChange(ps.ctx, core.Load{core.Workload: m.Work}, false)
+		ps.ready = append(ps.ready, item{kind: itemType3, node: m.Node, flops: m.Work, entries: m.Size})
 	case KindShipReq:
-		pl := m.Payload.(shipReqPayload)
-		a.shipPiece(p.ID, pl)
+		a.shipPiece(rank, m.Size, int(m.Peer))
 	case KindCBData:
 		// Assembly into storage already counted with the consumer's
 		// block: bandwidth only.
@@ -196,31 +191,33 @@ func (a *app) HandleData(p *sim.Proc, m *sim.Message) {
 
 // shipPiece frees a stacked contribution piece on its producer and sends
 // the data to the consumer chosen by the parent's selection.
-func (a *app) shipPiece(rank int, pl shipReqPayload) {
+func (a *app) shipPiece(rank int, entries float64, consumer int) {
 	ps := a.procs[rank]
-	a.addMem(rank, -pl.Entries)
-	ps.exch.LocalChange(ps.ctx, core.Load{core.Memory: -pl.Entries}, false)
-	if int(pl.Consumer) == rank {
+	a.addMem(rank, -entries)
+	ps.exch.LocalChange(ps.ctx, core.Load{core.Memory: -entries}, false)
+	if consumer == rank {
 		return
 	}
-	a.rt.Send(&sim.Message{
-		From: rank, To: int(pl.Consumer), Channel: sim.DataChannel,
-		Kind: KindCBData, Payload: nil, Bytes: pl.Entries * 8,
+	a.host.SendData(rank, consumer, workload.DataMsg{
+		Kind: KindCBData, Bytes: entries * 8,
 	})
 }
 
-// Blocked implements sim.App: a process participating in a snapshot must
-// not treat data messages or start tasks.
-func (a *app) Blocked(p *sim.Proc) bool { return a.procs[p.ID].exch.Busy() }
+// Blocked implements workload.App: a process participating in a
+// snapshot must not treat data messages or start tasks.
+func (a *app) Blocked(rank int) bool { return a.procs[rank].exch.Busy() }
 
-// TryStart implements sim.App (Algorithm 1 line 7): pick a local ready
-// task, applying the memory-aware task selection of §4.2.1.
-func (a *app) TryStart(p *sim.Proc) bool {
-	ps := a.procs[p.ID]
+// Done implements workload.App: every assembly-tree node completed.
+func (a *app) Done() bool { return a.doneCount == len(a.nodes) }
+
+// TryStart implements workload.App (Algorithm 1 line 7): pick a local
+// ready task, applying the memory-aware task selection of §4.2.1.
+func (a *app) TryStart(rank int) bool {
+	ps := a.procs[rank]
 	if len(ps.ready) == 0 {
 		return false
 	}
-	idx := a.pickItem(p.ID)
+	idx := a.pickItem(rank)
 	it := ps.ready[idx]
 	ps.ready = append(ps.ready[:idx], ps.ready[idx+1:]...)
 
@@ -232,55 +229,60 @@ func (a *app) TryStart(p *sim.Proc) bool {
 		if it.flops == 0 { // first panel: activate the front
 			it.flops = n.Cost
 			front := tree.FrontEntries(n.Nfront, t.Sym)
-			a.addMem(p.ID, front-ns.cbStacked)
+			a.addMem(rank, front-ns.cbStacked)
 			ps.exch.LocalChange(ps.ctx, core.Load{core.Memory: front - ns.cbStacked}, false)
 			ns.cbStacked = 0
 		}
 		node := it.node
-		a.computeChunk(p, it, func() { a.completeNode(p.ID, node) })
+		a.computeChunk(rank, it, func() { a.completeNode(rank, node) })
 	case itemType2:
 		node := it.node
-		a.emit(p.ID, trace.EvSnapshotStart, node, 0, "")
+		a.emit(rank, trace.EvSnapshotStart, node, 0, "")
+		acquireAt := a.host.Now()
+		ready := func() {
+			a.counters.AddDecision(a.host.Now() - acquireAt)
+			a.selectAndCommit(rank, node)
+		}
 		if a.prm.PartialSnapshots {
 			if sx, ok := ps.exch.(core.ScopedExchanger); ok {
-				sx.AcquireScoped(ps.ctx, a.m.Candidates[node], func() { a.selectAndCommit(p.ID, node) })
+				sx.AcquireScoped(ps.ctx, a.m.Candidates[node], ready)
 				return true
 			}
 		}
-		ps.exch.Acquire(ps.ctx, func() { a.selectAndCommit(p.ID, node) })
+		ps.exch.Acquire(ps.ctx, ready)
 	case itemMaster:
 		n := &t.Nodes[it.node]
 		node := it.node
 		if it.flops == 0 {
 			it.flops = tree.MasterFlops(n.Nfront, n.Npiv, t.Sym)
 		}
-		a.computeChunk(p, it, func() { a.completeMaster(p.ID, node) })
+		a.computeChunk(rank, it, func() { a.completeMaster(rank, node) })
 	case itemSlave:
 		n := &t.Nodes[it.node]
 		node, rows := it.node, it.rows
 		if it.flops == 0 {
 			it.flops = tree.SlaveFlops(n.Nfront, n.Npiv, rows, t.Sym)
 		}
-		a.computeChunk(p, it, func() { a.completeSlave(p.ID, node, rows) })
+		a.computeChunk(rank, it, func() { a.completeSlave(rank, node, rows) })
 	case itemType3:
 		node, entries := it.node, it.entries
 		if !it.cont {
-			a.addMem(p.ID, entries)
+			a.addMem(rank, entries)
 			ps.exch.LocalChange(ps.ctx, core.Load{core.Memory: entries}, false)
 		}
 		totalFlops := t.Nodes[it.node].Cost / float64(len(a.procs))
-		a.computeChunk(p, it, func() { a.completeType3(p.ID, node, totalFlops, entries) })
+		a.computeChunk(rank, it, func() { a.completeType3(rank, node, totalFlops, entries) })
 	}
 	return true
 }
 
 // computeChunk runs one panel of the item's remaining work (at most
-// MaxChunkSeconds of virtual time) and either re-queues the continuation
-// at the head of the ready queue or completes the task. Between panels
-// the Algorithm 1 loop treats pending messages — dense kernels poll their
-// queues between panel updates, so a long front never makes the process
-// deaf for its full duration.
-func (a *app) computeChunk(p *sim.Proc, it item, complete func()) {
+// MaxChunkSeconds of application time) and either re-queues the
+// continuation at the head of the ready queue or completes the task.
+// Between panels the Algorithm 1 loop treats pending messages — dense
+// kernels poll their queues between panel updates, so a long front
+// never makes the process deaf for its full duration.
+func (a *app) computeChunk(rank int, it item, complete func()) {
 	speed := a.prm.FlopsPerSecond
 	maxChunk := a.prm.MaxChunkSeconds * speed
 	if maxChunk <= 0 {
@@ -291,19 +293,20 @@ func (a *app) computeChunk(p *sim.Proc, it item, complete func()) {
 		chunk = maxChunk
 	}
 	rest := it.flops - chunk
-	rank := p.ID
 	if !it.cont {
 		a.emit(rank, trace.EvTaskStart, it.node, it.flops, "")
 	}
-	a.rt.Compute(p, sim.Duration(chunk/speed), func() {
+	a.host.Compute(rank, chunk/speed, func() {
+		ps := a.procs[rank]
+		ps.flops += chunk
 		if rest > 0 {
 			cont := it
 			cont.flops = rest
 			cont.cont = true
-			ps := a.procs[rank]
 			ps.ready = append([]item{cont}, ps.ready...)
 			return
 		}
+		ps.executed++
 		a.emit(rank, trace.EvTaskEnd, it.node, 0, "")
 		complete()
 	})
@@ -359,7 +362,9 @@ func (a *app) activationEntries(it item) float64 {
 // ---- node lifecycle -----------------------------------------------------
 
 // nodeReady fires when all children contributed: the node enters its
-// master's ready queue (Algorithm 1's "local ready task").
+// master's ready queue (Algorithm 1's "local ready task"). It always
+// runs on the master's own hosting context (contributions are routed to
+// the parent's master before this is called).
 func (a *app) nodeReady(node int32) {
 	t := a.m.Tree
 	n := &t.Nodes[node]
@@ -381,7 +386,7 @@ func (a *app) nodeReady(node int32) {
 		}
 		ps.ready = append(ps.ready, item{kind: itemNode, node: node})
 	}
-	a.rt.Wake(master)
+	a.host.Wake(master)
 }
 
 // startType3 launches the 2D static root: every process computes an equal
@@ -393,15 +398,13 @@ func (a *app) startType3(node int32) {
 	master := int(a.m.Master[node])
 	flops := n.Cost / float64(np)
 	entries := tree.FrontEntries(n.Nfront, t.Sym) / float64(np)
-	pl := type3Payload{Node: node, Flops: flops, Entries: entries}
 	bytes := entries * 8 / 4 // a 2D panel redistribution, much smaller than the front
 	for p := 0; p < np; p++ {
 		if p == master {
 			continue
 		}
-		a.rt.Send(&sim.Message{
-			From: master, To: p, Channel: sim.DataChannel,
-			Kind: KindType3Start, Payload: pl, Bytes: bytes,
+		a.host.SendData(master, p, workload.DataMsg{
+			Kind: KindType3Start, Node: node, Work: flops, Size: entries, Bytes: bytes,
 		})
 	}
 	// The master's own share, locally; the children contributions get
@@ -435,6 +438,7 @@ func (a *app) selectAndCommit(rank int, node int32) {
 	}
 	ns.shares = shares
 	a.decisions++
+	a.assignments += len(shares)
 	a.emit(rank, trace.EvDecision, node, float64(len(shares)), "")
 
 	// Activation on the master: allocate the pivot block. The children's
@@ -468,14 +472,13 @@ func (a *app) selectAndCommit(rank int, node int32) {
 		rows := sh.Rows
 		consumers[i] = sh.Proc
 		bytes := float64(rows) * float64(n.Nfront) * 8
-		a.rt.Send(&sim.Message{
-			From: rank, To: int(sh.Proc), Channel: sim.DataChannel,
-			Kind: KindSubtask, Payload: subtaskPayload{Node: node, Rows: rows}, Bytes: bytes,
+		a.host.SendData(rank, int(sh.Proc), workload.DataMsg{
+			Kind: KindSubtask, Node: node, Count: rows, Bytes: bytes,
 		})
 	}
 	a.redistributePieces(rank, node, consumers)
 	ps.ready = append(ps.ready, item{kind: itemMaster, node: node})
-	a.rt.Wake(rank)
+	a.host.Wake(rank)
 }
 
 // completeNode finishes a Type 1 / subtree node.
@@ -568,42 +571,41 @@ func (a *app) routePiece(rank int, node int32, pieces int32, entries float64) bo
 	}
 	pm := int(a.m.Master[parent])
 	parallel := a.m.Tree.Nodes[parent].Type != tree.Type1
-	pl := cbPayload{Node: node, Pieces: pieces, Entries: entries, Producer: int32(rank)}
+	pl := workload.DataMsg{
+		Kind: KindCB, Node: node, Count: pieces, Size: entries, Peer: int32(rank),
+	}
 	if pm == rank {
 		a.deliverPiece(rank, pl)
 		return true // stacked locally (either cbStacked or producer-side)
 	}
-	bytes := entries * 8
+	pl.Bytes = entries * 8
 	if parallel {
-		bytes = 32 // notification only
+		pl.Bytes = 32 // notification only
 	}
-	a.rt.Send(&sim.Message{
-		From: rank, To: pm, Channel: sim.DataChannel,
-		Kind: KindCB, Payload: pl, Bytes: bytes,
-	})
+	a.host.SendData(rank, pm, pl)
 	return parallel
 }
 
 // deliverPiece runs on the parent's master: account the contribution
 // (stacking it locally for Type 1 parents, registering the producer for
 // parallel parents) and check readiness.
-func (a *app) deliverPiece(rank int, pl cbPayload) {
+func (a *app) deliverPiece(rank int, pl workload.DataMsg) {
 	child := pl.Node
 	cs := &a.nodes[child]
-	cs.piecesNeed = pl.Pieces
+	cs.piecesNeed = pl.Count
 	cs.piecesGot++
 	parent := a.m.Tree.Nodes[child].Parent
 	pns := &a.nodes[parent]
 	if a.m.Tree.Nodes[parent].Type == tree.Type1 {
-		pns.cbStacked += pl.Entries
-		if int(pl.Producer) != rank {
+		pns.cbStacked += pl.Size
+		if int(pl.Peer) != rank {
 			// Data arrived over the network: it now occupies the owner.
-			a.addMem(rank, pl.Entries)
+			a.addMem(rank, pl.Size)
 			ps := a.procs[rank]
-			ps.exch.LocalChange(ps.ctx, core.Load{core.Memory: pl.Entries}, false)
+			ps.exch.LocalChange(ps.ctx, core.Load{core.Memory: pl.Size}, false)
 		}
 	} else {
-		pns.pieces = append(pns.pieces, piece{producer: pl.Producer, entries: pl.Entries})
+		pns.pieces = append(pns.pieces, piece{producer: pl.Peer, entries: pl.Size})
 	}
 	if cs.piecesGot == cs.piecesNeed {
 		if pns.missing--; pns.missing == 0 {
@@ -624,14 +626,12 @@ func (a *app) redistributePieces(rank int, node int32, consumers []int32) {
 			consumer = consumers[ci%len(consumers)]
 			ci++
 		}
-		req := shipReqPayload{Entries: pc.entries, Consumer: consumer}
 		if int(pc.producer) == rank {
-			a.shipPiece(rank, req)
+			a.shipPiece(rank, pc.entries, int(consumer))
 			continue
 		}
-		a.rt.Send(&sim.Message{
-			From: rank, To: int(pc.producer), Channel: sim.DataChannel,
-			Kind: KindShipReq, Payload: req, Bytes: 32,
+		a.host.SendData(rank, int(pc.producer), workload.DataMsg{
+			Kind: KindShipReq, Size: pc.entries, Peer: consumer, Bytes: 32,
 		})
 	}
 	ns.pieces = nil
@@ -655,17 +655,52 @@ func (a *app) addMem(rank int, delta float64) {
 	}
 }
 
-// result gathers the metrics after the run.
-func (a *app) result() *Result {
+// Outcome implements workload.App: package the application-level
+// results, verifying the post-run invariants (every node completed,
+// every memory allocation released).
+func (a *app) Outcome(hr *workload.AppReport) workload.AppOutcome {
+	out := workload.AppOutcome{
+		Decisions: a.decisions,
+		Counters:  a.counters.Clone(),
+	}
+	for _, ps := range a.procs {
+		out.Executed = append(out.Executed, ps.executed)
+		out.Stats = append(out.Stats, ps.exch.Stats())
+		out.FinalViews = append(out.FinalViews, ps.exch.View().Snapshot())
+	}
+	out.Result = a.result(hr)
+	if a.doneCount != len(a.nodes) {
+		out.Err = fmt.Errorf("solver: deadlock, only %d/%d nodes completed", a.doneCount, len(a.nodes))
+		return out
+	}
+	for p, ps := range a.procs {
+		if ps.activeMem > 1e-3 || ps.activeMem < -1e-3 {
+			out.Err = fmt.Errorf("solver: process %d ends with active memory %v (accounting bug)", p, ps.activeMem)
+			return out
+		}
+	}
+	return out
+}
+
+// result gathers the metrics after the run from the application state
+// and the host's report.
+func (a *app) result(hr *workload.AppReport) *Result {
 	res := &Result{
-		Time:       float64(a.rt.Now()),
-		PeakMem:    make([]float64, len(a.procs)),
-		Decisions:  a.decisions,
-		Steps:      a.rt.Eng.Steps(),
-		MsgsByKind: map[string]int64{},
+		Time:          hr.Time,
+		PeakMem:       make([]float64, len(a.procs)),
+		ExecutedFlops: make([]float64, len(a.procs)),
+		Decisions:     a.decisions,
+		Assignments:   a.assignments,
+		Steps:         hr.Steps,
+		PausedTime:    hr.PausedTime,
+		StateMsgs:     hr.Counters.StateMsgs,
+		StateBytes:    hr.Counters.StateBytes,
+		DataMsgs:      hr.Counters.DataMsgs,
+		MsgsByKind:    map[string]int64{},
 	}
 	for p, ps := range a.procs {
 		res.PeakMem[p] = ps.peakMem
+		res.ExecutedFlops[p] = ps.flops
 		if ps.peakMem > res.MaxPeakMem {
 			res.MaxPeakMem = ps.peakMem
 		}
@@ -676,15 +711,10 @@ func (a *app) result() *Result {
 		if st.MaxConcurrentSnapshots > res.MaxConcurrentSnapshots {
 			res.MaxConcurrentSnapshots = st.MaxConcurrentSnapshots
 		}
-		res.PausedTime += float64(a.rt.Procs[p].PausedTime())
 	}
-	sc := a.rt.Net.Count(sim.StateChannel)
-	res.StateMsgs = sc.Messages
-	res.StateBytes = sc.Bytes
-	res.DataMsgs = a.rt.Net.Count(sim.DataChannel).Messages
 	for kind := core.KindUpdate; kind <= core.KindMasterToSlave; kind++ {
-		if c := a.rt.Net.KindCount(sim.StateChannel, kind); c > 0 {
-			res.MsgsByKind[core.KindName(kind)] = c
+		if t := hr.Counters.Kind(kind); t.Msgs > 0 {
+			res.MsgsByKind[core.KindName(kind)] = t.Msgs
 		}
 	}
 	return res

@@ -1,0 +1,85 @@
+package solver_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/solver"
+)
+
+// TestSimGoldens pins the deterministic simulator results to the values
+// recorded immediately before the application-port refactor (PR 4): the
+// port's sim adapter must reproduce the pre-refactor behaviour
+// bit-for-bit — same virtual makespan, same peak memory, same message
+// and event counts. Any drift here means the adapter changed the event
+// sequence, not just the plumbing.
+func TestSimGoldens(t *testing.T) {
+	type golden struct {
+		mech      core.Mech
+		strat     string
+		time      float64
+		peak      float64
+		decisions int
+		stateMsgs int64
+		dataMsgs  int64
+		steps     uint64
+	}
+	strategies := map[string]func() *sched.Strategy{
+		"workload": sched.Workload,
+		"memory":   sched.Memory,
+	}
+	cases := map[string][]golden{
+		// buildMapping(8, 8, 8, 8)
+		"8x8x8@8p": {
+			{"increments", "workload", 0.006037, 3110.500000, 9, 718, 101, 1131},
+			{"increments", "memory", 0.006493, 2451.500000, 9, 711, 87, 1149},
+			{"snapshot", "workload", 0.007340, 3555.000000, 9, 217, 96, 629},
+			{"snapshot", "memory", 0.008396, 2153.500000, 9, 216, 79, 610},
+			{"naive", "workload", 0.006037, 3110.500000, 9, 738, 101, 1137},
+			{"naive", "memory", 0.006493, 2451.500000, 9, 722, 87, 1156},
+		},
+		// buildMapping(10, 10, 10, 16)
+		"10x10x10@16p": {
+			{"increments", "workload", 0.013727, 4950.000000, 29, 3355, 380, 4818},
+			{"increments", "memory", 0.018562, 5376.000000, 29, 3187, 311, 4473},
+			{"snapshot", "workload", 0.023779, 4950.000000, 29, 1600, 399, 3711},
+			{"snapshot", "memory", 0.033822, 7323.500000, 29, 1577, 306, 3651},
+			{"naive", "workload", 0.013790, 4950.000000, 29, 3723, 394, 5218},
+			{"naive", "memory", 0.020786, 5776.500000, 29, 3494, 337, 5064},
+		},
+	}
+	build := map[string]func() [4]int{
+		"8x8x8@8p":     func() [4]int { return [4]int{8, 8, 8, 8} },
+		"10x10x10@16p": func() [4]int { return [4]int{10, 10, 10, 16} },
+	}
+	for grid, goldens := range cases {
+		dims := build[grid]()
+		for _, g := range goldens {
+			m := buildMapping(t, dims[0], dims[1], dims[2], dims[3])
+			res, err := solver.Run(m, solver.DefaultParams(g.mech, strategies[g.strat]()), onSim())
+			if err != nil {
+				t.Fatalf("%s %s/%s: %v", grid, g.mech, g.strat, err)
+			}
+			// Time was recorded at 1e-6 precision; everything else exact.
+			if diff := res.Time - g.time; diff > 5e-7 || diff < -5e-7 {
+				t.Errorf("%s %s/%s: time %v, golden %v", grid, g.mech, g.strat, res.Time, g.time)
+			}
+			if res.MaxPeakMem != g.peak {
+				t.Errorf("%s %s/%s: peak %v, golden %v", grid, g.mech, g.strat, res.MaxPeakMem, g.peak)
+			}
+			if res.Decisions != g.decisions {
+				t.Errorf("%s %s/%s: decisions %d, golden %d", grid, g.mech, g.strat, res.Decisions, g.decisions)
+			}
+			if res.StateMsgs != g.stateMsgs {
+				t.Errorf("%s %s/%s: state msgs %d, golden %d", grid, g.mech, g.strat, res.StateMsgs, g.stateMsgs)
+			}
+			if res.DataMsgs != g.dataMsgs {
+				t.Errorf("%s %s/%s: data msgs %d, golden %d", grid, g.mech, g.strat, res.DataMsgs, g.dataMsgs)
+			}
+			if res.Steps != g.steps {
+				t.Errorf("%s %s/%s: steps %d, golden %d", grid, g.mech, g.strat, res.Steps, g.steps)
+			}
+		}
+	}
+}

@@ -1,10 +1,18 @@
 // Package solver executes a MUMPS-like asynchronous multifrontal
-// factorization on the discrete-event simulator: the distributed
-// application of the paper's Algorithm 1, §4. Each simulated process runs
-// the main loop (state messages first, then data messages, then local
-// ready tasks); Type 2 masters take dynamic scheduling decisions through a
-// pluggable load-exchange mechanism (internal/core) and a slave-selection
-// strategy (internal/sched).
+// factorization: the distributed application of the paper's Algorithm 1,
+// §4. Each process runs the main loop (state messages first, then data
+// messages, then local ready tasks); Type 2 masters take dynamic
+// scheduling decisions through a pluggable load-exchange mechanism
+// (internal/core) and a slave-selection strategy (internal/sched).
+//
+// The application is transport-neutral: it implements workload.App and
+// targets only the workload.AppHost port, so any runtime's AppRunner
+// can host it — the deterministic simulator (sim.AppRunner, the
+// reference for the paper's tables), real goroutines (live.AppRunner)
+// or localhost TCP sockets (net.AppRunner). The solver is also
+// registered as the `solver-wl` / `solver-mem` workload scenarios (see
+// scenario.go), so `loadex run` and `loadex experiment` sweep it across
+// the scenario × mechanism × runtime matrix like any synthetic program.
 //
 // The solver performs no numerical work: tasks are compute intervals whose
 // durations come from the cost model, and memory is tracked in matrix
@@ -17,55 +25,40 @@ import (
 	"repro/internal/core"
 	"repro/internal/mapping"
 	"repro/internal/sched"
-	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/tree"
+	"repro/internal/workload"
 )
 
 // Data-channel message kinds (disjoint from core's state kinds only by
-// channel, but kept numerically distinct for readable traces).
+// channel, but kept numerically distinct for readable traces). Payloads
+// travel as workload.DataMsg; the comment on each kind documents its
+// field mapping.
 const (
-	// KindSubtask carries a Type 2 slave's share of a front.
+	// KindSubtask carries a Type 2 slave's share of a front
+	// (Node = tree node, Count = rows).
 	KindSubtask = 101 + iota
 	// KindCB carries a contribution-block piece to a Type 1 parent's
 	// owner (full data), or announces one to a parallel parent's master
 	// (notification only: the data stays stacked on the producer until
-	// the parent's slaves are chosen).
+	// the parent's slaves are chosen). Node = completed child, Count =
+	// total pieces the child produces, Size = entries, Peer = producer.
 	KindCB
-	// KindType3Start starts a process's share of the 2D root.
+	// KindType3Start starts a process's share of the 2D root
+	// (Node = root, Work = flops, Size = entries).
 	KindType3Start
 	// KindShipReq asks a producer to ship a stacked contribution piece
-	// to the consumer chosen by the parent's selection.
+	// to the consumer chosen by the parent's selection
+	// (Size = entries, Peer = consumer).
 	KindShipReq
 	// KindCBData is the shipped piece; the consumer's storage was
 	// already counted with its block, so reception is bandwidth only.
 	KindCBData
 )
 
-type subtaskPayload struct {
-	Node int32
-	Rows int32
-}
-
-type cbPayload struct {
-	Node     int32 // completed child
-	Pieces   int32 // total pieces the child produces
-	Entries  float64
-	Producer int32
-}
-
-type shipReqPayload struct {
-	Entries  float64
-	Consumer int32
-}
-
-type type3Payload struct {
-	Node    int32
-	Flops   float64
-	Entries float64
-}
-
-// Params configures one factorization run.
+// Params configures one factorization run. Runtime-specific knobs (the
+// simulated interconnect model, in particular) live on the AppRunner,
+// not here: the same Params run unchanged on every runtime.
 type Params struct {
 	// Mech selects the load-exchange mechanism.
 	Mech core.Mech
@@ -74,20 +67,20 @@ type Params struct {
 	MechConfig core.Config
 	// Strategy is the dynamic scheduling strategy (workload or memory).
 	Strategy *sched.Strategy
-	// Net is the interconnect model.
-	Net sim.NetworkConfig
-	// Threaded enables the §4.5 model: a helper thread treats state
-	// messages every PollPeriod even while a task computes.
+	// Threaded enables the §4.5 model on hosts that support it (the
+	// simulator): a helper thread treats state messages every
+	// PollPeriod even while a task computes.
 	Threaded bool
-	// PollPeriod is the helper thread's *effective* responsiveness. The
-	// paper's thread sleeps 50 µs between checks, but its own
-	// measurements show each snapshot still costs ~50 ms even threaded
-	// (14 s of snapshot operations for 274 decisions on CONV3D64/128p):
-	// lock contention around MPI calls and OS scheduling dominate the
-	// nominal sleep. The default (0.8 s of virtual time, ≈ an eighth of a
-	// compute panel) is calibrated to that observed per-decision cost and
-	// to the paper's 7× threaded/single-threaded snapshot-time ratio.
-	PollPeriod sim.Duration
+	// PollPeriod is the helper thread's *effective* responsiveness in
+	// seconds of application time. The paper's thread sleeps 50 µs
+	// between checks, but its own measurements show each snapshot still
+	// costs ~50 ms even threaded (14 s of snapshot operations for 274
+	// decisions on CONV3D64/128p): lock contention around MPI calls and
+	// OS scheduling dominate the nominal sleep. The default (0.8 s,
+	// ≈ an eighth of a compute panel) is calibrated to that observed
+	// per-decision cost and to the paper's 7× threaded/single-threaded
+	// snapshot-time ratio.
+	PollPeriod float64
 	// FlopsPerSecond is the per-process effective speed (default 1e9).
 	FlopsPerSecond float64
 	// ThresholdScale multiplies the broadcast threshold (derived or
@@ -96,9 +89,9 @@ type Params struct {
 	// MaxChunkSeconds bounds one uninterrupted compute interval: dense
 	// kernels proceed panel by panel and the process polls its message
 	// queues between panels, so a long front never makes a process deaf
-	// for its whole duration (default 6 s of virtual time, calibrated so
-	// the snapshot synchronization overhead matches the paper's Table 5
-	// ratios).
+	// for its whole duration (default 6 s of application time,
+	// calibrated so the snapshot synchronization overhead matches the
+	// paper's Table 5 ratios).
 	MaxChunkSeconds float64
 	// PartialSnapshots enables the §5 extension: a master's demand-driven
 	// snapshot consults only its candidate slaves (from the static
@@ -108,7 +101,8 @@ type Params struct {
 	// Tracer, when non-nil, receives structured events (task start/end,
 	// decisions, snapshot phases) for debugging and verbose reporting.
 	Tracer trace.Tracer
-	// MaxSteps guards against protocol livelock (default 200M events).
+	// MaxSteps guards against protocol livelock on hosts that count
+	// scheduling steps (default 200M events on the simulator).
 	MaxSteps uint64
 }
 
@@ -124,22 +118,36 @@ func DefaultParams(mech core.Mech, strat *sched.Strategy) Params {
 		Mech:            mech,
 		MechConfig:      core.Config{NoMoreMasterOpt: true},
 		Strategy:        strat,
-		Net:             sim.DefaultNetwork(),
 		FlopsPerSecond:  5e7,
-		PollPeriod:      800 * sim.Millisecond,
+		PollPeriod:      0.8,
 		MaxChunkSeconds: 6,
+	}
+}
+
+// runOptions maps the runtime-relevant params onto the port's options.
+func (p Params) runOptions() workload.AppRunOptions {
+	return workload.AppRunOptions{
+		Threaded:   p.Threaded,
+		PollPeriod: p.PollPeriod,
+		MaxSteps:   p.MaxSteps,
 	}
 }
 
 // Result aggregates everything the paper's tables report.
 type Result struct {
-	// Time is the factorization makespan in virtual seconds (Table 5/7).
+	// Time is the factorization makespan in application seconds
+	// (virtual on the simulator, wall clock elsewhere; Table 5/7).
 	Time float64
 	// PeakMem[p] is the peak active memory of process p in entries;
 	// MaxPeakMem is the maximum over processes (Table 4, in entries —
 	// divide by 1e6 for the paper's "millions of real entries").
 	PeakMem    []float64
 	MaxPeakMem float64
+	// ExecutedFlops[p] is the floating-point work process p executed.
+	// The total is structure-determined (slave flops are linear in the
+	// rows split), so it is conserved across runtimes — the
+	// cross-runtime equivalence tests pin it.
+	ExecutedFlops []float64
 	// StateMsgs counts messages of the load-exchange mechanism (Table 6);
 	// StateBytes is their volume.
 	StateMsgs  int64
@@ -147,8 +155,14 @@ type Result struct {
 	// DataMsgs counts application messages (subtasks, contribution
 	// blocks).
 	DataMsgs int64
-	// Decisions is the number of dynamic slave selections (Table 3).
-	Decisions int
+	// Decisions is the number of dynamic slave selections (Table 3):
+	// structure-determined (one per Type 2 node), so identical across
+	// runtimes. Assignments is the total number of slave shares those
+	// selections committed; the count per decision is bounded by the
+	// front's rows and the granularity limits but can shift by a share
+	// or two with view timing on the concurrent runtimes.
+	Decisions   int
+	Assignments int
 	// SnapshotTime is the total time spent performing snapshots, summed
 	// over initiators (the §4.5 "100 seconds" quantity).
 	SnapshotTime float64
@@ -159,15 +173,60 @@ type Result struct {
 	MaxConcurrentSnapshots int
 	// PausedTime is the total compute-pause time (threaded model).
 	PausedTime float64
-	// Steps is the number of simulation events processed.
+	// Steps is the number of simulation events processed (simulator
+	// hosts only).
 	Steps uint64
 	// MsgsByKind counts state-channel messages by protocol kind name.
 	MsgsByKind map[string]int64
 }
 
-// Run executes the factorization described by the mapping under the given
-// parameters and returns the measured metrics.
-func Run(m *mapping.Mapping, prm Params) (*Result, error) {
+// TotalExecutedFlops sums the per-process executed work.
+func (r *Result) TotalExecutedFlops() float64 {
+	var total float64
+	for _, f := range r.ExecutedFlops {
+		total += f
+	}
+	return total
+}
+
+// Run executes the factorization described by the mapping under the
+// given parameters on the given runtime, and returns the measured
+// metrics. The runner decides where the application actually executes:
+// sim.AppRunner reproduces the paper's deterministic measurements,
+// live.AppRunner and net.AppRunner run the same application over real
+// concurrency and real sockets.
+func Run(m *mapping.Mapping, prm Params, rt workload.AppRunner) (*Result, error) {
+	a, err := prepare(m, prm)
+	if err != nil {
+		return nil, err
+	}
+	hr, err := rt.RunApp(m.Config.NProcs, a, a.prm.runOptions())
+	if err != nil {
+		return nil, fmt.Errorf("solver: %w (done %d/%d nodes)", err, a.doneCount, len(m.Tree.Nodes))
+	}
+	out := a.Outcome(hr)
+	if out.Err != nil {
+		return nil, out.Err
+	}
+	return out.Result.(*Result), nil
+}
+
+// NewApp builds the solver as a hostable application: the
+// workload.App any runtime's AppRunner accepts, plus the run options
+// derived from the parameters. Run wraps it; use NewApp directly when
+// driving the host yourself (e.g. to inspect the AppOutcome).
+func NewApp(m *mapping.Mapping, prm Params) (workload.App, workload.AppRunOptions, error) {
+	a, err := prepare(m, prm)
+	if err != nil {
+		return nil, workload.AppRunOptions{}, err
+	}
+	return a, a.prm.runOptions(), nil
+}
+
+// prepare validates and normalizes the parameters and builds the
+// application. The workload scenarios (scenario.go) use prepare
+// directly; everyone else calls Run.
+func prepare(m *mapping.Mapping, prm Params) (*app, error) {
 	if prm.Strategy == nil {
 		return nil, fmt.Errorf("solver: nil strategy")
 	}
@@ -185,33 +244,7 @@ func Run(m *mapping.Mapping, prm Params) (*Result, error) {
 			prm.MechConfig.Threshold[i] *= prm.ThresholdScale
 		}
 	}
-
-	eng := sim.NewEngine()
-	eng.MaxSteps = prm.MaxSteps
-	app := &app{m: m, prm: prm}
-	rt := sim.NewRuntime(eng, m.Config.NProcs, prm.Net, app)
-	rt.Threaded = prm.Threaded
-	if prm.PollPeriod > 0 {
-		rt.PollPeriod = prm.PollPeriod
-	}
-	app.rt = rt
-	if err := app.init(); err != nil {
-		return nil, err
-	}
-	rt.Start()
-	if err := eng.Run(); err != nil {
-		return nil, fmt.Errorf("solver: %w (done %d/%d nodes)", err, app.doneCount, len(m.Tree.Nodes))
-	}
-	if app.doneCount != len(m.Tree.Nodes) {
-		return nil, fmt.Errorf("solver: deadlock, only %d/%d nodes completed", app.doneCount, len(m.Tree.Nodes))
-	}
-	// Conservation check: every allocation was released.
-	for p, ps := range app.procs {
-		if ps.activeMem > 1e-3 || ps.activeMem < -1e-3 {
-			return nil, fmt.Errorf("solver: process %d ends with active memory %v (accounting bug)", p, ps.activeMem)
-		}
-	}
-	return app.result(), nil
+	return newApp(m, prm), nil
 }
 
 // defaultThreshold derives the broadcast threshold from the granularity

@@ -1,4 +1,4 @@
-package solver
+package solver_test
 
 import (
 	"math"
@@ -9,6 +9,7 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/solver"
 	"repro/internal/sparse"
 	"repro/internal/symbolic"
 	"repro/internal/tree"
@@ -30,9 +31,13 @@ func buildMapping(t testing.TB, nx, ny, nz, nprocs int) *mapping.Mapping {
 	return m
 }
 
-func runMech(t testing.TB, m *mapping.Mapping, mech core.Mech, strat *sched.Strategy) *Result {
+// onSim returns a fresh default simulator host — the reference runtime
+// for the paper's measurements.
+func onSim() *sim.AppRunner { return &sim.AppRunner{} }
+
+func runMech(t testing.TB, m *mapping.Mapping, mech core.Mech, strat *sched.Strategy) *solver.Result {
 	t.Helper()
-	res, err := Run(m, DefaultParams(mech, strat))
+	res, err := solver.Run(m, solver.DefaultParams(mech, strat), onSim())
 	if err != nil {
 		t.Fatalf("%s: %v", mech, err)
 	}
@@ -97,16 +102,16 @@ func TestThreadedReducesSnapshotCost(t *testing.T) {
 	// Table 7 shape: the threaded model cuts the snapshot penalty.
 	m1 := buildMapping(t, 9, 9, 9, 12)
 	m2 := buildMapping(t, 9, 9, 9, 12)
-	prm := DefaultParams(core.MechSnapshot, sched.Workload())
+	prm := solver.DefaultParams(core.MechSnapshot, sched.Workload())
 	// The default PollPeriod is calibrated for experiment-scale runs;
 	// this small test uses the paper's nominal 50 µs.
-	prm.PollPeriod = 50 * sim.Microsecond
-	single, err := Run(m1, prm)
+	prm.PollPeriod = 50e-6
+	single, err := solver.Run(m1, prm, onSim())
 	if err != nil {
 		t.Fatal(err)
 	}
 	prm.Threaded = true
-	threaded, err := Run(m2, prm)
+	threaded, err := solver.Run(m2, prm, onSim())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,8 +138,8 @@ func TestWorkloadConservation(t *testing.T) {
 	// all accounted work was executed. (Memory conservation is asserted
 	// inside Run.)
 	m := buildMapping(t, 7, 7, 7, 6)
-	prm := DefaultParams(core.MechIncrements, sched.Workload())
-	res, err := Run(m, prm)
+	prm := solver.DefaultParams(core.MechIncrements, sched.Workload())
+	res, err := solver.Run(m, prm, onSim())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,14 +162,14 @@ func TestNoMoreMasterReducesMessages(t *testing.T) {
 	// count substantially (the paper observed ≈2x on MUMPS).
 	mOn := buildMapping(t, 9, 9, 9, 16)
 	mOff := buildMapping(t, 9, 9, 9, 16)
-	prmOn := DefaultParams(core.MechIncrements, sched.Workload())
-	prmOff := DefaultParams(core.MechIncrements, sched.Workload())
+	prmOn := solver.DefaultParams(core.MechIncrements, sched.Workload())
+	prmOff := solver.DefaultParams(core.MechIncrements, sched.Workload())
 	prmOff.MechConfig.NoMoreMasterOpt = false
-	on, err := Run(mOn, prmOn)
+	on, err := solver.Run(mOn, prmOn, onSim())
 	if err != nil {
 		t.Fatal(err)
 	}
-	off, err := Run(mOff, prmOff)
+	off, err := solver.Run(mOff, prmOff, onSim())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +211,7 @@ func TestResultMessageBreakdown(t *testing.T) {
 
 func TestRunRejectsBadParams(t *testing.T) {
 	m := buildMapping(t, 5, 5, 5, 4)
-	if _, err := Run(m, Params{}); err == nil {
+	if _, err := solver.Run(m, solver.Params{}, onSim()); err == nil {
 		t.Fatal("nil strategy accepted")
 	}
 }
@@ -241,13 +246,13 @@ func TestPartialSnapshotsReduceMessages(t *testing.T) {
 	// the snapshot message volume while the run still completes.
 	mFull := buildMapping(t, 10, 10, 10, 24)
 	mPart := buildMapping(t, 10, 10, 10, 24)
-	full, err := Run(mFull, DefaultParams(core.MechSnapshot, sched.Workload()))
+	full, err := solver.Run(mFull, solver.DefaultParams(core.MechSnapshot, sched.Workload()), onSim())
 	if err != nil {
 		t.Fatal(err)
 	}
-	prm := DefaultParams(core.MechSnapshot, sched.Workload())
+	prm := solver.DefaultParams(core.MechSnapshot, sched.Workload())
 	prm.PartialSnapshots = true
-	part, err := Run(mPart, prm)
+	part, err := solver.Run(mPart, prm, onSim())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,9 +266,9 @@ func TestPartialSnapshotsReduceMessages(t *testing.T) {
 
 func TestPartialSnapshotsSelectWithinCandidates(t *testing.T) {
 	m := buildMapping(t, 9, 9, 9, 16)
-	prm := DefaultParams(core.MechSnapshot, sched.Memory())
+	prm := solver.DefaultParams(core.MechSnapshot, sched.Memory())
 	prm.PartialSnapshots = true
-	if _, err := Run(m, prm); err != nil {
+	if _, err := solver.Run(m, prm, onSim()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -273,15 +278,15 @@ func TestChunkedComputeMatchesUnchunkedWork(t *testing.T) {
 	// finish and total simulated time stays in the same ballpark.
 	m1 := buildMapping(t, 8, 8, 8, 8)
 	m2 := buildMapping(t, 8, 8, 8, 8)
-	prmBig := DefaultParams(core.MechIncrements, sched.Workload())
+	prmBig := solver.DefaultParams(core.MechIncrements, sched.Workload())
 	prmBig.MaxChunkSeconds = 1e12 // effectively unchunked
-	big, err := Run(m1, prmBig)
+	big, err := solver.Run(m1, prmBig, onSim())
 	if err != nil {
 		t.Fatal(err)
 	}
-	prmSmall := DefaultParams(core.MechIncrements, sched.Workload())
+	prmSmall := solver.DefaultParams(core.MechIncrements, sched.Workload())
 	prmSmall.MaxChunkSeconds = 0.05
-	small, err := Run(m2, prmSmall)
+	small, err := solver.Run(m2, prmSmall, onSim())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,9 +298,8 @@ func TestChunkedComputeMatchesUnchunkedWork(t *testing.T) {
 func TestHighLatencyNetworkRuns(t *testing.T) {
 	for _, mech := range []core.Mech{core.MechIncrements, core.MechSnapshot} {
 		m := buildMapping(t, 7, 7, 7, 8)
-		prm := DefaultParams(mech, sched.Workload())
-		prm.Net = sim.HighLatencyNetwork()
-		res, err := Run(m, prm)
+		prm := solver.DefaultParams(mech, sched.Workload())
+		res, err := solver.Run(m, prm, &sim.AppRunner{Network: sim.HighLatencyNetwork()})
 		if err != nil {
 			t.Fatalf("%s: %v", mech, err)
 		}
@@ -308,15 +312,15 @@ func TestHighLatencyNetworkRuns(t *testing.T) {
 func TestThresholdScaleChangesTraffic(t *testing.T) {
 	m1 := buildMapping(t, 8, 8, 8, 8)
 	m2 := buildMapping(t, 8, 8, 8, 8)
-	lo := DefaultParams(core.MechIncrements, sched.Workload())
+	lo := solver.DefaultParams(core.MechIncrements, sched.Workload())
 	lo.ThresholdScale = 0.1
-	hi := DefaultParams(core.MechIncrements, sched.Workload())
+	hi := solver.DefaultParams(core.MechIncrements, sched.Workload())
 	hi.ThresholdScale = 10
-	rl, err := Run(m1, lo)
+	rl, err := solver.Run(m1, lo, onSim())
 	if err != nil {
 		t.Fatal(err)
 	}
-	rh, err := Run(m2, hi)
+	rh, err := solver.Run(m2, hi, onSim())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,11 +353,11 @@ func TestMemoryAwareTaskSelectionEffect(t *testing.T) {
 	stratOn := sched.Memory()
 	stratOff := sched.Memory()
 	stratOff.TaskGamma = 0 // constraint disabled
-	on, err := Run(mOn, DefaultParams(core.MechIncrements, stratOn))
+	on, err := solver.Run(mOn, solver.DefaultParams(core.MechIncrements, stratOn), onSim())
 	if err != nil {
 		t.Fatal(err)
 	}
-	off, err := Run(mOff, DefaultParams(core.MechIncrements, stratOff))
+	off, err := solver.Run(mOff, solver.DefaultParams(core.MechIncrements, stratOff), onSim())
 	if err != nil {
 		t.Fatal(err)
 	}

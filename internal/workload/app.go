@@ -1,0 +1,293 @@
+package workload
+
+// The application port: the seam between a real distributed application
+// (the paper's multifrontal solver, internal/solver) and the runtime
+// that hosts it. A workload.App is the application side — the Algorithm
+// 1 behaviours of every process, expressed against the small AppHost
+// surface — and each runtime package (internal/sim, internal/live,
+// internal/net) provides one AppRunner that hosts any App: the
+// deterministic simulator drives it through its event loop, the live
+// and TCP runtimes run one Algorithm 1 loop per rank over channels or
+// sockets. The port is what lets the scenario × mechanism × runtime
+// matrix sweep a genuine application, not just synthetic load programs.
+//
+// Execution model. An App is one logically shared object covering every
+// rank of the cluster: hosts SERIALIZE all App callbacks (the simulator
+// is single-threaded by construction; the concurrent runtimes hold one
+// application lock around every callback), so implementations need no
+// internal synchronization. Transport still happens for real — state
+// and data messages travel the host's channels or sockets — but
+// cross-rank bookkeeping that a fully distributed deployment would need
+// a protocol for (e.g. the solver's assembly-tree progress table) may
+// live in shared memory. Consequently application scenarios run
+// in-process on every runtime: the net runtime hosts them over real
+// localhost TCP sockets, one node mesh per rank, without forking.
+//
+// Callback discipline: a callback for rank r runs on rank r's hosting
+// context and may only Send/SendData with from == r, call Compute for
+// rank r, and touch rank r's mechanism through Context(r). Wake is the
+// one cross-rank call (it only nudges another rank's main loop).
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// DataMsg is one application data-channel message in flattened,
+// transport-encodable form: a kind tag plus a handful of generic fields
+// the application maps its payloads onto (the TCP codec carries them
+// verbatim, so an App crosses the wire without the transport knowing
+// its payload types). Unused fields stay zero.
+type DataMsg struct {
+	// Kind is the application-defined message kind (disjoint from the
+	// core state kinds only by channel).
+	Kind int32
+	// Node identifies an application object (e.g. an assembly-tree
+	// node).
+	Node int32
+	// Peer is a rank the message refers to (producer, consumer, …).
+	Peer int32
+	// Count is a small cardinality (rows, pieces, …).
+	Count int32
+	// Work is a floating-point work amount (flops).
+	Work float64
+	// Size is a floating-point storage amount (matrix entries).
+	Size float64
+	// Bytes is the modeled on-wire size of the message the application
+	// simulates (e.g. a contribution block's entries × 8), used for
+	// bandwidth accounting on hosts without a real wire and charged by
+	// the simulated network. The real TCP frame is the flattened struct
+	// above — the data travels as metadata, not as payload bytes.
+	Bytes float64
+}
+
+// AppHost is the runtime surface an App targets: state-channel contexts
+// for the mechanisms, a data channel for application messages, deferred
+// compute, and main-loop wakeups. Implementations exist in
+// internal/sim, internal/live and internal/net.
+type AppHost interface {
+	// N returns the number of processes.
+	N() int
+	// Now returns seconds since the start of the run (virtual on the
+	// simulator, wall clock elsewhere).
+	Now() float64
+	// Context returns rank's core.Context: mechanism sends issued
+	// through it travel the host's prioritized state channel.
+	Context(rank int) core.Context
+	// SendData ships one application message on the data channel. It is
+	// asynchronous; the message is delivered to HandleData on `to`.
+	SendData(from, to int, m DataMsg)
+	// Compute defers done by `seconds` of application time on rank: the
+	// rank is busy (treating no message) until the host calls done. The
+	// host scales the duration by the rank's speed factor, and the
+	// wall-clock runtimes additionally by their time scale. At most one
+	// compute may be outstanding per rank.
+	Compute(rank int, seconds float64, done func())
+	// Wake requests a main-loop iteration for rank: the application
+	// calls it when an internal state change (not tied to a message)
+	// may have made work available there.
+	Wake(rank int)
+}
+
+// App is a transport-neutral distributed application: the Algorithm 1
+// behaviours of every process. Hosts serialize all callbacks (see the
+// package comment), drive the per-rank main loop — state messages
+// first, then data messages, then TryStart — and gate data handling and
+// task starts on Blocked (snapshot participation, §3).
+type App interface {
+	// Attach hands the application its host. It runs before any rank
+	// loop starts; the application initializes its mechanisms here and
+	// may already send state messages and request wakeups.
+	Attach(host AppHost) error
+	// HandleState treats one state-information message for rank
+	// (Algorithm 1, line 3), typically by forwarding it to the rank's
+	// mechanism.
+	HandleState(rank, from, kind int, payload any)
+	// HandleData treats one application message for rank (Algorithm 1,
+	// line 5).
+	HandleData(rank, from int, m DataMsg)
+	// TryStart attempts to start one local ready task on rank
+	// (Algorithm 1, line 7), typically by calling AppHost.Compute. It
+	// returns false if no task can start.
+	TryStart(rank int) bool
+	// Blocked reports whether rank must not treat data messages or
+	// start tasks (it is participating in a snapshot). State messages
+	// are still delivered while blocked.
+	Blocked(rank int) bool
+	// Done reports global completion: every rank's work is finished.
+	// The concurrent hosts poll it after callbacks to detect
+	// quiescence; the simulator simply drains its event queue.
+	Done() bool
+	// Outcome returns the application-level results after the run. hr
+	// is the host's report, so the application can fold transport
+	// metrics into its own result; the application also verifies its
+	// post-run invariants here (completion, conservation) and reports
+	// violations through AppOutcome.Err.
+	Outcome(hr *AppReport) AppOutcome
+}
+
+// AppOutcome is what an App itself measured: the application-level
+// counterpart of the host's AppReport.
+type AppOutcome struct {
+	// Executed is the per-rank count of completed work units (tasks).
+	Executed []int64
+	// Stats is the per-rank mechanism counters.
+	Stats []core.Stats
+	// FinalViews is each rank's view at completion (no fresh
+	// acquisition: the rank's own entry is exact, remote entries are as
+	// stale as the mechanism leaves them).
+	FinalViews [][]core.Load
+	// Decisions counts committed dynamic decisions.
+	Decisions int
+	// Counters carries the application-side measurement share —
+	// decision counts and acquire-to-ready latencies; the host merges
+	// it with its transport-side tallies.
+	Counters core.Counters
+	// Result is the application-specific result value (e.g.
+	// *solver.Result).
+	Result any
+	// Err reports a post-run invariant violation (incomplete work,
+	// broken conservation): the run must be treated as failed even
+	// though the host quiesced.
+	Err error
+}
+
+// AppRunOptions tunes one hosted run. Hosts ignore the knobs they do
+// not support.
+type AppRunOptions struct {
+	// Threaded enables the §4.5 helper-thread state-message model where
+	// the host supports one (the simulator).
+	Threaded bool
+	// PollPeriod is the helper thread's period in application seconds
+	// (0 = host default).
+	PollPeriod float64
+	// MaxSteps bounds host scheduling steps as a livelock guard where
+	// the host counts steps (the simulator).
+	MaxSteps uint64
+	// Speed is the per-rank execution-speed factor applied to Compute
+	// durations (nil or 0 entries = nominal; 2 = twice as slow).
+	Speed []float64
+}
+
+// SpeedOf returns the rank's speed factor, defaulting to 1.
+func (o AppRunOptions) SpeedOf(rank int) float64 {
+	if rank < len(o.Speed) && o.Speed[rank] > 0 {
+		return o.Speed[rank]
+	}
+	return 1
+}
+
+// AppReport is what a host measured while running an App.
+type AppReport struct {
+	// Time is the run's end time in application seconds (virtual on the
+	// simulator, wall clock elsewhere).
+	Time float64
+	// Steps counts host scheduling steps (simulator only).
+	Steps uint64
+	// PausedTime is the total compute-pause time of the threaded model
+	// (simulator only).
+	PausedTime float64
+	// Counters is the transport-side measurement accumulator: state and
+	// data messages/bytes (per kind) and snapshot-blocked busy time.
+	// The simulator and the live runtime charge the modeled byte sizes;
+	// the net runtime counts real encoded frame sizes.
+	Counters core.Counters
+	// WireMsgs / WireBytes are inbound transport totals (net hosts
+	// only).
+	WireMsgs, WireBytes int64
+}
+
+// AppRunner hosts an App to completion on one runtime.
+type AppRunner interface {
+	// Runtime names the runtime ("sim", "live", "net").
+	Runtime() string
+	// RunApp executes app on n processes and returns the host-side
+	// report. It returns once the application is Done and the transport
+	// has quiesced (all data messages delivered).
+	RunApp(n int, app App, opts AppRunOptions) (*AppReport, error)
+}
+
+// AppScenario is a registered scenario backed by a real application
+// instead of compiled per-rank programs. Drivers detect it with a type
+// assertion and host it through their AppRunner; Programs returns an
+// error for such scenarios.
+type AppScenario interface {
+	Workload
+	// NewApp builds the application instance for one run. The
+	// mechanism and its configuration come from the run's cell; the
+	// scenario derives everything else (problem, tree, static mapping)
+	// deterministically from p.
+	NewApp(mech core.Mech, cfg core.Config, p Params) (App, AppRunOptions, error)
+}
+
+// IsAppScenario reports whether the named registered scenario is an
+// application scenario (and therefore runs in-process on every
+// runtime).
+func IsAppScenario(name string) bool {
+	w, err := Get(name)
+	if err != nil {
+		return false
+	}
+	_, ok := w.(AppScenario)
+	return ok
+}
+
+// AppPrograms is the Programs implementation application scenarios
+// share: they have no per-rank program form.
+func AppPrograms(name string) ([]Program, error) {
+	return nil, fmt.Errorf("workload: %s is an application scenario; it is hosted through an AppRunner, not compiled to rank programs", name)
+}
+
+// ReportFromApp composes the matrix report of one hosted application
+// run from the host's report and the application's outcome, so the
+// three runtime drivers fill core.Counters identically: transport
+// tallies (messages, bytes, busy time) from the host, decisions and
+// acquire latencies from the application, snapshot rounds from the
+// mechanism stats.
+func ReportFromApp(scenario, runtime string, mech core.Mech, n int, hr *AppReport, out AppOutcome) *Report {
+	rep := &Report{
+		Scenario:       scenario,
+		Runtime:        runtime,
+		Mech:           mech,
+		Procs:          n,
+		DecisionsTaken: out.Decisions,
+		Executed:       out.Executed,
+		Stats:          out.Stats,
+		FinalViews:     out.FinalViews,
+		Counters:       hr.Counters.Clone(),
+		AppResult:      out.Result,
+	}
+	rep.Counters.Merge(out.Counters)
+	for _, st := range out.Stats {
+		rep.Counters.SnapshotRounds += core.SnapshotRoundsOf(st)
+	}
+	rep.WireMsgs, rep.WireBytes = hr.WireMsgs, hr.WireBytes
+	return rep
+}
+
+// RunAppScenario hosts one application-scenario cell on the given
+// runner: build the application for the cell's mechanism, run it to
+// quiescence, verify the application's own invariants and compose the
+// matrix report. All three runtime drivers share this path, so
+// core.Counters is filled identically across runtimes.
+func RunAppScenario(runner AppRunner, as AppScenario, mech core.Mech, cfg core.Config, p Params) (*Report, error) {
+	app, opts, err := as.NewApp(mech, cfg, p)
+	if err != nil {
+		return nil, err
+	}
+	p.Normalize()
+	start := time.Now()
+	hr, err := runner.RunApp(p.Procs, app, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := app.Outcome(hr)
+	if out.Err != nil {
+		return nil, out.Err
+	}
+	rep := ReportFromApp(as.Name(), runner.Runtime(), mech, p.Procs, hr, out)
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}

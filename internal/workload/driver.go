@@ -62,6 +62,9 @@ type Report struct {
 	Counters core.Counters
 	// FinalViews is one coherent post-quiescence view per rank.
 	FinalViews [][]core.Load
+	// AppResult is the application-specific result of an application
+	// scenario (e.g. *solver.Result); nil for program scenarios.
+	AppResult any `json:"-"`
 	// WireMsgs/WireBytes are inbound transport totals (net runtime only).
 	WireMsgs, WireBytes int64
 	// Elapsed is the wall-clock duration of the run.
