@@ -8,9 +8,11 @@ package main
 // binary re-executes itself), wires them through the ADDR/PEERS stdio
 // handshake and aggregates each node's STATS line. With -inproc the
 // same nodes run as goroutines inside this process — same sockets, no
-// fork — which is what CI uses. The scenario × mechanism × runtime
-// matrix lives in `loadex run`; cluster is the per-rank TCP view of one
-// scenario.
+// fork — which is what CI uses. Application scenarios (the solver) fork
+// too: each process hosts one rank of the application and quiescence is
+// decided by the distributed termination detector (-term). The scenario
+// × mechanism × runtime matrix lives in `loadex run`; cluster is the
+// per-rank TCP view of one scenario.
 
 import (
 	"bufio"
@@ -47,22 +49,28 @@ func runCluster(args []string) error {
 	if err := p.validate(true); err != nil {
 		return err
 	}
+	if err := p.singleTerm("loadex cluster"); err != nil {
+		return err
+	}
 	mechs := []string{p.mech}
 	if p.mech == "all" {
 		mechs = mechNames()
 	}
 	scenarios := []string{p.scenario}
 	if p.scenario == "all" {
-		// Application scenarios (the solver) have no per-rank program to
-		// fork; `loadex run` hosts them over the same sockets in-process.
 		scenarios = scenarios[:0]
 		for _, name := range workload.Names() {
-			if !workload.IsAppScenario(name) {
-				scenarios = append(scenarios, name)
+			// Application scenarios run forked like any other (one app
+			// instance per OS process, detector-driven quiescence), but
+			// have no per-rank program for the in-process driver here;
+			// `loadex run -runtime net -inproc` hosts those.
+			if *inproc && workload.IsAppScenario(name) {
+				continue
 			}
+			scenarios = append(scenarios, name)
 		}
-	} else if workload.IsAppScenario(p.scenario) {
-		return fmt.Errorf("scenario %q is an application scenario; run it with `loadex run -scenario %s -runtime net` (hosted in-process over the same TCP sockets)", p.scenario, p.scenario)
+	} else if *inproc && workload.IsAppScenario(p.scenario) {
+		return fmt.Errorf("scenario %q is an application scenario; drop -inproc to fork it (one process per rank, detector-driven quiescence) or host it in-process with `loadex run -scenario %s -runtime net -inproc`", p.scenario, p.scenario)
 	}
 	for _, scenario := range scenarios {
 		for _, mech := range mechs {
@@ -123,13 +131,20 @@ func runClusterInProc(p *nodeParams) ([]nodeStats, error) {
 	return stats, nil
 }
 
-// runClusterForked forks one `loadex node` per rank and shepherds the
-// stdio handshake.
+// runClusterForked forks one `loadex node` per rank (re-executing this
+// binary) and shepherds the stdio handshake.
 func runClusterForked(p *nodeParams) ([]nodeStats, error) {
 	exe, err := os.Executable()
 	if err != nil {
 		return nil, err
 	}
+	return runClusterForkedWith(exe, p)
+}
+
+// runClusterForkedWith is runClusterForked against an explicit loadex
+// binary (tests build one: the test binary cannot re-execute itself as
+// `loadex node`).
+func runClusterForkedWith(exe string, p *nodeParams) ([]nodeStats, error) {
 	type child struct {
 		cmd   *exec.Cmd
 		stdin io.WriteCloser
@@ -154,12 +169,14 @@ func runClusterForked(p *nodeParams) ([]nodeStats, error) {
 			"-threshold", fmt.Sprint(p.threshold),
 			"-nomore="+strconv.FormatBool(p.noMore),
 			"-codec", p.codec,
+			"-term", p.term,
 			"-masters", strconv.Itoa(p.masters),
 			"-decisions", strconv.Itoa(p.decisions),
 			"-work", fmt.Sprint(p.work),
 			"-slaves", strconv.Itoa(p.slaves),
 			"-spin", p.spin.String(),
 			"-settle", p.settle.String(),
+			"-timeout", p.quiesceTimeout().String(),
 		)
 		cmd.Stderr = os.Stderr
 		stdin, err := cmd.StdinPipe()
@@ -271,5 +288,9 @@ func writeClusterReport(w io.Writer, p *nodeParams, inproc bool, stats []nodeSta
 		tot.Transport.StateIn, tot.Transport.MsgsIn, tot.Transport.MsgsOut,
 		tot.Transport.BytesIn, tot.Transport.BytesOut)
 	tw.Flush()
+	if workload.IsAppScenario(p.scenario) {
+		fmt.Fprintf(w, "quiescent: %d tasks executed, termination detected by the %s protocol\n\n", tot.Executed, p.term)
+		return
+	}
 	fmt.Fprintf(w, "quiescent: all %d work items executed and acknowledged\n\n", tot.Executed)
 }

@@ -6,13 +6,14 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/termdet"
 	"repro/internal/workload"
 )
 
 func testParams(scenario, mech string) nodeParams {
 	return nodeParams{
 		procs: 5, scenario: scenario, mech: mech, threshold: 5, noMore: true, codec: "binary",
-		masters: 2, decisions: 2, work: 60, slaves: 2,
+		term: "ds", masters: 2, decisions: 2, work: 60, slaves: 2,
 		spin: 100 * time.Microsecond, settle: 10 * time.Millisecond,
 	}
 }
@@ -100,6 +101,7 @@ func TestNodeParamsValidate(t *testing.T) {
 		{func(p *nodeParams) { p.mech = "gossip" }, "unknown mechanism"},
 		{func(p *nodeParams) { p.scenario = "nope" }, "unknown scenario"},
 		{func(p *nodeParams) { p.codec = "xml" }, "unknown codec"},
+		{func(p *nodeParams) { p.term = "heartbeat" }, "unknown termination protocol"},
 	}
 	for _, tc := range bad {
 		p := testParams("quickstart", "snapshot")
@@ -124,6 +126,23 @@ func TestNodeParamsValidate(t *testing.T) {
 	err = p.validate(false)
 	if err == nil || !strings.Contains(err.Error(), "snapshot") {
 		t.Errorf("unknown-mechanism error %v does not list registered mechanisms", err)
+	}
+	p = testParams("quickstart", "snapshot")
+	p.term = "heartbeat"
+	err = p.validate(false)
+	for _, name := range termdet.Names() {
+		if err == nil || !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-protocol error %v does not list %q", err, name)
+		}
+	}
+	// "all" is matrix-only for -term as well.
+	p = testParams("quickstart", "snapshot")
+	p.term = "all"
+	if err := p.validate(false); err == nil {
+		t.Error("-term all validated for a single node")
+	}
+	if err := p.validate(true); err != nil {
+		t.Errorf("-term all rejected for matrix commands: %v", err)
 	}
 	// "all" is a matrix-only value.
 	p = testParams("all", "snapshot")

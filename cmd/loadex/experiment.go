@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/termdet"
 	"repro/internal/workload"
 )
 
@@ -53,10 +54,24 @@ func runExperiment(args []string) error {
 	if err != nil {
 		return err
 	}
+	// The termination-protocol axis applies to application scenarios
+	// only (experiments.Cells drops it from program cells); "-term all"
+	// fans it out, producing the mechanism × protocol control-overhead
+	// table.
+	terms := []string{p.term}
+	if p.term == "all" {
+		terms = termdet.Names()
+	}
 
-	cells := experiments.Cells(scenarios, mechs, runtimes)
+	cells := experiments.Cells(scenarios, mechs, runtimes, terms)
 	results, failed := experiments.Sweep(cells, *repeat, func(c experiments.Cell) (*workload.Report, error) {
-		return runCell(c.Scenario, core.Mech(c.Mech), c.Runtime, *inproc, &p)
+		q := p
+		if c.Term != "" {
+			q.term = c.Term
+		} else if q.term == "all" {
+			q.term = termdet.Default
+		}
+		return runCell(c.Scenario, core.Mech(c.Mech), c.Runtime, *inproc, &q)
 	}, nil)
 
 	experiments.WriteSweepMarkdown(os.Stdout, results)

@@ -62,8 +62,8 @@ func TestExperimentCommandSimSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// scenarios (5 program + 2 solver app) × mechanisms on one runtime
-	wantCells := 7 * 3
+	// scenarios (5 program + 3 solver app) × mechanisms on one runtime
+	wantCells := 8 * 3
 	if len(bench.Cells) != wantCells {
 		t.Fatalf("bench holds %d cells, want %d", len(bench.Cells), wantCells)
 	}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	xnet "repro/internal/net"
+	"repro/internal/termdet"
 	"repro/internal/workload"
 )
 
@@ -40,7 +41,7 @@ func runList(args []string) error {
 		fmt.Fprintf(tw, "  %s\t%s\t%s\n", wl.Name(), kind, wl.Describe())
 	}
 	tw.Flush()
-	fmt.Fprintln(w, "  (app scenarios run in-process on every runtime; `loadex cluster`/`node` cannot fork them)")
+	fmt.Fprintln(w, "  (app scenarios run on every runtime; `loadex cluster` forks them one OS process per rank)")
 	fmt.Fprintln(w)
 
 	fmt.Fprintln(w, "mechanisms (-mech; \"all\" sweeps them):")
@@ -49,10 +50,18 @@ func runList(args []string) error {
 	}
 	fmt.Fprintln(w)
 
+	fmt.Fprintln(w, "termination protocols (-term, app scenarios; \"all\" sweeps them in `loadex experiment`):")
+	tw = tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	for _, name := range termdet.Names() {
+		fmt.Fprintf(tw, "  %s\t%s\n", name, termdet.Describe(name))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+
 	fmt.Fprintln(w, "runtimes (-runtime; \"all\" sweeps them):")
 	fmt.Fprintln(w, "  sim \tdeterministic discrete-event simulator")
 	fmt.Fprintln(w, "  live\tgoroutines + channels (race-detector friendly)")
-	fmt.Fprintln(w, "  net \tlocalhost TCP (forked processes; -inproc or app scenarios: in-process)")
+	fmt.Fprintln(w, "  net \tlocalhost TCP (forked processes; -inproc: in-process)")
 	fmt.Fprintln(w)
 
 	fmt.Fprintf(w, "codecs (-codec, net runtime): %s\n", strings.Join(xnet.CodecNames(), ", "))

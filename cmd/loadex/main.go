@@ -22,18 +22,22 @@
 //	loadex experiment [-repeat k] [-json file] [...]   the measured matrix:
 //	               per-cell message/byte/latency aggregates over k runs,
 //	               paper-shaped markdown tables + benchmark JSON
-//	loadex cluster [-procs n] [-mech m] [...]   fork an n-process TCP
-//	                                            cluster, run one scenario,
+//	loadex cluster [-procs n] [-mech m] [-term t] [...]   fork an
+//	                                            n-process TCP cluster,
+//	                                            run one scenario,
 //	                                            report per-rank stats
 //	loadex node    [-rank r] [...]              one cluster process
 //	                                            (normally forked by cluster)
 //	loadex list    print the registered scenarios (program and app),
-//	               mechanisms, runtimes and codecs — the sweep axes
+//	               mechanisms, termination protocols, runtimes and
+//	               codecs — the sweep axes
 //
 // Scenarios come in two kinds: program scenarios compile to per-rank
 // synthetic step scripts, and application scenarios (solver-wl,
-// solver-mem) host the paper's real multifrontal solver through the
-// application port on any runtime.
+// solver-mem, solver-hetero) host the paper's real multifrontal solver
+// through the application port on any runtime — in-process or forked
+// one OS process per rank, with quiescence decided by a distributed
+// termination detector (-term: ds or safra, internal/termdet).
 package main
 
 import (

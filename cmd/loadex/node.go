@@ -8,11 +8,17 @@ package main
 //	parent → node:    PEERS <addr0>,<addr1>,…   (once all ranks bound)
 //	node   → parent:  STATS <json>              (after quiescence)
 //
-// Every rank compiles the scenario's per-rank programs locally
-// (deterministic in the shared flags), walks its own program, drains
-// the work it assigned and announces Done; the cluster is quiescent
-// once every rank's announcement arrived, plus a settle delay for
-// trailing state messages.
+// Program scenarios: every rank compiles the scenario's per-rank
+// programs locally (deterministic in the shared flags), walks its own
+// program, drains the work it assigned and announces Done; the cluster
+// is quiescent once every rank's announcement arrived, plus a settle
+// delay for trailing state messages.
+//
+// Application scenarios (solver-wl, solver-mem, solver-hetero): every
+// rank builds the same application instance deterministically and runs
+// exactly one rank of it over the TCP mesh; quiescence is decided by
+// the distributed termination detector (-term, internal/termdet), not
+// by host-side counters.
 
 import (
 	"bufio"
@@ -25,11 +31,15 @@ import (
 
 	"repro/internal/core"
 	xnet "repro/internal/net"
+	"repro/internal/solver"
+	"repro/internal/termdet"
 	"repro/internal/workload"
 )
 
 // nodeStats is the per-rank report a node prints and the cluster parent
-// aggregates.
+// aggregates. Flops and PeakMem are filled by application-scenario
+// nodes (the solver), so the parent can check executed-flops
+// conservation against the sim reference without a shared process.
 type nodeStats struct {
 	Rank      int                 `json:"rank"`
 	Executed  int64               `json:"executed"`
@@ -37,6 +47,8 @@ type nodeStats struct {
 	Mech      core.Stats          `json:"mech"`
 	Transport xnet.TransportStats `json:"transport"`
 	Counters  core.Counters       `json:"counters"`
+	Flops     float64             `json:"flops,omitempty"`
+	PeakMem   float64             `json:"peak_mem,omitempty"`
 }
 
 // nodeParams collects the scenario-shaping flags shared by `loadex
@@ -48,12 +60,14 @@ type nodeParams struct {
 	threshold float64
 	noMore    bool
 	codec     string
+	term      string
 	masters   int
 	decisions int
 	work      float64
 	slaves    int
 	spin      time.Duration
 	settle    time.Duration
+	timeout   time.Duration
 }
 
 func (p *nodeParams) register(fs *flag.FlagSet) {
@@ -64,12 +78,15 @@ func (p *nodeParams) register(fs *flag.FlagSet) {
 	fs.Float64Var(&p.threshold, "threshold", 5, "maintained-mechanism broadcast threshold (workload units)")
 	fs.BoolVar(&p.noMore, "nomore", true, "enable the No_more_master optimization (§2.3)")
 	fs.StringVar(&p.codec, "codec", "binary", "wire codec: "+strings.Join(xnet.CodecNames(), "|"))
+	fs.StringVar(&p.term, "term", termdet.Default,
+		"termination-detection protocol for application scenarios: "+strings.Join(termdet.Names(), "|"))
 	fs.IntVar(&p.masters, "masters", 3, "ranks [0,masters) take dynamic decisions (scenarios may widen)")
 	fs.IntVar(&p.decisions, "decisions", 4, "decisions per master")
 	fs.Float64Var(&p.work, "work", 120, "work units distributed per decision")
 	fs.IntVar(&p.slaves, "slaves", 3, "slaves selected per decision")
 	fs.DurationVar(&p.spin, "spin", time.Millisecond, "nominal execution time per work item")
 	fs.DurationVar(&p.settle, "settle", 50*time.Millisecond, "delay for trailing state messages before exit")
+	fs.DurationVar(&p.timeout, "timeout", 2*time.Minute, "per-node quiescence deadline (raise for large forked solver cells)")
 }
 
 // mechNames lists the registered mechanism names in the order the
@@ -108,6 +125,7 @@ func (p *nodeParams) params() workload.Params {
 		Work:      p.work,
 		Slaves:    p.slaves,
 		Spin:      p.spin,
+		Term:      p.term,
 	}
 }
 
@@ -157,7 +175,34 @@ func (p *nodeParams) validate(matrix bool) error {
 	if _, err := xnet.NewCodec(p.codec); err != nil {
 		return fmt.Errorf("unknown codec %q (available: %s)", p.codec, strings.Join(xnet.CodecNames(), ", "))
 	}
+	if !(matrix && p.term == "all") && !termdet.Valid(p.term) {
+		avail := strings.Join(termdet.Names(), ", ")
+		if matrix {
+			avail += ", all"
+		}
+		return fmt.Errorf("unknown termination protocol %q (available: %s)", p.term, avail)
+	}
 	return nil
+}
+
+// singleTerm rejects the "-term all" sweep value for commands that run
+// one protocol per invocation (`loadex run`, `loadex cluster`); only
+// `loadex experiment` fans the protocol axis out.
+func (p *nodeParams) singleTerm(command string) error {
+	if p.term != "all" {
+		return nil
+	}
+	return fmt.Errorf("-term all is an experiment-sweep value; pick one protocol for `%s` (available: %s), or use `loadex experiment -term all` for the mechanism × protocol overhead table",
+		command, strings.Join(termdet.Names(), ", "))
+}
+
+// quiesceTimeout normalizes the per-node quiescence deadline (tests
+// build nodeParams literals without it).
+func (p *nodeParams) quiesceTimeout() time.Duration {
+	if p.timeout <= 0 {
+		return 2 * time.Minute
+	}
+	return p.timeout
 }
 
 // programs compiles the scenario for these params.
@@ -181,12 +226,15 @@ func runNode(args []string) error {
 	if err := p.validate(false); err != nil {
 		return err
 	}
+	if *rank < 0 || *rank >= p.procs {
+		return fmt.Errorf("rank %d out of range [0,%d)", *rank, p.procs)
+	}
+	if workload.IsAppScenario(p.scenario) {
+		return runAppScenarioNode(&p, *rank, *listen)
+	}
 	progs, err := p.programs()
 	if err != nil {
 		return err
-	}
-	if *rank < 0 || *rank >= len(progs) {
-		return fmt.Errorf("rank %d out of range [0,%d)", *rank, len(progs))
 	}
 	codec, err := xnet.NewCodec(p.codec)
 	if err != nil {
@@ -194,7 +242,7 @@ func runNode(args []string) error {
 	}
 	opts := xnet.ProgramOptions(xnet.Options{
 		Codec: codec,
-		Logf:  func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+		Logf:  nodeLogf,
 	}, progs)
 	nd, err := xnet.NewNode(*rank, p.procs, core.Mech(p.mech), p.config(), opts)
 	if err != nil {
@@ -204,9 +252,29 @@ func runNode(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("ADDR %d %s\n", *rank, addr)
+	addrs, err := stdioHandshake(*rank, addr, p.procs)
+	if err != nil {
+		return err
+	}
+	if err := nd.Start(addrs); err != nil {
+		return err
+	}
 
-	// The parent answers with every rank's address once all bound.
+	stats, err := runNodeProgram(nd, progs[*rank], &p)
+	if err != nil {
+		return err
+	}
+	return emitStats(nd, stats)
+}
+
+// nodeLogf routes transport diagnostics to stderr (stdout carries the
+// handshake).
+func nodeLogf(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+
+// stdioHandshake prints this node's bound address and waits for the
+// parent's PEERS answer listing every rank's address.
+func stdioHandshake(rank int, addr string, procs int) ([]string, error) {
+	fmt.Printf("ADDR %d %s\n", rank, addr)
 	sc := bufio.NewScanner(os.Stdin)
 	var addrs []string
 	for sc.Scan() {
@@ -217,25 +285,92 @@ func runNode(args []string) error {
 		}
 	}
 	if addrs == nil {
-		return fmt.Errorf("node %d: stdin closed before PEERS line", *rank)
+		return nil, fmt.Errorf("node %d: stdin closed before PEERS line", rank)
 	}
-	if len(addrs) != p.procs {
-		return fmt.Errorf("node %d: got %d peer addresses, want %d", *rank, len(addrs), p.procs)
+	if len(addrs) != procs {
+		return nil, fmt.Errorf("node %d: got %d peer addresses, want %d", rank, len(addrs), procs)
 	}
-	if err := nd.Start(addrs); err != nil {
-		return err
-	}
+	return addrs, nil
+}
 
-	stats, err := runNodeProgram(nd, progs[*rank], &p)
-	if err != nil {
-		return err
-	}
+// emitStats prints the STATS line and closes the node.
+func emitStats(nd *xnet.Node, stats nodeStats) error {
 	b, err := json.Marshal(stats)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("STATS %s\n", b)
 	return nd.Close()
+}
+
+// runAppScenarioNode is the forked application-scenario path: build the
+// application instance deterministically from the shared flags, bind
+// this rank to one TCP node, and run the Algorithm 1 loop until the
+// termination detector announces global quiescence. Every process runs
+// exactly one rank; the solver's cross-rank bookkeeping travels as
+// data messages, and the detector's control frames (TypeCtrl) release
+// every process once rank 0's detector concludes.
+func runAppScenarioNode(p *nodeParams, rank int, listen string) error {
+	w, err := workload.Get(p.scenario)
+	if err != nil {
+		return err
+	}
+	as := w.(workload.AppScenario)
+	params := p.params()
+	app, opts, err := as.NewApp(core.Mech(p.mech), p.config(), params)
+	if err != nil {
+		return err
+	}
+	if params.Term != "" {
+		opts.Term = params.Term
+	}
+	codec, err := xnet.NewCodec(p.codec)
+	if err != nil {
+		return err
+	}
+	nd, err := xnet.NewNode(rank, p.procs, core.Mech(p.mech), p.config(), xnet.Options{
+		Codec: codec,
+		Logf:  nodeLogf,
+	})
+	if err != nil {
+		return err
+	}
+	an, err := xnet.NewAppNode(nd, app, opts, 1)
+	if err != nil {
+		return err
+	}
+	addr, err := nd.Listen(listen)
+	if err != nil {
+		return err
+	}
+	addrs, err := stdioHandshake(rank, addr, p.procs)
+	if err != nil {
+		return err
+	}
+	if err := nd.Start(addrs); err != nil {
+		return err
+	}
+	hr, err := an.Run(p.quiesceTimeout())
+	if err != nil {
+		return err
+	}
+	out := app.Outcome(hr)
+	if out.Err != nil {
+		return out.Err
+	}
+	st := nodeStats{
+		Rank:      rank,
+		Executed:  out.Executed[rank],
+		Decisions: out.Decisions,
+		Mech:      out.Stats[rank],
+		Transport: nd.Transport(),
+		Counters:  workload.CountersFromApp(hr, out),
+	}
+	if res, ok := out.Result.(*solver.Result); ok {
+		st.Flops = res.ExecutedFlops[rank]
+		st.PeakMem = res.PeakMem[rank]
+	}
+	return emitStats(nd, st)
 }
 
 // runNodeProgram walks this rank's compiled program until cluster
@@ -249,16 +384,17 @@ func runNodeProgram(nd *xnet.Node, prog workload.Program, p *nodeParams) (nodeSt
 		return st, err
 	}
 	st.Decisions = decisions
-	if err := nd.DrainOwn(60 * time.Second); err != nil {
+	timeout := p.quiesceTimeout()
+	if err := nd.DrainOwn(timeout); err != nil {
 		return st, err
 	}
 	nd.AnnounceDone()
 	waitFor := int64(p.procs - 1)
-	deadline := time.Now().Add(120 * time.Second)
+	deadline := time.Now().Add(timeout)
 	for nd.DonesReceived() < waitFor {
 		if time.Now().After(deadline) {
-			return st, fmt.Errorf("node %d: only %d/%d done announcements after 120s",
-				nd.Rank(), nd.DonesReceived(), waitFor)
+			return st, fmt.Errorf("node %d: only %d/%d done announcements after %s",
+				nd.Rank(), nd.DonesReceived(), waitFor, timeout)
 		}
 		time.Sleep(time.Millisecond)
 	}

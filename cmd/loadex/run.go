@@ -51,6 +51,9 @@ func runRun(args []string) error {
 	if err := p.validate(true); err != nil {
 		return err
 	}
+	if err := p.singleTerm("loadex run"); err != nil {
+		return err
+	}
 	runtimes, scenarios, mechs, err := expandAxes(*runtime, &p)
 	if err != nil {
 		return err
@@ -102,16 +105,16 @@ func runCell(scenario string, mech core.Mech, rt string, inproc bool, p *nodePar
 	case "live":
 		return live.Driver{Drive: drive}.Run(w, mech, p.config(), p.params())
 	case "net":
-		// Application scenarios are always hosted in-process: the same
-		// TCP mesh and codec, one node per rank, no fork (the app shares
-		// its progress table; see the execution model in workload/app.go).
-		if inproc || workload.IsAppScenario(scenario) {
+		if inproc {
 			codec, err := xnet.NewCodec(p.codec)
 			if err != nil {
 				return nil, err
 			}
 			return xnet.Driver{Opts: xnet.Options{Codec: codec}, Drive: drive}.Run(w, mech, p.config(), p.params())
 		}
+		// Forked: one OS process per rank — program scenarios walk their
+		// compiled programs, application scenarios host one rank of the
+		// app each with detector-driven quiescence.
 		return runCellForked(scenario, mech, p)
 	}
 	return nil, fmt.Errorf("unknown runtime %q", rt)

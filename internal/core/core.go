@@ -157,6 +157,14 @@ const (
 	// real wire charge this for each shipped work item so data-channel
 	// volume is comparable across runtimes.
 	BytesWorkItem = 1 + 4 + BytesLoad + 8
+
+	// BytesCtrl is a termination-detection control frame
+	// (internal/termdet): type (u8) + sender rank (i32) + ctrl kind
+	// (i32) + token count (i32) + token color (u8). Acks and the
+	// termination announcement carry the same fixed frame; the runtimes
+	// without a real wire charge this per control frame, and the net
+	// codec tests pin it to BinaryCodec's encoding.
+	BytesCtrl = 1 + 4 + 4 + 4 + 1
 )
 
 // MasterToAllBytes returns the size of a Master_To_All message with k

@@ -28,10 +28,15 @@ type Counters struct {
 	StateMsgs  int64   `json:"state_msgs"`
 	StateBytes float64 `json:"state_bytes"`
 	// DataMsgs / DataBytes total the data-channel traffic (work items;
-	// acknowledgments and control frames are transport concerns and are
-	// not counted here).
+	// transport-level acknowledgments are not counted here).
 	DataMsgs  int64   `json:"data_msgs"`
 	DataBytes float64 `json:"data_bytes"`
+	// CtrlMsgs / CtrlBytes total the termination-detection control
+	// traffic (internal/termdet engagement acks, probe tokens and the
+	// termination announcement) — the price of knowing the run is over,
+	// reported beside the price of knowing the load (state traffic).
+	CtrlMsgs  int64   `json:"ctrl_msgs,omitempty"`
+	CtrlBytes float64 `json:"ctrl_bytes,omitempty"`
 	// PerKind breaks the state traffic down by KindName.
 	PerKind map[string]KindTally `json:"per_kind,omitempty"`
 	// Decisions counts completed dynamic decisions; DecisionLatency is
@@ -68,6 +73,12 @@ func (c *Counters) AddData(bytes float64) {
 	c.DataBytes += bytes
 }
 
+// AddCtrl records one sent termination-detection control frame.
+func (c *Counters) AddCtrl(bytes float64) {
+	c.CtrlMsgs++
+	c.CtrlBytes += bytes
+}
+
 // AddDecision records one completed dynamic decision and its
 // acquire-to-ready latency in seconds.
 func (c *Counters) AddDecision(latency float64) {
@@ -82,6 +93,8 @@ func (c *Counters) Merge(other Counters) {
 	c.StateBytes += other.StateBytes
 	c.DataMsgs += other.DataMsgs
 	c.DataBytes += other.DataBytes
+	c.CtrlMsgs += other.CtrlMsgs
+	c.CtrlBytes += other.CtrlBytes
 	c.Decisions += other.Decisions
 	c.DecisionLatency += other.DecisionLatency
 	c.BusyTime += other.BusyTime

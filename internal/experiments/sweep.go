@@ -20,27 +20,46 @@ import (
 	"repro/internal/workload"
 )
 
-// Cell is one scenario × mechanism × runtime coordinate of the matrix.
+// Cell is one scenario × mechanism × runtime (× termination protocol)
+// coordinate of the matrix. Term is set only for application-scenario
+// cells — program scenarios quiesce through their own Done
+// announcements, so a protocol axis would just repeat identical runs.
 type Cell struct {
 	Scenario string `json:"scenario"`
 	Mech     string `json:"mech"`
 	Runtime  string `json:"runtime"`
+	Term     string `json:"term,omitempty"`
 }
 
 // String names the cell the way error messages and logs refer to it.
 func (c Cell) String() string {
-	return c.Scenario + " × " + c.Mech + " × " + c.Runtime
+	s := c.Scenario + " × " + c.Mech + " × " + c.Runtime
+	if c.Term != "" {
+		s += " × " + c.Term
+	}
+	return s
 }
 
-// Cells expands the scenario, mechanism and runtime axes into the cell
-// list of their cross product, in table order (scenario-major,
-// mechanisms in paper order).
-func Cells(scenarios []string, mechs []core.Mech, runtimes []string) []Cell {
+// Cells expands the scenario, mechanism, runtime and termination
+// protocol axes into the cell list of their cross product, in table
+// order (scenario-major, mechanisms in paper order). The protocol axis
+// applies only to application scenarios; program cells carry an empty
+// Term. Passing no terms (or only "") yields the pre-protocol matrix.
+func Cells(scenarios []string, mechs []core.Mech, runtimes []string, terms []string) []Cell {
+	if len(terms) == 0 {
+		terms = []string{""}
+	}
 	var cells []Cell
 	for _, s := range scenarios {
+		ts := terms
+		if !workload.IsAppScenario(s) {
+			ts = []string{""}
+		}
 		for _, m := range mechs {
 			for _, r := range runtimes {
-				cells = append(cells, Cell{Scenario: s, Mech: string(m), Runtime: r})
+				for _, tm := range ts {
+					cells = append(cells, Cell{Scenario: s, Mech: string(m), Runtime: r, Term: tm})
+				}
 			}
 		}
 	}
@@ -80,6 +99,8 @@ const (
 	MetricStateBytes      = "state_bytes"
 	MetricDataMsgs        = "data_msgs"
 	MetricDataBytes       = "data_bytes"
+	MetricCtrlMsgs        = "ctrl_msgs"
+	MetricCtrlBytes       = "ctrl_bytes"
 	MetricUpdates         = "updates_sent"
 	MetricReservations    = "reservations_sent"
 	MetricSnapshots       = "snapshots_initiated"
@@ -98,6 +119,7 @@ func MetricNames() []string {
 	return []string{
 		MetricDecisions, MetricExecuted,
 		MetricStateMsgs, MetricStateBytes, MetricDataMsgs, MetricDataBytes,
+		MetricCtrlMsgs, MetricCtrlBytes,
 		MetricUpdates, MetricReservations,
 		MetricSnapshots, MetricRestarts, MetricSnapshotRounds, MetricSnapshotTime,
 		MetricDecisionLatency, MetricBusyTime,
@@ -116,6 +138,8 @@ func metricsOf(rep *workload.Report) map[string]float64 {
 		MetricStateBytes:      c.StateBytes,
 		MetricDataMsgs:        float64(c.DataMsgs),
 		MetricDataBytes:       c.DataBytes,
+		MetricCtrlMsgs:        float64(c.CtrlMsgs),
+		MetricCtrlBytes:       c.CtrlBytes,
 		MetricUpdates:         float64(st.UpdatesSent),
 		MetricReservations:    float64(st.ReservationsSent),
 		MetricSnapshots:       float64(st.SnapshotsInitiated),
@@ -232,6 +256,7 @@ var markdownColumns = []struct{ header, metric string }{
 	{"decisions", MetricDecisions},
 	{"state msgs", MetricStateMsgs},
 	{"state bytes", MetricStateBytes},
+	{"ctrl msgs", MetricCtrlMsgs},
 	{"updates", MetricUpdates},
 	{"reservations", MetricReservations},
 	{"snp rounds", MetricSnapshotRounds},
@@ -257,7 +282,10 @@ func WriteSweepMarkdown(w io.Writer, results []CellResult) {
 	for _, g := range groups {
 		cells := byGroup[g]
 		sort.SliceStable(cells, func(i, j int) bool {
-			return mechOrder(cells[i].Mech) < mechOrder(cells[j].Mech)
+			if a, b := mechOrder(cells[i].Mech), mechOrder(cells[j].Mech); a != b {
+				return a < b
+			}
+			return cells[i].Term < cells[j].Term
 		})
 		fmt.Fprintf(w, "### %s — %s runtime (%d procs, %d run(s) per cell)\n\n",
 			g.scenario, g.runtime, cells[0].Procs, cells[0].Repeats)
@@ -269,7 +297,11 @@ func WriteSweepMarkdown(w io.Writer, results []CellResult) {
 		fmt.Fprintln(w, "| "+strings.Join(headers, " | ")+" |")
 		fmt.Fprintln(w, "|"+strings.Repeat("---|", len(headers)))
 		for _, res := range cells {
-			row := []string{res.Mech}
+			label := res.Mech
+			if res.Term != "" {
+				label += " × " + res.Term
+			}
+			row := []string{label}
 			for _, col := range markdownColumns {
 				row = append(row, formatSummary(res.Metrics[col.metric]))
 			}

@@ -3,10 +3,10 @@ package live
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/termdet"
 	"repro/internal/workload"
 )
 
@@ -15,9 +15,11 @@ import (
 // Algorithm 1 loop on its own goroutine — prioritized state channel,
 // data channel, Blocked gating, deferred compute as real (scaled)
 // sleeps — while application callbacks are serialized by one lock, per
-// the port's execution model. Quiescence is detected by outstanding-
-// work tracking: the run ends once the application reports Done and
-// every data message sent has been handled.
+// the port's execution model. Quiescence is detector-driven: each rank
+// runs one termination-detection protocol (internal/termdet) whose
+// control frames travel a dedicated highest-priority channel, and the
+// run ends when the detector announces global termination — no
+// host-side outstanding-work counting.
 type AppRunner struct {
 	// TimeScale is the wall-clock duration of one application second of
 	// compute (default 1: application seconds are wall seconds; the
@@ -54,17 +56,20 @@ func (r *AppRunner) RunApp(n int, app workload.App, opts workload.AppRunOptions)
 		quit:     make(chan struct{}),
 	}
 	for i := range h.ranks {
+		det, err := termdet.New(opts.Term, n, i)
+		if err != nil {
+			return nil, err
+		}
 		h.ranks[i] = liveAppRank{
 			stateCh: make(chan liveStateMsg, 1<<16),
 			dataCh:  make(chan liveDataMsg, 1<<14),
+			ctrlCh:  make(chan liveCtrlMsg, 1<<14),
 			wakeCh:  make(chan struct{}, 1),
+			det:     det,
 		}
 	}
 	h.mu.Lock()
 	err := app.Attach(h)
-	if err == nil {
-		h.checkQuiet()
-	}
 	h.mu.Unlock()
 	if err != nil {
 		return nil, err
@@ -81,10 +86,10 @@ func (r *AppRunner) RunApp(n int, app workload.App, opts workload.AppRunOptions)
 	select {
 	case <-h.doneCh:
 	case <-time.After(timeout):
-		// Diagnose from the atomics only: a wedged callback may hold
-		// h.mu forever, and the timeout guard must still report.
-		runErr = fmt.Errorf("live: application not quiescent after %s (data %d sent / %d handled)",
-			timeout, h.dataSent.Load(), h.dataDone.Load())
+		// Diagnose without the callback mutex: a wedged callback may
+		// hold h.mu forever, and the timeout guard must still report.
+		runErr = fmt.Errorf("live: no termination detected after %s (protocol %s)",
+			timeout, h.ranks[0].det.Name())
 	}
 	// Sample the makespan at quiescence, before loop teardown.
 	elapsed := time.Since(h.start).Seconds()
@@ -96,7 +101,7 @@ func (r *AppRunner) RunApp(n int, app workload.App, opts workload.AppRunOptions)
 }
 
 // liveStateMsg is one state-channel item; liveDataMsg one data-channel
-// item.
+// item; liveCtrlMsg one detector control frame.
 type liveStateMsg struct {
 	from, kind int
 	payload    any
@@ -107,14 +112,21 @@ type liveDataMsg struct {
 	m    workload.DataMsg
 }
 
-// liveAppRank is one rank's hosting state. pending is only touched by
-// the rank's own goroutine (Compute is called from the rank's own
-// callbacks, per the port's callback discipline).
+type liveCtrlMsg struct {
+	from int
+	c    termdet.Ctrl
+}
+
+// liveAppRank is one rank's hosting state. pending and det are only
+// touched by the rank's own goroutine (Compute and sends are called
+// from the rank's own callbacks, per the port's callback discipline).
 type liveAppRank struct {
 	stateCh chan liveStateMsg
 	dataCh  chan liveDataMsg
+	ctrlCh  chan liveCtrlMsg
 	wakeCh  chan struct{}
 	pending *liveCompute
+	det     termdet.Protocol
 }
 
 type liveCompute struct {
@@ -136,21 +148,21 @@ type liveAppHost struct {
 	counters []core.Counters
 	busy     []core.BusyMeter
 
-	dataSent, dataDone atomic.Int64
-	doneCh             chan struct{}
-	doneOnce           sync.Once
-	quit               chan struct{}
+	doneCh   chan struct{}
+	doneOnce sync.Once
+	quit     chan struct{}
 }
 
 // ---- workload.AppHost ---------------------------------------------------
 
 func (h *liveAppHost) N() int                        { return len(h.ranks) }
+func (h *liveAppHost) Local(rank int) bool           { return true }
 func (h *liveAppHost) Now() float64                  { return time.Since(h.start).Seconds() }
 func (h *liveAppHost) Context(rank int) core.Context { return liveAppCtx{h, rank} }
 
 func (h *liveAppHost) SendData(from, to int, m workload.DataMsg) {
 	h.counters[from].AddData(m.Bytes)
-	h.dataSent.Add(1)
+	h.ranks[from].det.OnSend(liveDetCtx{h, from}, to)
 	// The send runs under the callback mutex; the receiver's buffer
 	// (16k messages) is the deadlock guard, as in live.Cluster. In-
 	// process application scale keeps traffic orders of magnitude
@@ -197,12 +209,31 @@ func (c liveAppCtx) Broadcast(kind int, payload any, bytes float64) {
 	}
 }
 
+// liveDetCtx is one rank's termdet.Context: control frames on the
+// dedicated channel, charged at the modeled frame size. Per-rank
+// counters are only ever written from the rank's own goroutine, so the
+// tallies need no lock.
+type liveDetCtx struct {
+	h    *liveAppHost
+	rank int
+}
+
+func (c liveDetCtx) Rank() int { return c.rank }
+func (c liveDetCtx) N() int    { return c.h.N() }
+
+func (c liveDetCtx) SendCtrl(to int, ct termdet.Ctrl) {
+	c.h.counters[c.rank].AddCtrl(core.BytesCtrl)
+	c.h.ranks[to].ctrlCh <- liveCtrlMsg{from: c.rank, c: ct}
+}
+
 // ---- rank main loop -----------------------------------------------------
 
 // runRank is rank's Algorithm 1 loop: pending compute first (a task the
 // application just started runs immediately, as on the simulator), then
-// the prioritized state channel, Blocked gating, data messages, and
-// finally TryStart; it blocks when nothing is available.
+// detector control frames (highest priority, exempt from Blocked
+// gating), the prioritized state channel, Blocked gating, data
+// messages, and finally TryStart; when nothing is available it declares
+// the rank passive to the detector and blocks.
 func (h *liveAppHost) runRank(rank int) {
 	rk := &h.ranks[rank]
 	for {
@@ -216,9 +247,15 @@ func (h *liveAppHost) runRank(rank int) {
 			h.sleep(p.seconds)
 			h.mu.Lock()
 			p.done()
-			h.checkQuiet()
 			h.mu.Unlock()
 			continue
+		}
+		// Priority 0: detector control frames.
+		select {
+		case m := <-rk.ctrlCh:
+			h.handleCtrl(rank, m)
+			continue
+		default:
 		}
 		// Priority 1: drain state-information messages.
 		if m, ok := h.pollState(rk); ok {
@@ -229,8 +266,11 @@ func (h *liveAppHost) runRank(rank int) {
 		blocked := h.app.Blocked(rank)
 		h.mu.Unlock()
 		if blocked {
-			// Snapshot in progress: treat only state messages.
+			// Snapshot in progress: treat only state messages (and
+			// control frames — a blocked rank still acknowledges).
 			select {
+			case m := <-rk.ctrlCh:
+				h.handleCtrl(rank, m)
 			case m := <-rk.stateCh:
 				h.handleState(rank, m)
 			case <-h.quit:
@@ -252,12 +292,23 @@ func (h *liveAppHost) runRank(rank int) {
 		// this transition as well).
 		h.mu.Lock()
 		started := h.app.TryStart(rank)
-		h.busy[rank].Observe(h.app.Blocked(rank))
+		stillBlocked := h.app.Blocked(rank)
+		h.busy[rank].Observe(stillBlocked)
 		h.mu.Unlock()
 		if started {
 			continue
 		}
+		if !stillBlocked {
+			// Nothing pending, nothing startable, not snapshot-blocked:
+			// this rank is passive. The detector reactivates it on the
+			// next data-message receipt; detection (on rank 0) closes
+			// the run.
+			rk.det.Passive(liveDetCtx{h, rank})
+			h.checkTerminated(rk)
+		}
 		select {
+		case m := <-rk.ctrlCh:
+			h.handleCtrl(rank, m)
 		case m := <-rk.stateCh:
 			h.handleState(rank, m)
 		case m := <-rk.dataCh:
@@ -282,16 +333,32 @@ func (h *liveAppHost) handleState(rank int, m liveStateMsg) {
 	h.mu.Lock()
 	h.app.HandleState(rank, m.from, m.kind, m.payload)
 	h.busy[rank].Observe(h.app.Blocked(rank))
-	h.checkQuiet()
 	h.mu.Unlock()
 }
 
 func (h *liveAppHost) handleData(rank int, m liveDataMsg) {
+	rk := &h.ranks[rank]
+	rk.det.OnReceive(liveDetCtx{h, rank}, m.from)
 	h.mu.Lock()
 	h.app.HandleData(rank, m.from, m.m)
-	h.dataDone.Add(1)
-	h.checkQuiet()
 	h.mu.Unlock()
+}
+
+// handleCtrl treats one detector control frame. It never touches the
+// application, so it runs outside the callback mutex.
+func (h *liveAppHost) handleCtrl(rank int, m liveCtrlMsg) {
+	rk := &h.ranks[rank]
+	rk.det.OnCtrl(liveDetCtx{h, rank}, m.from, m.c)
+	h.checkTerminated(rk)
+}
+
+// checkTerminated closes doneCh once this rank's detector knows about
+// global termination (detected locally on rank 0, announced by a
+// CtrlTerm frame elsewhere).
+func (h *liveAppHost) checkTerminated(rk *liveAppRank) {
+	if rk.det.Terminated() {
+		h.doneOnce.Do(func() { close(h.doneCh) })
+	}
 }
 
 // sleep spends one compute interval of wall clock, bounded by quit so
@@ -304,15 +371,6 @@ func (h *liveAppHost) sleep(seconds float64) {
 	select {
 	case <-time.After(d):
 	case <-h.quit:
-	}
-}
-
-// checkQuiet closes doneCh once the application is Done and every data
-// message has been handled (outstanding-work quiescence). Callers hold
-// mu.
-func (h *liveAppHost) checkQuiet() {
-	if h.app.Done() && h.dataSent.Load() == h.dataDone.Load() {
-		h.doneOnce.Do(func() { close(h.doneCh) })
 	}
 }
 

@@ -3,10 +3,10 @@ package net
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/termdet"
 	"repro/internal/workload"
 )
 
@@ -15,11 +15,22 @@ import (
 // multifrontal solver — over the same TCP mesh, codec and peer loops
 // the synthetic workloads use. Each rank is one Node whose main loop
 // runs the application's Algorithm 1 instead of the built-in workload
-// loop; state messages and application data messages (TypeData frames
-// carrying workload.DataMsg) genuinely travel the sockets, while
-// application callbacks are serialized by the binding's lock per the
-// port's execution model. Application clusters are therefore hosted
-// in-process (one mesh of localhost nodes), not forked.
+// loop; state messages, application data messages (TypeData frames
+// carrying workload.DataMsg) and termination-detection control frames
+// (TypeCtrl carrying termdet.Ctrl) genuinely travel the sockets.
+//
+// Two deployments share this code:
+//
+//   - AppRunner hosts all n ranks in one process (one mesh of localhost
+//     nodes, application callbacks serialized by the binding's lock);
+//   - AppNode hosts a single rank in a forked `loadex node` process;
+//     the application instance in each process then executes exactly
+//     one local rank, and every cross-rank effect travels as a message.
+//
+// Quiescence is detector-driven in both: each rank runs one
+// termdet.Protocol, control frames bypass the application's Blocked
+// gating, and the run ends when the detector announces global
+// termination — there is no host-side outstanding-work counting.
 
 // appMsg is one inbound application data-channel message.
 type appMsg struct {
@@ -33,39 +44,50 @@ type appCompute struct {
 	done    func()
 }
 
-// appBinding is the hosting state shared by every node of one
-// application cluster.
+// appBinding is the hosting state shared by every local node of one
+// application cluster (all n in-process, exactly one under fork).
 type appBinding struct {
 	app   workload.App
 	opts  workload.AppRunOptions
 	scale float64
 
-	// mu serializes every application callback across ranks.
+	// mu serializes every application callback across local ranks.
 	mu sync.Mutex
 	// ready is closed once Attach ran; node loops park on it so the
 	// application never sees a callback before its host is wired.
 	ready chan struct{}
 
-	// dataSent / dataDone track outstanding application data messages
-	// cluster-wide: quiescence is Done() plus an empty data channel.
-	dataSent, dataDone atomic.Int64
-	doneCh             chan struct{}
-	doneOnce           sync.Once
+	// doneCh closes when a local rank's detector learns about global
+	// termination (detected on rank 0, announced by CtrlTerm
+	// elsewhere).
+	doneCh   chan struct{}
+	doneOnce sync.Once
 }
 
-// checkQuiet closes doneCh once the application reports Done and every
-// data message sent has been handled. Callers hold mu.
-func (b *appBinding) checkQuiet() {
-	if b.app.Done() && b.dataSent.Load() == b.dataDone.Load() {
-		b.doneOnce.Do(func() { close(b.doneCh) })
-	}
+// signalDone latches termination observed by a local detector.
+func (b *appBinding) signalDone() {
+	b.doneOnce.Do(func() { close(b.doneCh) })
+}
+
+// nodeDetCtx is one node's termdet.Context: control frames travel as
+// TypeCtrl codec frames with real encoded sizes tallied at the writer
+// (the estimate tallies charge core.BytesCtrl).
+type nodeDetCtx struct{ nd *Node }
+
+func (c nodeDetCtx) Rank() int { return c.nd.rank }
+func (c nodeDetCtx) N() int    { return c.nd.n }
+
+func (c nodeDetCtx) SendCtrl(to int, ct termdet.Ctrl) {
+	c.nd.est.AddCtrl(core.BytesCtrl)
+	c.nd.post(to, CtrlMessage(c.nd.rank, ct))
 }
 
 // runApp is the node main loop in app mode: the hosted application's
 // Algorithm 1 — pending compute first (a task the application just
-// started runs immediately), then the prioritized state channel,
-// Blocked gating, application data messages, TryStart, and blocking
-// when idle.
+// started runs immediately), then detector control frames (highest
+// priority, exempt from Blocked gating), the prioritized state channel,
+// Blocked gating, application data messages, TryStart, and a passivity
+// declaration to the detector before blocking when idle.
 func (nd *Node) runApp() {
 	defer close(nd.done)
 	b := nd.appB
@@ -86,9 +108,15 @@ func (nd *Node) runApp() {
 			nd.appSleep(p.seconds)
 			b.mu.Lock()
 			p.done()
-			b.checkQuiet()
 			b.mu.Unlock()
 			continue
+		}
+		// Priority 0: detector control frames.
+		select {
+		case m := <-nd.ctrlCh:
+			nd.appHandleCtrl(m)
+			continue
+		default:
 		}
 		// Priority 1: state-information messages.
 		select {
@@ -101,8 +129,11 @@ func (nd *Node) runApp() {
 		blocked := b.app.Blocked(r)
 		b.mu.Unlock()
 		if blocked {
-			// Snapshot in progress: treat only state messages.
+			// Snapshot in progress: treat only state messages (and
+			// control frames — a blocked rank still acknowledges).
 			select {
+			case m := <-nd.ctrlCh:
+				nd.appHandleCtrl(m)
 			case m := <-nd.stateCh:
 				nd.appHandleState(m)
 			case <-nd.quit:
@@ -124,12 +155,24 @@ func (nd *Node) runApp() {
 		// this transition as well).
 		b.mu.Lock()
 		started := b.app.TryStart(r)
-		nd.busy.Observe(b.app.Blocked(r))
+		stillBlocked := b.app.Blocked(r)
+		nd.busy.Observe(stillBlocked)
 		b.mu.Unlock()
 		if started {
 			continue
 		}
+		if !stillBlocked {
+			// Nothing pending, nothing startable, not snapshot-blocked:
+			// declare the rank passive. The detector reactivates it on
+			// the next data-message receipt; detection closes the run.
+			nd.appDet.Passive(nodeDetCtx{nd})
+			if nd.appDet.Terminated() {
+				b.signalDone()
+			}
+		}
 		select {
+		case m := <-nd.ctrlCh:
+			nd.appHandleCtrl(m)
 		case m := <-nd.stateCh:
 			nd.appHandleState(m)
 		case m := <-nd.appCh:
@@ -152,18 +195,25 @@ func (nd *Node) appHandleState(m inMsg) {
 	b.mu.Lock()
 	b.app.HandleState(nd.rank, m.from, m.kind, m.payload)
 	nd.busy.Observe(b.app.Blocked(nd.rank))
-	b.checkQuiet()
 	b.mu.Unlock()
 }
 
 // appHandleData treats one application data message.
 func (nd *Node) appHandleData(m appMsg) {
 	b := nd.appB
+	nd.appDet.OnReceive(nodeDetCtx{nd}, m.from)
 	b.mu.Lock()
 	b.app.HandleData(nd.rank, m.from, m.m)
-	b.dataDone.Add(1)
-	b.checkQuiet()
 	b.mu.Unlock()
+}
+
+// appHandleCtrl treats one detector control frame. It never touches the
+// application, so it runs outside the callback mutex.
+func (nd *Node) appHandleCtrl(m ctrlMsg) {
+	nd.appDet.OnCtrl(nodeDetCtx{nd}, m.from, m.c)
+	if nd.appDet.Terminated() {
+		nd.appB.signalDone()
+	}
 }
 
 // appSleep spends one compute interval of wall clock, bounded by quit
@@ -179,23 +229,32 @@ func (nd *Node) appSleep(seconds float64) {
 	}
 }
 
-// netAppHost implements workload.AppHost over a mesh of nodes.
+// netAppHost implements workload.AppHost over local nodes: all n of
+// them in-process, or a single one under fork (remote entries nil).
 type netAppHost struct {
 	b     *appBinding
 	nodes []*Node
 	start time.Time
 }
 
-func (h *netAppHost) N() int                        { return len(h.nodes) }
-func (h *netAppHost) Now() float64                  { return time.Since(h.start).Seconds() }
-func (h *netAppHost) Context(rank int) core.Context { return nodeCtx{h.nodes[rank]} }
+func (h *netAppHost) N() int              { return len(h.nodes) }
+func (h *netAppHost) Local(rank int) bool { return h.nodes[rank] != nil }
+func (h *netAppHost) Now() float64        { return time.Since(h.start).Seconds() }
+
+func (h *netAppHost) Context(rank int) core.Context {
+	nd := h.nodes[rank]
+	if nd == nil {
+		panic(fmt.Sprintf("net: Context(%d) for a rank this host does not run", rank))
+	}
+	return nodeCtx{nd}
+}
 
 func (h *netAppHost) SendData(from, to int, m workload.DataMsg) {
 	nd := h.nodes[from]
 	// The estimate tallies charge the application's modeled byte size;
 	// the writer goroutine tallies the real encoded frame.
 	nd.est.AddData(m.Bytes)
-	h.b.dataSent.Add(1)
+	nd.appDet.OnSend(nodeDetCtx{nd}, to)
 	if to == from {
 		// Applications do not normally self-send; deliver locally.
 		nd.appCh <- appMsg{from: from, m: m}
@@ -213,16 +272,50 @@ func (h *netAppHost) Compute(rank int, seconds float64, done func()) {
 }
 
 func (h *netAppHost) Wake(rank int) {
+	nd := h.nodes[rank]
+	if nd == nil {
+		panic(fmt.Sprintf("net: Wake(%d) for a rank this host does not run", rank))
+	}
 	select {
-	case h.nodes[rank].wakeCh <- struct{}{}:
+	case nd.wakeCh <- struct{}{}:
 	default:
 	}
 }
 
+// bindAppNode prepares one local node to host rank nd.rank of the
+// bound application: binding, detector, nothing else. Must run before
+// Start launches the node loop.
+func bindAppNode(nd *Node, b *appBinding) error {
+	det, err := termdet.New(b.opts.Term, nd.n, nd.rank)
+	if err != nil {
+		return err
+	}
+	nd.appB = b
+	nd.appDet = det
+	return nil
+}
+
+// appReportOf samples one quiesced node's transport tallies into a
+// host report (real encoded frame-body sizes from the writers).
+func appReportOf(nodes []*Node, elapsed float64) *workload.AppReport {
+	rep := &workload.AppReport{Time: elapsed}
+	for _, nd := range nodes {
+		if nd == nil {
+			continue
+		}
+		rep.Counters.Merge(nd.sampleCounters())
+		tr := nd.Transport()
+		rep.WireMsgs += tr.MsgsIn
+		rep.WireBytes += tr.BytesIn
+	}
+	return rep
+}
+
 // AppRunner implements workload.AppRunner over localhost TCP: the same
 // mesh, codec and graceful-shutdown machinery as Cluster, with the node
-// main loops running a hosted application. State and data tallies in
-// the report are real encoded frame-body sizes counted at the writers.
+// main loops running a hosted application. State, data and control
+// tallies in the report are real encoded frame-body sizes counted at
+// the writers.
 type AppRunner struct {
 	// Opts is the node option template (codec, timeouts, logging);
 	// Initial and Speed are ignored — application state comes from the
@@ -280,7 +373,10 @@ func (r *AppRunner) RunApp(n int, app workload.App, opts workload.AppRunOptions)
 			stop()
 			return nil, err
 		}
-		nd.appB = b
+		if err := bindAppNode(nd, b); err != nil {
+			stop()
+			return nil, err
+		}
 		nodes = append(nodes, nd)
 		if addrs[rank], err = nd.Listen("127.0.0.1:0"); err != nil {
 			stop()
@@ -309,9 +405,6 @@ func (r *AppRunner) RunApp(n int, app workload.App, opts workload.AppRunOptions)
 	host := &netAppHost{b: b, nodes: nodes, start: time.Now()}
 	b.mu.Lock()
 	err := app.Attach(host)
-	if err == nil {
-		b.checkQuiet()
-	}
 	b.mu.Unlock()
 	if err != nil {
 		stop()
@@ -323,24 +416,85 @@ func (r *AppRunner) RunApp(n int, app workload.App, opts workload.AppRunOptions)
 	select {
 	case <-b.doneCh:
 	case <-time.After(timeout):
-		// Diagnose from the atomics only: a wedged callback may hold
-		// b.mu forever, and the timeout guard must still report.
-		runErr = fmt.Errorf("net: application not quiescent after %s (data %d sent / %d handled)",
-			timeout, b.dataSent.Load(), b.dataDone.Load())
+		// Diagnose without the callback mutex: a wedged callback may
+		// hold b.mu forever, and the timeout guard must still report.
+		runErr = fmt.Errorf("net: no termination detected after %s (protocol %s)",
+			timeout, nodes[0].appDet.Name())
 	}
 	// Sample the makespan at quiescence, before the mesh teardown
 	// (graceful Close — writer flushes, FIN exchanges — can take as
 	// long as a small run itself).
 	elapsed := time.Since(host.start).Seconds()
 	stop()
+	return appReportOf(nodes, elapsed), runErr
+}
 
-	rep := &workload.AppReport{Time: elapsed}
-	for _, nd := range nodes {
-		// Every goroutine is quiesced after Close: sample directly.
-		rep.Counters.Merge(nd.sampleCounters())
-		tr := nd.Transport()
-		rep.WireMsgs += tr.MsgsIn
-		rep.WireBytes += tr.BytesIn
+// AppNode hosts a single rank of an application on one Node — the
+// forked deployment behind `loadex cluster -scenario solver-wl` /
+// `loadex node -scenario solver-wl -rank r`. Each OS process builds
+// the application instance deterministically from the shared flags,
+// binds it to its node before Start, and runs its one local rank; the
+// detector's CtrlTerm announcement (from whichever process hosts rank
+// 0) releases every process.
+type AppNode struct {
+	nd   *Node
+	b    *appBinding
+	host *netAppHost
+}
+
+// NewAppNode binds app's rank nd.Rank() to nd. Call it after NewNode
+// and before Start (the app-mode main loop parks until Run attaches
+// the application).
+func NewAppNode(nd *Node, app workload.App, opts workload.AppRunOptions, timeScale float64) (*AppNode, error) {
+	if timeScale <= 0 {
+		timeScale = 1
 	}
-	return rep, runErr
+	b := &appBinding{
+		app:    app,
+		opts:   opts,
+		scale:  timeScale,
+		ready:  make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}
+	if err := bindAppNode(nd, b); err != nil {
+		return nil, err
+	}
+	nodes := make([]*Node, nd.n)
+	nodes[nd.rank] = nd
+	return &AppNode{nd: nd, b: b, host: &netAppHost{b: b, nodes: nodes}}, nil
+}
+
+// Run attaches the application (call after the node's Start succeeded)
+// and blocks until the detector announces global termination, then
+// returns the node's transport report. The caller still owns the node
+// and must Close it.
+func (an *AppNode) Run(timeout time.Duration) (*workload.AppReport, error) {
+	if timeout <= 0 {
+		timeout = 120 * time.Second
+	}
+	an.host.start = time.Now()
+	an.b.mu.Lock()
+	err := an.b.app.Attach(an.host)
+	an.b.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	close(an.b.ready)
+	select {
+	case <-an.b.doneCh:
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("net: rank %d: no termination detected after %s (protocol %s)",
+			an.nd.rank, timeout, an.nd.appDet.Name())
+	}
+	elapsed := time.Since(an.host.start).Seconds()
+	// The rank loop is still running (it stops at Close); the sample
+	// must go through the node goroutine.
+	var rep *workload.AppReport
+	an.nd.Invoke(func(core.Context, core.Exchanger) {
+		rep = appReportOf(an.host.nodes, elapsed)
+	})
+	if rep == nil {
+		rep = appReportOf(an.host.nodes, elapsed)
+	}
+	return rep, nil
 }

@@ -27,6 +27,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/termdet"
 	"repro/internal/workload"
 )
 
@@ -36,7 +37,10 @@ import (
 // cluster termination protocol (a master announcing all its work
 // drained); Data carries one application-port data-channel message
 // (workload.DataMsg: the solver's subtasks, contribution-block pieces
-// and ship requests travel as these frames).
+// and ship requests travel as these frames); Ctrl carries one
+// termination-detection control frame (termdet.Ctrl: engagement acks,
+// probe tokens, the termination announcement of the quiescence
+// subsystem).
 type MsgType uint8
 
 // The wire message types.
@@ -47,6 +51,7 @@ const (
 	TypeWorkDone
 	TypeDone
 	TypeData
+	TypeCtrl
 )
 
 // String returns a short name for the message type.
@@ -64,6 +69,8 @@ func (t MsgType) String() string {
 		return "done"
 	case TypeData:
 		return "data"
+	case TypeCtrl:
+		return "ctrl"
 	}
 	return fmt.Sprintf("type(%d)", uint8(t))
 }
@@ -91,12 +98,20 @@ type Message struct {
 	// Data is the application-port payload (TypeData only); its Kind
 	// tag lives inside the struct, the transport does not interpret it.
 	Data workload.DataMsg `json:"data,omitzero"`
+	// Ctrl is the termination-detection payload (TypeCtrl only).
+	Ctrl termdet.Ctrl `json:"ctrl,omitzero"`
 }
 
 // DataMessage builds the wire message for one application data-channel
 // send.
 func DataMessage(from int, m workload.DataMsg) Message {
 	return Message{Type: TypeData, From: int32(from), Data: m}
+}
+
+// CtrlMessage builds the wire message for one termination-detection
+// control frame.
+func CtrlMessage(from int, c termdet.Ctrl) Message {
+	return Message{Type: TypeCtrl, From: int32(from), Ctrl: c}
 }
 
 // StateMessage builds the wire message for one core state-channel send.
@@ -226,6 +241,14 @@ func (BinaryCodec) Encode(dst []byte, m Message) ([]byte, error) {
 		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(m.Data.Work))
 		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(m.Data.Size))
 		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(m.Data.Bytes))
+	case TypeCtrl:
+		dst = binary.BigEndian.AppendUint32(dst, uint32(m.Ctrl.Kind))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(m.Ctrl.Count))
+		black := byte(0)
+		if m.Ctrl.Black {
+			black = 1
+		}
+		dst = append(dst, black)
 	case TypeState:
 		dst = binary.BigEndian.AppendUint32(dst, uint32(m.Kind))
 		switch int(m.Kind) {
@@ -298,6 +321,21 @@ func (BinaryCodec) Decode(b []byte) (Message, error) {
 		if m.Data.Bytes, err = r.f64(); err != nil {
 			return m, err
 		}
+	case TypeCtrl:
+		if m.Ctrl.Kind, err = r.i32(); err != nil {
+			return m, err
+		}
+		if m.Ctrl.Count, err = r.i32(); err != nil {
+			return m, err
+		}
+		var black byte
+		if black, err = r.u8(); err != nil {
+			return m, err
+		}
+		if black > 1 {
+			return m, fmt.Errorf("net: decode: ctrl color byte %d", black)
+		}
+		m.Ctrl.Black = black == 1
 	case TypeState:
 		if m.Kind, err = r.i32(); err != nil {
 			return m, err

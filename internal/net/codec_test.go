@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/termdet"
 	"repro/internal/workload"
 )
 
@@ -36,6 +37,22 @@ func sampleMessages() []Message {
 		{Type: TypeData, From: 0, Data: workload.DataMsg{
 			Kind: 102, Node: 5, Peer: -1, Count: 1, Size: -2.5,
 		}},
+		{Type: TypeCtrl, From: 2, Ctrl: termdet.Ctrl{Kind: termdet.CtrlAck}},
+		{Type: TypeCtrl, From: 4, Ctrl: termdet.Ctrl{Kind: termdet.CtrlToken, Count: -3, Black: true}},
+		{Type: TypeCtrl, From: 0, Ctrl: termdet.Ctrl{Kind: termdet.CtrlTerm}},
+	}
+}
+
+// TestCtrlFrameSizeMatchesConstant pins core.BytesCtrl — what the
+// runtimes without a real wire charge per control frame — to the
+// binary codec's actual encoding.
+func TestCtrlFrameSizeMatchesConstant(t *testing.T) {
+	b, err := (BinaryCodec{}).Encode(nil, CtrlMessage(3, termdet.Ctrl{Kind: termdet.CtrlToken, Count: 9, Black: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != int(core.BytesCtrl) {
+		t.Fatalf("encoded ctrl frame is %d bytes, core.BytesCtrl = %v", len(b), core.BytesCtrl)
 	}
 }
 

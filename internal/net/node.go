@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/termdet"
 )
 
 // Options tunes a Node.
@@ -51,6 +52,12 @@ type workMsg struct {
 	spin time.Duration
 }
 
+// ctrlMsg is one inbound termination-detection control frame.
+type ctrlMsg struct {
+	from int
+	c    termdet.Ctrl
+}
+
 // peer is one TCP link. The node with the higher rank dials the lower
 // one, so every unordered pair shares exactly one connection; a reader
 // goroutine decodes inbound frames and a writer goroutine owns the
@@ -89,9 +96,11 @@ type Node struct {
 	stateCh   chan inMsg
 	dataCh    chan workMsg
 	appCh     chan appMsg   // inbound application-port data messages
+	ctrlCh    chan ctrlMsg  // inbound termination-detection control frames
 	wakeCh    chan struct{} // cross-rank main-loop wakeups (app mode)
 	appB      *appBinding   // non-nil when the node hosts a workload.App rank
-	appPend   *appCompute   // deferred compute, owned by the node goroutine
+	appDet    termdet.Protocol
+	appPend   *appCompute // deferred compute, owned by the node goroutine
 	quit      chan struct{}
 	done      chan struct{} // main loop exited
 	wgReaders sync.WaitGroup
@@ -125,6 +134,8 @@ type Node struct {
 	stateKindBytes [core.KindMasterToSlave + 1]atomic.Int64
 	workMsgsOut    atomic.Int64
 	workBytesOut   atomic.Int64
+	ctrlMsgsOut    atomic.Int64
+	ctrlBytesOut   atomic.Int64
 
 	// Measurement state owned by the node goroutine (read elsewhere only
 	// through Invoke, or after Close when everything is quiesced).
@@ -174,6 +185,7 @@ func NewNode(rank, n int, mech core.Mech, cfg core.Config, opts Options) (*Node,
 		stateCh: make(chan inMsg, 1<<16),
 		dataCh:  make(chan workMsg, 1<<12),
 		appCh:   make(chan appMsg, 1<<14),
+		ctrlCh:  make(chan ctrlMsg, 1<<14),
 		wakeCh:  make(chan struct{}, 1),
 		quit:    make(chan struct{}),
 		done:    make(chan struct{}),
@@ -410,6 +422,12 @@ func (nd *Node) readLoop(p *peer) {
 			case <-nd.quit:
 				return
 			}
+		case TypeCtrl:
+			select {
+			case nd.ctrlCh <- ctrlMsg{from: int(m.From), c: m.Ctrl}:
+			case <-nd.quit:
+				return
+			}
 		case TypeWorkDone:
 			nd.outstanding.Add(-1)
 		case TypeDone:
@@ -479,6 +497,9 @@ func (nd *Node) writeLoop(p *peer) {
 		case TypeWork, TypeData:
 			nd.workMsgsOut.Add(1)
 			nd.workBytesOut.Add(int64(len(body)))
+		case TypeCtrl:
+			nd.ctrlMsgsOut.Add(1)
+			nd.ctrlBytesOut.Add(int64(len(body)))
 		}
 		return true
 	}
@@ -810,6 +831,8 @@ func (nd *Node) sampleCounters() core.Counters {
 		SnapshotRounds:  core.SnapshotRoundsOf(nd.exch.Stats()),
 		DataMsgs:        nd.workMsgsOut.Load(),
 		DataBytes:       float64(nd.workBytesOut.Load()),
+		CtrlMsgs:        nd.ctrlMsgsOut.Load(),
+		CtrlBytes:       float64(nd.ctrlBytesOut.Load()),
 	}
 	for k := core.KindUpdate; k <= core.KindMasterToSlave; k++ {
 		msgs := nd.stateKindMsgs[k].Load()

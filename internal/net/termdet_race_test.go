@@ -1,0 +1,99 @@
+package net
+
+import (
+	"testing"
+
+	"repro/internal/termdet"
+	"repro/internal/workload"
+)
+
+// ringApp is a minimal workload.App exercising the quiescence
+// subsystem over the real TCP mesh: a token of data messages circles
+// the ranks `laps` times, each hop preceded by a tiny compute. The app
+// keeps no outstanding-work state of its own — the run can only end
+// correctly if the termination detector does its job (the last hop's
+// message must be acknowledged/counted before rank 0's detector
+// concludes).
+type ringApp struct {
+	host    workload.AppHost
+	n, laps int
+
+	started bool
+	hops    int
+}
+
+func (a *ringApp) Attach(host workload.AppHost) error {
+	a.host = host
+	a.n = host.N()
+	return nil
+}
+
+func (a *ringApp) HandleState(rank, from, kind int, payload any) {}
+
+func (a *ringApp) HandleData(rank, from int, m workload.DataMsg) {
+	a.hops++
+	hop := m.Count
+	if int(hop) >= a.n*a.laps {
+		return
+	}
+	a.host.Compute(rank, 1e-6, func() {
+		a.host.SendData(rank, (rank+1)%a.n, workload.DataMsg{Count: hop + 1, Bytes: 16})
+	})
+}
+
+func (a *ringApp) TryStart(rank int) bool {
+	if rank != 0 || a.started {
+		return false
+	}
+	a.started = true
+	a.host.Compute(rank, 1e-6, func() {
+		a.host.SendData(rank, 1%a.n, workload.DataMsg{Count: 1, Bytes: 16})
+	})
+	return true
+}
+
+func (a *ringApp) Blocked(rank int) bool { return false }
+func (a *ringApp) Done() bool            { return a.hops >= a.n*a.laps }
+
+func (a *ringApp) Outcome(hr *workload.AppReport) workload.AppOutcome {
+	return workload.AppOutcome{Executed: []int64{int64(a.hops)}}
+}
+
+// TestDetectorProtocolsOverTCP drives detector control frames over the
+// real localhost mesh under both protocols — the race lane runs this
+// with -race, so the detector wiring (per-node protocol state, ctrl
+// channel routing, passivity declarations) is exercised under real
+// concurrency. The app is done exactly when the token finished its
+// laps; a detector firing early would surface as hops < n*laps.
+func TestDetectorProtocolsOverTCP(t *testing.T) {
+	for _, proto := range termdet.Names() {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			app := &ringApp{laps: 3}
+			r := &AppRunner{}
+			hr, err := r.RunApp(4, app, workload.AppRunOptions{Term: proto})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !app.Done() {
+				t.Fatalf("detector (%s) concluded after %d hops, want %d", proto, app.hops, 4*app.laps)
+			}
+			if hr.Counters.CtrlMsgs == 0 {
+				t.Fatal("no control frames tallied: detector traffic not counted")
+			}
+			if hr.Counters.DataMsgs != int64(4*app.laps) {
+				t.Fatalf("data msgs %d, want %d", hr.Counters.DataMsgs, 4*app.laps)
+			}
+		})
+	}
+}
+
+// TestUnknownTermProtocolRejected pins the registry error path through
+// a host.
+func TestUnknownTermProtocolRejected(t *testing.T) {
+	app := &ringApp{laps: 1}
+	r := &AppRunner{}
+	if _, err := r.RunApp(2, app, workload.AppRunOptions{Term: "gossip"}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}

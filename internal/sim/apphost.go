@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"fmt"
+
 	"repro/internal/core"
+	"repro/internal/termdet"
 	"repro/internal/workload"
 )
 
@@ -10,8 +13,11 @@ import (
 // reproduces exactly the runtime surface the solver used before the
 // port existed — state sends become StateChannel messages, SendData
 // becomes DataChannel messages carrying the flattened workload.DataMsg,
-// Compute schedules a simulated task — so a hosted application behaves
-// bit-for-bit like the old sim-wired code.
+// Compute schedules a simulated task — plus the quiescence subsystem:
+// one termination detector (internal/termdet) per rank whose control
+// frames travel the simulated CtrlChannel with real modeled sizes, so
+// the event queue drains exactly when the detector announces global
+// termination.
 type AppRunner struct {
 	// Network configures the simulated interconnect. The zero value
 	// means DefaultNetwork().
@@ -22,7 +28,8 @@ type AppRunner struct {
 func (*AppRunner) Runtime() string { return "sim" }
 
 // RunApp implements workload.AppRunner: it drives the application's
-// Algorithm 1 loops through the engine until the event queue drains.
+// Algorithm 1 loops through the engine until the event queue drains,
+// and verifies the drain coincides with detector-announced termination.
 func (r *AppRunner) RunApp(n int, app workload.App, opts workload.AppRunOptions) (*workload.AppReport, error) {
 	net := r.Network
 	if net == (NetworkConfig{}) {
@@ -33,6 +40,14 @@ func (r *AppRunner) RunApp(n int, app workload.App, opts workload.AppRunOptions)
 	h := &appHost{app: app, opts: opts, busySince: make([]float64, n)}
 	for i := range h.busySince {
 		h.busySince[i] = -1
+	}
+	h.dets = make([]termdet.Protocol, n)
+	for rank := 0; rank < n; rank++ {
+		det, err := termdet.New(opts.Term, n, rank)
+		if err != nil {
+			return nil, err
+		}
+		h.dets[rank] = det
 	}
 	h.rt = NewRuntime(eng, n, net, h)
 	h.rt.Threaded = opts.Threaded
@@ -46,15 +61,26 @@ func (r *AppRunner) RunApp(n int, app workload.App, opts workload.AppRunOptions)
 	if err := eng.Run(); err != nil {
 		return nil, err
 	}
+	// The event queue drained: the detector must have concluded — a
+	// drain without detection means the computation deadlocked with the
+	// detector still waiting (the application's Outcome diagnoses the
+	// specifics).
+	if !h.dets[0].Terminated() {
+		return h.report(), fmt.Errorf("sim: event queue drained without termination detection (%s): application deadlock", h.dets[0].Name())
+	}
+	if !h.app.Done() {
+		return h.report(), fmt.Errorf("sim: detector (%s) announced termination before the application was done", h.dets[0].Name())
+	}
 	return h.report(), nil
 }
 
 // appHost adapts the simulator to workload.AppHost and the hosted
-// application to sim.App.
+// application to sim.App (+ sim.CtrlApp for the detector frames).
 type appHost struct {
 	rt   *Runtime
 	app  workload.App
 	opts workload.AppRunOptions
+	dets []termdet.Protocol
 
 	// busySince[r] is the virtual time rank r became Blocked, -1 when
 	// it is not; busyTime accumulates the closed intervals.
@@ -65,11 +91,13 @@ type appHost struct {
 // ---- workload.AppHost ---------------------------------------------------
 
 func (h *appHost) N() int                        { return len(h.rt.Procs) }
+func (h *appHost) Local(rank int) bool           { return true }
 func (h *appHost) Now() float64                  { return float64(h.rt.Now()) }
 func (h *appHost) Context(rank int) core.Context { return appCtx{h, rank} }
 func (h *appHost) Wake(rank int)                 { h.rt.Wake(rank) }
 
 func (h *appHost) SendData(from, to int, m workload.DataMsg) {
+	h.dets[from].OnSend(detCtx{h, from}, to)
 	h.rt.Send(&Message{
 		From: from, To: to, Channel: DataChannel,
 		Kind: int(m.Kind), Payload: m, Bytes: m.Bytes,
@@ -104,6 +132,23 @@ func (c appCtx) Broadcast(kind int, payload any, bytes float64) {
 	})
 }
 
+// detCtx is one rank's termdet.Context: control frames travel the
+// simulated CtrlChannel at their real modeled size.
+type detCtx struct {
+	h    *appHost
+	rank int
+}
+
+func (c detCtx) Rank() int { return c.rank }
+func (c detCtx) N() int    { return c.h.N() }
+
+func (c detCtx) SendCtrl(to int, ct termdet.Ctrl) {
+	c.h.rt.Send(&Message{
+		From: c.rank, To: to, Channel: CtrlChannel,
+		Kind: int(ct.Kind), Payload: ct, Bytes: core.BytesCtrl,
+	})
+}
+
 // ---- sim.App ------------------------------------------------------------
 
 func (h *appHost) HandleState(p *Proc, m *Message) {
@@ -112,12 +157,25 @@ func (h *appHost) HandleState(p *Proc, m *Message) {
 }
 
 func (h *appHost) HandleData(p *Proc, m *Message) {
+	h.dets[p.ID].OnReceive(detCtx{h, p.ID}, m.From)
 	h.app.HandleData(p.ID, m.From, m.Payload.(workload.DataMsg))
+}
+
+// HandleCtrl implements sim.CtrlApp: detector control frames bypass the
+// application entirely.
+func (h *appHost) HandleCtrl(p *Proc, m *Message) {
+	h.dets[p.ID].OnCtrl(detCtx{h, p.ID}, m.From, m.Payload.(termdet.Ctrl))
 }
 
 func (h *appHost) TryStart(p *Proc) bool {
 	started := h.app.TryStart(p.ID)
 	h.busyCheck(p.ID)
+	if !started && !h.app.Blocked(p.ID) {
+		// The loop is about to park with empty queues, no running task
+		// and no startable work: this rank is passive (the detector
+		// reactivates it on the next data-message receipt).
+		h.dets[p.ID].Passive(detCtx{h, p.ID})
+	}
 	return started
 }
 
@@ -150,8 +208,10 @@ func (h *appHost) report() *workload.AppReport {
 	c := &rep.Counters
 	state := h.rt.Net.Count(StateChannel)
 	data := h.rt.Net.Count(DataChannel)
+	ctrl := h.rt.Net.Count(CtrlChannel)
 	c.StateMsgs, c.StateBytes = state.Messages, state.Bytes
 	c.DataMsgs, c.DataBytes = data.Messages, data.Bytes
+	c.CtrlMsgs, c.CtrlBytes = ctrl.Messages, ctrl.Bytes
 	c.BusyTime = h.busyTime
 	for _, kind := range h.rt.Net.Kinds(StateChannel) {
 		t := h.rt.Net.KindTally(StateChannel, kind)

@@ -1,8 +1,13 @@
 package sim
 
-// Channel distinguishes the two logical channels of the paper's model
+import "fmt"
+
+// Channel distinguishes the logical channels of the paper's model
 // (§1): state-information messages travel on a dedicated channel and are
 // treated with priority over all other messages (Algorithm 1, line (1)).
+// The termination-detection control frames of the quiescence subsystem
+// (internal/termdet) travel a third channel treated with the highest
+// priority and exempt from the application's Blocked gating.
 type Channel uint8
 
 const (
@@ -12,14 +17,24 @@ const (
 	// DataChannel carries application messages: tasks, contribution
 	// blocks, factors.
 	DataChannel
+	// CtrlChannel carries termination-detection control frames
+	// (engagement acks, probe tokens, the termination announcement).
+	CtrlChannel
+	// NumChannels is the channel count (for per-channel tallies).
+	NumChannels
 )
 
-// String returns "state" or "data".
+// String returns "state", "data" or "ctrl".
 func (c Channel) String() string {
-	if c == StateChannel {
+	switch c {
+	case StateChannel:
 		return "state"
+	case DataChannel:
+		return "data"
+	case CtrlChannel:
+		return "ctrl"
 	}
-	return "data"
+	return fmt.Sprintf("channel(%d)", uint8(c))
 }
 
 // Message is a unit of communication between two processes. Kind is an

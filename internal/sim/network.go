@@ -81,7 +81,7 @@ type Network struct {
 	ingressFree []Time
 
 	// Counters, indexed by channel.
-	counts [2]MessageCount
+	counts [NumChannels]MessageCount
 	// PerKind counts messages and bytes by (channel, kind) for the
 	// experiment harness (Table 6 reports mechanism messages only; the
 	// PR-3 counters report per-kind volume too).

@@ -36,6 +36,7 @@ type Proc struct {
 
 	stateQ queue // state-information messages, treated in priority
 	dataQ  queue // task/data messages
+	ctrlQ  queue // termination-detection control frames, highest priority
 
 	// Compute bookkeeping.
 	busy        bool // a task is running or paused

@@ -26,6 +26,17 @@ type App interface {
 	Blocked(p *Proc) bool
 }
 
+// CtrlApp is the optional control-channel extension of App: hosts of
+// the application port implement it to receive termination-detection
+// control frames (internal/termdet), which are treated with the highest
+// priority and bypass Blocked gating — a snapshot-blocked process still
+// acknowledges and forwards. Apps that do not implement it never see
+// CtrlChannel traffic.
+type CtrlApp interface {
+	// HandleCtrl treats one control frame.
+	HandleCtrl(p *Proc, m *Message)
+}
+
 // Runtime owns the processes and drives the Algorithm 1 loop on each.
 //
 // Threading model: with Threaded=false a process treats no message while a
@@ -39,6 +50,7 @@ type Runtime struct {
 	Net      *Network
 	Procs    []*Proc
 	app      App
+	ctrlApp  CtrlApp // non-nil when app implements CtrlApp
 	Threaded bool
 	// PollPeriod is the helper-thread sleep period (paper: 50 µs).
 	PollPeriod Duration
@@ -54,6 +66,7 @@ func NewRuntime(eng *Engine, n int, cfg NetworkConfig, app App) *Runtime {
 		app:        app,
 		PollPeriod: 50 * Microsecond,
 	}
+	rt.ctrlApp, _ = app.(CtrlApp)
 	rt.Net = NewNetwork(eng, n, cfg, rt.arrive)
 	rt.Procs = make([]*Proc, n)
 	for i := range rt.Procs {
@@ -148,13 +161,16 @@ func (rt *Runtime) arrive(m *Message) {
 		p.stateQ.push(m)
 	case DataChannel:
 		p.dataQ.push(m)
+	case CtrlChannel:
+		p.ctrlQ.push(m)
 	}
 	if rt.Threaded {
 		// While a task computes, the helper thread treats state messages
-		// at its next poll tick; when the process is idle, paused or
-		// blocked it reacts immediately (a blocking receive, not a
-		// sleep). Data messages always wait for the main loop.
-		if m.Channel == StateChannel {
+		// (and detector control frames) at its next poll tick; when the
+		// process is idle, paused or blocked it reacts immediately (a
+		// blocking receive, not a sleep). Data messages always wait for
+		// the main loop.
+		if m.Channel == StateChannel || m.Channel == CtrlChannel {
 			if p.busy && !p.paused {
 				rt.schedulePoll(p)
 			} else {
@@ -211,6 +227,14 @@ func (rt *Runtime) schedulePoll(p *Proc) {
 // Blocked (a snapshot started); restart it when unblocked.
 func (rt *Runtime) pollTick(p *Proc) {
 	treated := false
+	for rt.ctrlApp != nil {
+		m := p.ctrlQ.pop()
+		if m == nil {
+			break
+		}
+		treated = true
+		rt.ctrlApp.HandleCtrl(p, m)
+	}
 	for {
 		m := p.stateQ.pop()
 		if m == nil {
@@ -247,6 +271,15 @@ func (rt *Runtime) step(p *Proc) {
 			// Actively computing; the loop resumes at completion (or, in
 			// the threaded model, state messages flow via poll ticks).
 			return
+		}
+		// Priority 0: termination-detection control frames — exempt from
+		// Blocked gating (a snapshot-blocked process still acknowledges
+		// and forwards).
+		if rt.ctrlApp != nil {
+			if m := p.ctrlQ.pop(); m != nil {
+				rt.ctrlApp.HandleCtrl(p, m)
+				continue
+			}
 		}
 		// Priority 1: state-information messages. In the threaded model
 		// the helper thread owns that channel, but treating them here too

@@ -24,11 +24,15 @@ const (
 
 // item is one unit of local ready work. flops is the remaining work of
 // the task; cont marks a continuation of a task whose earlier panels
-// already ran (its activation — memory allocation — already happened).
+// already ran (its activation — memory allocation — already happened);
+// pieces is the total contribution-piece count of the node (slave
+// items: carried in the subtask message, since the selection's share
+// list lives only on the master).
 type item struct {
 	kind    itemKind
 	node    int32
 	rows    int32
+	pieces  int32
 	flops   float64
 	entries float64
 	cont    bool
@@ -73,18 +77,29 @@ type nodeState struct {
 
 // app implements workload.App: the Algorithm 1 behaviours of every
 // process, expressed against the transport-neutral application port.
-// Any runtime's AppRunner (sim, live, net) can host it.
+// Any runtime's AppRunner (sim, live, net) can host it — in-process
+// (all ranks in one instance) or forked (one instance per OS process,
+// hosting a single local rank). The application keeps no cross-rank
+// shared bookkeeping: assembly-tree progress lives at each node's
+// master and every cross-rank effect — contributions, subtasks, and
+// the slave-done / Type 3 completion notifications — travels as an
+// explicit DataMsg.
 type app struct {
 	m    *mapping.Mapping
 	prm  Params
 	host workload.AppHost
 
-	procs       []*procState
-	nodes       []nodeState
-	doneCount   int
-	decisions   int
-	assignments int
-	counters    core.Counters // decision counts + acquire-to-ready latency
+	procs []*procState // nil entries for ranks this host does not run
+	nodes []nodeState
+	// doneCount counts completions observed locally (each node
+	// completes at its master); expectedDone is the number of
+	// locally-mastered nodes, so Done is doneCount == expectedDone in
+	// every deployment.
+	doneCount    int
+	expectedDone int
+	decisions    int
+	assignments  int
+	counters     core.Counters // decision counts + acquire-to-ready latency
 }
 
 // newApp builds the application for a normalized parameter set; the
@@ -121,7 +136,13 @@ func (a *app) init() error {
 	for p := 0; p < np; p++ {
 		initial[p] = core.Load{core.Workload: a.m.InitialLoad[p]}
 	}
+	// Per-rank state exists only for the ranks this host instance runs:
+	// everything (mechanisms, ready queues, memory accounting) for
+	// in-process hosting, a single rank's share under fork.
 	for p := 0; p < np; p++ {
+		if !a.host.Local(p) {
+			continue
+		}
 		exch, err := core.New(a.prm.Mech, np, p, a.prm.MechConfig)
 		if err != nil {
 			return err
@@ -138,19 +159,27 @@ func (a *app) init() error {
 	for i := range t.Nodes {
 		n := &t.Nodes[i]
 		a.nodes[i].missing = int32(len(n.Children))
+		master := int(a.m.Master[i])
 		if n.Type == tree.Type2 {
-			a.procs[a.m.Master[i]].mastersLeft++
+			if ps := a.procs[master]; ps != nil {
+				ps.mastersLeft++
+			}
+		}
+		if a.host.Local(master) {
+			a.expectedDone++
 		}
 	}
 	// Processes that will never be master can say so immediately.
 	for p := 0; p < np; p++ {
-		if a.procs[p].mastersLeft == 0 {
-			a.procs[p].exch.NoMoreMaster(a.procs[p].ctx)
+		if ps := a.procs[p]; ps != nil && ps.mastersLeft == 0 {
+			ps.exch.NoMoreMaster(ps.ctx)
 		}
 	}
-	// Leaves are ready from the start.
+	// Leaves are ready from the start, each on its master.
 	for _, l := range t.Leaves() {
-		a.nodeReady(l)
+		if a.host.Local(int(a.m.Master[l])) {
+			a.nodeReady(l)
+		}
 	}
 	return nil
 }
@@ -173,7 +202,7 @@ func (a *app) HandleData(rank, from int, m workload.DataMsg) {
 		mem := tree.SlaveBlockEntries(n.Nfront, n.Npiv, m.Count, a.m.Tree.Sym)
 		a.addMem(rank, mem)
 		ps.exch.LocalChange(ps.ctx, core.Load{core.Workload: work, core.Memory: mem}, true)
-		ps.ready = append(ps.ready, item{kind: itemSlave, node: m.Node, rows: m.Count})
+		ps.ready = append(ps.ready, item{kind: itemSlave, node: m.Node, rows: m.Count, pieces: m.Peer})
 	case KindCB:
 		a.deliverPiece(rank, m)
 	case KindType3Start:
@@ -184,6 +213,15 @@ func (a *app) HandleData(rank, from int, m workload.DataMsg) {
 	case KindCBData:
 		// Assembly into storage already counted with the consumer's
 		// block: bandwidth only.
+	case KindSlaveDone:
+		// A slave share of a Type 2 node completed elsewhere; this rank
+		// is the node's master and tracks its progress.
+		a.nodes[m.Node].slavesDone++
+		a.checkType2Done(m.Node)
+	case KindType3Done:
+		// One process's share of the 2D root completed; this rank is
+		// the root's master.
+		a.type3ShareDone(m.Node)
 	default:
 		panic(fmt.Sprintf("solver: unknown data message kind %d", m.Kind))
 	}
@@ -207,8 +245,10 @@ func (a *app) shipPiece(rank int, entries float64, consumer int) {
 // snapshot must not treat data messages or start tasks.
 func (a *app) Blocked(rank int) bool { return a.procs[rank].exch.Busy() }
 
-// Done implements workload.App: every assembly-tree node completed.
-func (a *app) Done() bool { return a.doneCount == len(a.nodes) }
+// Done implements workload.App: every locally-mastered assembly-tree
+// node completed (all nodes for in-process hosting; the local rank's
+// share under fork — global quiescence is the detector's call).
+func (a *app) Done() bool { return a.doneCount == a.expectedDone }
 
 // TryStart implements workload.App (Algorithm 1 line 7): pick a local
 // ready task, applying the memory-aware task selection of §4.2.1.
@@ -259,11 +299,11 @@ func (a *app) TryStart(rank int) bool {
 		a.computeChunk(rank, it, func() { a.completeMaster(rank, node) })
 	case itemSlave:
 		n := &t.Nodes[it.node]
-		node, rows := it.node, it.rows
+		node, rows, pieces := it.node, it.rows, it.pieces
 		if it.flops == 0 {
 			it.flops = tree.SlaveFlops(n.Nfront, n.Npiv, rows, t.Sym)
 		}
-		a.computeChunk(rank, it, func() { a.completeSlave(rank, node, rows) })
+		a.computeChunk(rank, it, func() { a.completeSlave(rank, node, rows, pieces) })
 	case itemType3:
 		node, entries := it.node, it.entries
 		if !it.cont {
@@ -467,13 +507,16 @@ func (a *app) selectAndCommit(rank int, node int32) {
 
 	// Ship the subtasks (the actual rows: large data messages) and
 	// redistribute the stacked children contributions to the slaves.
+	// Each subtask carries the selection's total piece count (Peer
+	// field): the slave needs it to tag its contribution piece, and the
+	// share list itself lives only on the master.
 	consumers := make([]int32, len(shares))
 	for i, sh := range shares {
 		rows := sh.Rows
 		consumers[i] = sh.Proc
 		bytes := float64(rows) * float64(n.Nfront) * 8
 		a.host.SendData(rank, int(sh.Proc), workload.DataMsg{
-			Kind: KindSubtask, Node: node, Count: rows, Bytes: bytes,
+			Kind: KindSubtask, Node: node, Count: rows, Peer: int32(len(shares)), Bytes: bytes,
 		})
 	}
 	a.redistributePieces(rank, node, consumers)
@@ -520,24 +563,32 @@ func (a *app) completeMaster(rank int, node int32) {
 	a.checkType2Done(node)
 }
 
-// completeSlave finishes one slave share of a Type 2 node.
-func (a *app) completeSlave(rank int, node int32, rows int32) {
+// completeSlave finishes one slave share of a Type 2 node. The piece
+// count comes from the subtask message; progress is reported to the
+// node's master with a KindSlaveDone notification (the master tracks
+// slavesDone — no shared bookkeeping).
+func (a *app) completeSlave(rank int, node int32, rows, pieces int32) {
 	t := a.m.Tree
 	n := &t.Nodes[node]
-	ns := &a.nodes[node]
 	ps := a.procs[rank]
 	work := tree.SlaveFlops(n.Nfront, n.Npiv, rows, t.Sym)
 	block := tree.SlaveBlockEntries(n.Nfront, n.Npiv, rows, t.Sym)
 	cbPc := tree.SlaveCBEntries(n.Nfront, n.Npiv, rows, t.Sym)
-	ns.slavesDone++
-	stays := a.routePiece(rank, node, int32(len(ns.shares)), cbPc)
+	stays := a.routePiece(rank, node, pieces, cbPc)
 	freed := block
 	if stays {
 		freed = block - cbPc
 	}
 	a.addMem(rank, -freed)
 	ps.exch.LocalChange(ps.ctx, core.Load{core.Workload: -work, core.Memory: -freed}, true)
-	a.checkType2Done(node)
+	master := int(a.m.Master[node])
+	if master == rank {
+		// Defensive: selections never include the master today.
+		a.nodes[node].slavesDone++
+		a.checkType2Done(node)
+		return
+	}
+	a.host.SendData(rank, master, workload.DataMsg{Kind: KindSlaveDone, Node: node, Bytes: NotifyBytes})
 }
 
 func (a *app) checkType2Done(node int32) {
@@ -547,11 +598,24 @@ func (a *app) checkType2Done(node int32) {
 	}
 }
 
-// completeType3 finishes one share of the 2D root.
+// completeType3 finishes one share of the 2D root: release the memory
+// and report completion to the root's master (a KindType3Done
+// notification when the share ran elsewhere).
 func (a *app) completeType3(rank int, node int32, flops, entries float64) {
 	ps := a.procs[rank]
 	a.addMem(rank, -entries)
 	ps.exch.LocalChange(ps.ctx, core.Load{core.Workload: -flops, core.Memory: -entries}, false)
+	master := int(a.m.Master[node])
+	if master == rank {
+		a.type3ShareDone(node)
+		return
+	}
+	a.host.SendData(rank, master, workload.DataMsg{Kind: KindType3Done, Node: node, Bytes: NotifyBytes})
+}
+
+// type3ShareDone runs on the 2D root's master: count one completed
+// share, mark the root done when all processes finished theirs.
+func (a *app) type3ShareDone(node int32) {
 	ns := &a.nodes[node]
 	ns.type3Done++
 	if int(ns.type3Done) == len(a.procs) && !ns.done {
@@ -656,24 +720,35 @@ func (a *app) addMem(rank int, delta float64) {
 }
 
 // Outcome implements workload.App: package the application-level
-// results, verifying the post-run invariants (every node completed,
-// every memory allocation released).
+// results, verifying the post-run invariants (every locally-mastered
+// node completed, every local memory allocation released). Under
+// forked hosting the per-rank slices carry zero values for the ranks
+// other processes ran; the cluster parent merges the STATS reports.
 func (a *app) Outcome(hr *workload.AppReport) workload.AppOutcome {
 	out := workload.AppOutcome{
 		Decisions: a.decisions,
 		Counters:  a.counters.Clone(),
 	}
 	for _, ps := range a.procs {
+		if ps == nil {
+			out.Executed = append(out.Executed, 0)
+			out.Stats = append(out.Stats, core.Stats{})
+			out.FinalViews = append(out.FinalViews, nil)
+			continue
+		}
 		out.Executed = append(out.Executed, ps.executed)
 		out.Stats = append(out.Stats, ps.exch.Stats())
 		out.FinalViews = append(out.FinalViews, ps.exch.View().Snapshot())
 	}
 	out.Result = a.result(hr)
-	if a.doneCount != len(a.nodes) {
-		out.Err = fmt.Errorf("solver: deadlock, only %d/%d nodes completed", a.doneCount, len(a.nodes))
+	if a.doneCount != a.expectedDone {
+		out.Err = fmt.Errorf("solver: deadlock, only %d/%d locally-mastered nodes completed", a.doneCount, a.expectedDone)
 		return out
 	}
 	for p, ps := range a.procs {
+		if ps == nil {
+			continue
+		}
 		if ps.activeMem > 1e-3 || ps.activeMem < -1e-3 {
 			out.Err = fmt.Errorf("solver: process %d ends with active memory %v (accounting bug)", p, ps.activeMem)
 			return out
@@ -696,9 +771,14 @@ func (a *app) result(hr *workload.AppReport) *Result {
 		StateMsgs:     hr.Counters.StateMsgs,
 		StateBytes:    hr.Counters.StateBytes,
 		DataMsgs:      hr.Counters.DataMsgs,
+		CtrlMsgs:      hr.Counters.CtrlMsgs,
+		CtrlBytes:     hr.Counters.CtrlBytes,
 		MsgsByKind:    map[string]int64{},
 	}
 	for p, ps := range a.procs {
+		if ps == nil {
+			continue
+		}
 		res.PeakMem[p] = ps.peakMem
 		res.ExecutedFlops[p] = ps.flops
 		if ps.peakMem > res.MaxPeakMem {

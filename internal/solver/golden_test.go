@@ -8,12 +8,18 @@ import (
 	"repro/internal/solver"
 )
 
-// TestSimGoldens pins the deterministic simulator results to the values
-// recorded immediately before the application-port refactor (PR 4): the
-// port's sim adapter must reproduce the pre-refactor behaviour
-// bit-for-bit — same virtual makespan, same peak memory, same message
-// and event counts. Any drift here means the adapter changed the event
-// sequence, not just the plumbing.
+// TestSimGoldens pins the deterministic simulator results. The values
+// were re-derived for the quiescence subsystem (PR 5): the solver's
+// completion tracking is now message-driven (KindSlaveDone /
+// KindType3Done notifications add data traffic) and every run carries
+// termination-detection control frames (default Dijkstra–Scholten: one
+// ack per data message plus the termination announcement), so data
+// messages, control messages, steps and — through the added network
+// occupancy — virtual times all moved against the PR 4 goldens. Peak
+// memory and decision counts are bit-identical to PR 4 across all 12
+// cells: the distribution refactor changed who tracks progress, not
+// what the application computes. Any drift here means the event
+// sequence changed, not just the plumbing.
 func TestSimGoldens(t *testing.T) {
 	type golden struct {
 		mech      core.Mech
@@ -23,6 +29,7 @@ func TestSimGoldens(t *testing.T) {
 		decisions int
 		stateMsgs int64
 		dataMsgs  int64
+		ctrlMsgs  int64
 		steps     uint64
 	}
 	strategies := map[string]func() *sched.Strategy{
@@ -32,21 +39,21 @@ func TestSimGoldens(t *testing.T) {
 	cases := map[string][]golden{
 		// buildMapping(8, 8, 8, 8)
 		"8x8x8@8p": {
-			{"increments", "workload", 0.006037, 3110.500000, 9, 718, 101, 1131},
-			{"increments", "memory", 0.006493, 2451.500000, 9, 711, 87, 1149},
-			{"snapshot", "workload", 0.007340, 3555.000000, 9, 217, 96, 629},
-			{"snapshot", "memory", 0.008396, 2153.500000, 9, 216, 79, 610},
-			{"naive", "workload", 0.006037, 3110.500000, 9, 738, 101, 1137},
-			{"naive", "memory", 0.006493, 2451.500000, 9, 722, 87, 1156},
+			{"increments", "workload", 0.006046, 3110.500000, 9, 718, 121, 135, 1365},
+			{"increments", "memory", 0.006505, 2451.500000, 9, 711, 103, 117, 1356},
+			{"snapshot", "workload", 0.007346, 3555.000000, 9, 217, 117, 131, 856},
+			{"snapshot", "memory", 0.008415, 2153.500000, 9, 216, 92, 106, 810},
+			{"naive", "workload", 0.006046, 3110.500000, 9, 738, 121, 135, 1371},
+			{"naive", "memory", 0.006505, 2451.500000, 9, 722, 103, 117, 1363},
 		},
 		// buildMapping(10, 10, 10, 16)
 		"10x10x10@16p": {
-			{"increments", "workload", 0.013727, 4950.000000, 29, 3355, 380, 4818},
-			{"increments", "memory", 0.018562, 5376.000000, 29, 3187, 311, 4473},
-			{"snapshot", "workload", 0.023779, 4950.000000, 29, 1600, 399, 3711},
-			{"snapshot", "memory", 0.033822, 7323.500000, 29, 1577, 306, 3651},
-			{"naive", "workload", 0.013790, 4950.000000, 29, 3723, 394, 5218},
-			{"naive", "memory", 0.020786, 5776.500000, 29, 3494, 337, 5064},
+			{"increments", "workload", 0.013745, 4950.000000, 29, 3355, 459, 489, 5631},
+			{"increments", "memory", 0.018574, 5376.000000, 29, 3187, 371, 401, 5142},
+			{"snapshot", "workload", 0.023794, 4950.000000, 29, 1600, 484, 514, 4560},
+			{"snapshot", "memory", 0.033843, 7323.500000, 29, 1577, 368, 398, 4350},
+			{"naive", "workload", 0.014155, 4950.000000, 29, 3717, 465, 495, 6036},
+			{"naive", "memory", 0.020804, 5776.500000, 29, 3494, 405, 435, 5814},
 		},
 	}
 	build := map[string]func() [4]int{
@@ -77,9 +84,31 @@ func TestSimGoldens(t *testing.T) {
 			if res.DataMsgs != g.dataMsgs {
 				t.Errorf("%s %s/%s: data msgs %d, golden %d", grid, g.mech, g.strat, res.DataMsgs, g.dataMsgs)
 			}
+			if res.CtrlMsgs != g.ctrlMsgs {
+				t.Errorf("%s %s/%s: ctrl msgs %d, golden %d", grid, g.mech, g.strat, res.CtrlMsgs, g.ctrlMsgs)
+			}
 			if res.Steps != g.steps {
 				t.Errorf("%s %s/%s: steps %d, golden %d", grid, g.mech, g.strat, res.Steps, g.steps)
 			}
 		}
+	}
+}
+
+// TestSimGoldenCtrlBudget pins the Dijkstra–Scholten detection cost
+// identity on the reference runtime: every cross-rank data message is
+// acknowledged exactly once (immediately, or deferred as a detachment
+// ack), every rank's virtual initial engagement costs one detachment
+// ack, and detection broadcasts n-1 termination announcements —
+// CtrlMsgs == DataMsgs + 2(n-1), since the solver never self-sends.
+func TestSimGoldenCtrlBudget(t *testing.T) {
+	const n = 8
+	m := buildMapping(t, 8, 8, 8, n)
+	res, err := solver.Run(m, solver.DefaultParams(core.MechIncrements, sched.Workload()), onSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := res.DataMsgs + 2*(n-1); res.CtrlMsgs != want {
+		t.Fatalf("ctrl msgs %d, want data msgs %d + 2(n-1) = %d",
+			res.CtrlMsgs, res.DataMsgs, want)
 	}
 }

@@ -34,6 +34,9 @@ type appScenario struct {
 	name     string
 	describe string
 	strat    func() *sched.Strategy
+	// speed, when set, derives the per-rank execution-speed factors for
+	// a cluster size (heterogeneous scenarios; nil = homogeneous).
+	speed func(procs int) []float64
 
 	mu    sync.Mutex
 	cache map[string]*symbolic.Analysis
@@ -106,7 +109,24 @@ func (s *appScenario) NewApp(mech core.Mech, cfg core.Config, p workload.Params)
 	if err != nil {
 		return nil, workload.AppRunOptions{}, err
 	}
-	return app, prm.runOptions(), nil
+	opts := prm.runOptions()
+	if s.speed != nil {
+		opts.Speed = s.speed(p.Procs)
+	}
+	return app, opts, nil
+}
+
+// heteroSpeed is solver-hetero's deterministic speed gradient: rank 0
+// runs at nominal speed and the last rank is 1.75× slower, modeling a
+// cluster of mixed generations. The port's hosts scale every Compute
+// interval by the executing rank's factor, so the dynamic decisions
+// see genuinely skewed progress.
+func heteroSpeed(procs int) []float64 {
+	speed := make([]float64, procs)
+	for r := range speed {
+		speed[r] = 1 + 0.75*float64(r)/float64(max(procs-1, 1))
+	}
+	return speed
 }
 
 func init() {
@@ -119,5 +139,11 @@ func init() {
 		name:     "solver-mem",
 		describe: "the paper's multifrontal solver under the memory-based strategy (§4.2.1) on a generated elimination tree",
 		strat:    sched.Memory,
+	})
+	workload.Register(&appScenario{
+		name:     "solver-hetero",
+		describe: "the workload-based solver on a heterogeneous cluster: per-rank speed factors ramp to 1.75× slower, exercising the port's speed-factor carriage",
+		strat:    sched.Workload,
+		speed:    heteroSpeed,
 	})
 }

@@ -54,7 +54,19 @@ const (
 	// KindCBData is the shipped piece; the consumer's storage was
 	// already counted with its block, so reception is bandwidth only.
 	KindCBData
+	// KindSlaveDone notifies a Type 2 node's master that one slave
+	// share completed (Node = tree node). With this, slave-done
+	// tracking is message-driven instead of shared bookkeeping, so the
+	// application runs forked/multi-host.
+	KindSlaveDone
+	// KindType3Done notifies the 2D root's master that one process's
+	// share completed (Node = root).
+	KindType3Done
 )
+
+// NotifyBytes is the modeled on-wire size of a completion notification
+// (KindSlaveDone, KindType3Done): a header plus a node id.
+const NotifyBytes = 16
 
 // Params configures one factorization run. Runtime-specific knobs (the
 // simulated interconnect model, in particular) live on the AppRunner,
@@ -153,8 +165,13 @@ type Result struct {
 	StateMsgs  int64
 	StateBytes float64
 	// DataMsgs counts application messages (subtasks, contribution
-	// blocks).
+	// blocks, completion notifications).
 	DataMsgs int64
+	// CtrlMsgs / CtrlBytes count the termination-detection control
+	// frames (internal/termdet) — the quiescence subsystem's overhead,
+	// reported per mechanism × protocol by `loadex experiment`.
+	CtrlMsgs  int64
+	CtrlBytes float64
 	// Decisions is the number of dynamic slave selections (Table 3):
 	// structure-determined (one per Type 2 node), so identical across
 	// runtimes. Assignments is the total number of slave shares those
@@ -202,7 +219,7 @@ func Run(m *mapping.Mapping, prm Params, rt workload.AppRunner) (*Result, error)
 	}
 	hr, err := rt.RunApp(m.Config.NProcs, a, a.prm.runOptions())
 	if err != nil {
-		return nil, fmt.Errorf("solver: %w (done %d/%d nodes)", err, a.doneCount, len(m.Tree.Nodes))
+		return nil, fmt.Errorf("solver: %w (done %d/%d nodes)", err, a.doneCount, a.expectedDone)
 	}
 	out := a.Outcome(hr)
 	if out.Err != nil {

@@ -11,22 +11,34 @@ package workload
 // sockets. The port is what lets the scenario × mechanism × runtime
 // matrix sweep a genuine application, not just synthetic load programs.
 //
-// Execution model. An App is one logically shared object covering every
-// rank of the cluster: hosts SERIALIZE all App callbacks (the simulator
-// is single-threaded by construction; the concurrent runtimes hold one
-// application lock around every callback), so implementations need no
-// internal synchronization. Transport still happens for real — state
-// and data messages travel the host's channels or sockets — but
-// cross-rank bookkeeping that a fully distributed deployment would need
-// a protocol for (e.g. the solver's assembly-tree progress table) may
-// live in shared memory. Consequently application scenarios run
-// in-process on every runtime: the net runtime hosts them over real
-// localhost TCP sockets, one node mesh per rank, without forking.
+// Execution model. An App is one logical application covering every
+// rank of the cluster, but a host may run all of its ranks or just one:
+// AppHost.Local tells the application which ranks this host instance
+// executes. In-process hosts (the simulator, the live runtime, the net
+// runtime's one-mesh-per-run mode) run every rank and SERIALIZE all App
+// callbacks (the simulator is single-threaded by construction; the
+// concurrent runtimes hold one application lock around every callback),
+// so implementations need no internal synchronization. Forked
+// deployments (`loadex cluster` over app scenarios) build one App
+// instance per OS process, each hosting a single local rank; every
+// cross-rank effect must then travel as an explicit DataMsg — the
+// application may keep NO cross-rank shared bookkeeping, which
+// internal/solver satisfies by distributing its assembly-tree progress
+// and slave-done tracking behind completion-notification messages.
+//
+// Quiescence is detector-driven: every host runs one
+// internal/termdet.Protocol per rank (selected by AppRunOptions.Term)
+// over a dedicated control channel, and the run ends when the detector
+// announces global termination — there is no host-side outstanding-work
+// counting, so the same quiescence decision is taken whether the ranks
+// share memory or only sockets.
 //
 // Callback discipline: a callback for rank r runs on rank r's hosting
 // context and may only Send/SendData with from == r, call Compute for
 // rank r, and touch rank r's mechanism through Context(r). Wake is the
-// one cross-rank call (it only nudges another rank's main loop).
+// one cross-rank call in in-process hosting (it only nudges another
+// rank's main loop); in forked hosting Wake may only target local
+// ranks.
 
 import (
 	"fmt"
@@ -70,6 +82,11 @@ type DataMsg struct {
 type AppHost interface {
 	// N returns the number of processes.
 	N() int
+	// Local reports whether this host instance executes rank's
+	// callbacks. In-process hosts run every rank; a forked `loadex
+	// node` hosts exactly one. The application must initialize and
+	// touch per-rank state only for local ranks.
+	Local(rank int) bool
 	// Now returns seconds since the start of the run (virtual on the
 	// simulator, wall clock elsewhere).
 	Now() float64
@@ -116,9 +133,12 @@ type App interface {
 	// start tasks (it is participating in a snapshot). State messages
 	// are still delivered while blocked.
 	Blocked(rank int) bool
-	// Done reports global completion: every rank's work is finished.
-	// The concurrent hosts poll it after callbacks to detect
-	// quiescence; the simulator simply drains its event queue.
+	// Done reports whether all completions this host instance tracks
+	// have been observed (every completion for in-process hosting, the
+	// local ranks' share under forked hosting). Hosts no longer poll it
+	// for quiescence — the termination detector owns that — but may
+	// assert it once the detector fires, and the application verifies
+	// it in Outcome.
 	Done() bool
 	// Outcome returns the application-level results after the run. hr
 	// is the host's report, so the application can fold transport
@@ -169,6 +189,9 @@ type AppRunOptions struct {
 	// Speed is the per-rank execution-speed factor applied to Compute
 	// durations (nil or 0 entries = nominal; 2 = twice as slow).
 	Speed []float64
+	// Term names the termination-detection protocol every host runs
+	// per rank (internal/termdet; empty = termdet.Default).
+	Term string
 }
 
 // SpeedOf returns the rank's speed factor, defaulting to 1.
@@ -240,6 +263,22 @@ func AppPrograms(name string) ([]Program, error) {
 	return nil, fmt.Errorf("workload: %s is an application scenario; it is hosted through an AppRunner, not compiled to rank programs", name)
 }
 
+// CountersFromApp folds one host report's transport tallies with the
+// application-side measurement share (decision counts, acquire
+// latencies) plus the snapshot rounds derivable from the mechanism
+// stats. ReportFromApp and the forked `loadex node` STATS path share
+// it, so in-process and forked runs compose counters identically —
+// under fork, out.Stats is zero for ranks other processes ran, so the
+// sum is the local share.
+func CountersFromApp(hr *AppReport, out AppOutcome) core.Counters {
+	c := hr.Counters.Clone()
+	c.Merge(out.Counters)
+	for _, st := range out.Stats {
+		c.SnapshotRounds += core.SnapshotRoundsOf(st)
+	}
+	return c
+}
+
 // ReportFromApp composes the matrix report of one hosted application
 // run from the host's report and the application's outcome, so the
 // three runtime drivers fill core.Counters identically: transport
@@ -256,12 +295,8 @@ func ReportFromApp(scenario, runtime string, mech core.Mech, n int, hr *AppRepor
 		Executed:       out.Executed,
 		Stats:          out.Stats,
 		FinalViews:     out.FinalViews,
-		Counters:       hr.Counters.Clone(),
+		Counters:       CountersFromApp(hr, out),
 		AppResult:      out.Result,
-	}
-	rep.Counters.Merge(out.Counters)
-	for _, st := range out.Stats {
-		rep.Counters.SnapshotRounds += core.SnapshotRoundsOf(st)
 	}
 	rep.WireMsgs, rep.WireBytes = hr.WireMsgs, hr.WireBytes
 	return rep
@@ -276,6 +311,9 @@ func RunAppScenario(runner AppRunner, as AppScenario, mech core.Mech, cfg core.C
 	app, opts, err := as.NewApp(mech, cfg, p)
 	if err != nil {
 		return nil, err
+	}
+	if p.Term != "" {
+		opts.Term = p.Term
 	}
 	p.Normalize()
 	start := time.Now()

@@ -43,6 +43,11 @@ type Params struct {
 	// Spin is the nominal wall-clock execution time per work item; the
 	// executing rank scales it by its Program.Speed factor.
 	Spin time.Duration
+	// Term names the termination-detection protocol for application
+	// scenarios (internal/termdet; empty = termdet.Default). Program
+	// scenarios quiesce through their own Done announcements and ignore
+	// it.
+	Term string
 }
 
 // DefaultParams returns the quickstart-sized defaults.
