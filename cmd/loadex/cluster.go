@@ -22,10 +22,13 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"text/tabwriter"
+	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	xnet "repro/internal/net"
 	"repro/internal/workload"
@@ -52,6 +55,9 @@ func runCluster(args []string) error {
 	if err := p.singleTerm("loadex cluster"); err != nil {
 		return err
 	}
+	if err := p.singleChaos("loadex cluster"); err != nil {
+		return err
+	}
 	mechs := []string{p.mech}
 	if p.mech == "all" {
 		mechs = mechNames()
@@ -72,10 +78,28 @@ func runCluster(args []string) error {
 	} else if *inproc && workload.IsAppScenario(p.scenario) {
 		return fmt.Errorf("scenario %q is an application scenario; drop -inproc to fork it (one process per rank, detector-driven quiescence) or host it in-process with `loadex run -scenario %s -runtime net -inproc`", p.scenario, p.scenario)
 	}
+	// A chaos run without -trace still validates: record into a
+	// temporary directory so the post-run invariant check (conservation,
+	// compute completion, quiescence) has traces to replay.
+	validateAfter := p.traceDir != ""
+	if p.chaos != "" && p.chaos != "none" && p.traceDir == "" {
+		dir, err := os.MkdirTemp("", "loadex-chaos-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		p.traceDir = dir
+		validateAfter = true
+	}
 	for _, scenario := range scenarios {
 		for _, mech := range mechs {
 			q := p
 			q.scenario, q.mech = scenario, mech
+			if p.traceDir != "" {
+				// One subdirectory per cell: the validator treats each
+				// directory holding *.jsonl files as one run.
+				q.traceDir = filepath.Join(p.traceDir, scenario+"-"+mech)
+			}
 			var (
 				stats []nodeStats
 				err   error
@@ -90,6 +114,9 @@ func runCluster(args []string) error {
 			}
 			writeClusterReport(os.Stdout, &q, *inproc, stats)
 		}
+	}
+	if validateAfter {
+		return validateTraceRoot(os.Stdout, p.traceDir)
 	}
 	return nil
 }
@@ -106,8 +133,14 @@ func runClusterInProc(p *nodeParams) ([]nodeStats, error) {
 	if err != nil {
 		return nil, err
 	}
+	rec, err := p.openInProcRecorder()
+	if err != nil {
+		return nil, err
+	}
+	defer rec.Close()
 	mech := core.Mech(p.mech)
-	cl, err := xnet.NewCluster(len(progs), mech, p.config(), xnet.ProgramOptions(xnet.Options{Codec: codec}, progs))
+	cl, err := xnet.NewCluster(len(progs), mech, p.config(),
+		xnet.ProgramOptions(xnet.Options{Codec: codec, Chaos: p.chaosPlan(), Rec: rec}, progs))
 	if err != nil {
 		return nil, err
 	}
@@ -115,6 +148,9 @@ func runClusterInProc(p *nodeParams) ([]nodeStats, error) {
 	rep, err := workload.DriveCluster(cl, mech, progs, p.driveOptions())
 	if err != nil {
 		return nil, err
+	}
+	for r, ex := range rep.Executed {
+		rec.Record(chaos.Event{Ev: chaos.EvFinal, Rank: r, Executed: ex})
 	}
 	stats := make([]nodeStats, len(progs))
 	for r := range stats {
@@ -141,14 +177,35 @@ func runClusterForked(p *nodeParams) ([]nodeStats, error) {
 	return runClusterForkedWith(exe, p)
 }
 
+// childEvent is one observation a forked node's reader goroutine posts
+// to the parent: a protocol line (ADDR/STATS payload) or the process's
+// exit.
+type childEvent struct {
+	rank    int
+	kind    string // "addr", "stats", "exit"
+	payload string
+	err     error // exit status, for "exit" events
+}
+
+// bindTimeout bounds the fork-to-ADDR phase: every child only has to
+// bind one localhost socket and print a line, so a child silent for
+// this long is wedged, not slow.
+const bindTimeout = 30 * time.Second
+
 // runClusterForkedWith is runClusterForked against an explicit loadex
 // binary (tests build one: the test binary cannot re-execute itself as
 // `loadex node`).
+//
+// The parent acts as a watchdog: one reader goroutine per child feeds
+// ADDR/STATS lines and the child's exit into a shared event channel,
+// and each collection phase selects against a deadline. A child that
+// dies early (a chaos crash plan, an OOM kill, a panic) is therefore
+// reported by rank with its exit status instead of deadlocking the
+// parent on a pipe that will never produce the next line.
 func runClusterForkedWith(exe string, p *nodeParams) ([]nodeStats, error) {
 	type child struct {
 		cmd   *exec.Cmd
 		stdin io.WriteCloser
-		out   *bufio.Scanner
 	}
 	children := make([]*child, p.procs)
 	defer func() {
@@ -156,18 +213,20 @@ func runClusterForkedWith(exe string, p *nodeParams) ([]nodeStats, error) {
 			if c != nil {
 				c.stdin.Close()
 				c.cmd.Process.Kill()
-				c.cmd.Wait()
+				// The reader goroutine owns cmd.Wait; killing the process
+				// ends its stdout stream and unblocks it.
 			}
 		}
 	}()
+	events := make(chan childEvent, 4*p.procs)
 	for r := 0; r < p.procs; r++ {
-		cmd := exec.Command(exe, "node",
+		args := []string{"node",
 			"-rank", strconv.Itoa(r),
 			"-n", strconv.Itoa(p.procs),
 			"-scenario", p.scenario,
 			"-mech", p.mech,
 			"-threshold", fmt.Sprint(p.threshold),
-			"-nomore="+strconv.FormatBool(p.noMore),
+			"-nomore=" + strconv.FormatBool(p.noMore),
 			"-codec", p.codec,
 			"-term", p.term,
 			"-masters", strconv.Itoa(p.masters),
@@ -177,7 +236,14 @@ func runClusterForkedWith(exe string, p *nodeParams) ([]nodeStats, error) {
 			"-spin", p.spin.String(),
 			"-settle", p.settle.String(),
 			"-timeout", p.quiesceTimeout().String(),
-		)
+		}
+		if p.chaos != "" {
+			args = append(args, "-chaos", p.chaos)
+		}
+		if p.traceDir != "" {
+			args = append(args, "-trace", p.traceDir)
+		}
+		cmd := exec.Command(exe, args...)
 		cmd.Stderr = os.Stderr
 		stdin, err := cmd.StdinPipe()
 		if err != nil {
@@ -190,62 +256,137 @@ func runClusterForkedWith(exe string, p *nodeParams) ([]nodeStats, error) {
 		if err := cmd.Start(); err != nil {
 			return nil, fmt.Errorf("forking node %d: %w", r, err)
 		}
-		children[r] = &child{cmd: cmd, stdin: stdin, out: bufio.NewScanner(stdout)}
+		children[r] = &child{cmd: cmd, stdin: stdin}
+		go readChild(r, cmd, stdout, events)
 	}
-	// Collect every node's bound address…
+
+	// Phase 1: collect every node's bound address. A node that dies
+	// here — before the mesh even exists — is fatal regardless of its
+	// exit status: the cluster can never complete one rank short.
 	addrs := make([]string, p.procs)
-	for r, c := range children {
-		line, err := scanPrefix(c.out, "ADDR ")
+	gotAddr := make([]bool, p.procs)
+	addrDeadline := time.Now().Add(bindTimeout)
+	for have := 0; have < p.procs; {
+		ev, err := nextEvent(events, addrDeadline, "ADDR", missing(gotAddr))
 		if err != nil {
-			return nil, fmt.Errorf("node %d: %w", r, err)
+			return nil, err
 		}
-		fields := strings.Fields(line)
-		if len(fields) != 2 || fields[0] != strconv.Itoa(r) {
-			return nil, fmt.Errorf("node %d: malformed address line %q", r, line)
+		switch ev.kind {
+		case "addr":
+			fields := strings.Fields(ev.payload)
+			if len(fields) != 2 || fields[0] != strconv.Itoa(ev.rank) {
+				return nil, fmt.Errorf("node %d: malformed address line %q", ev.rank, ev.payload)
+			}
+			addrs[ev.rank] = fields[1]
+			if !gotAddr[ev.rank] {
+				gotAddr[ev.rank] = true
+				have++
+			}
+		case "exit":
+			return nil, fmt.Errorf("node %d died before binding (%s); %d/%d ranks bound",
+				ev.rank, exitStatus(ev.err), have, p.procs)
 		}
-		addrs[r] = fields[1]
 	}
-	// …broadcast the full list…
+	// Phase 2: broadcast the full list.
 	peers := "PEERS " + strings.Join(addrs, ",") + "\n"
 	for r, c := range children {
 		if _, err := io.WriteString(c.stdin, peers); err != nil {
 			return nil, fmt.Errorf("node %d: %w", r, err)
 		}
 	}
-	// …and gather each node's report.
+	// Phase 3: gather each node's report and reap its exit. The
+	// deadline covers the per-node quiescence budget plus handshake and
+	// settle slack. A rank exiting cleanly after its STATS is the normal
+	// shutdown; exiting with an error, or before its STATS line, kills
+	// the run naming the rank — one dead process means the survivors
+	// would wait out their full quiescence timeout for a detector that
+	// can never conclude.
 	stats := make([]nodeStats, p.procs)
-	for r, c := range children {
-		line, err := scanPrefix(c.out, "STATS ")
+	gotStats := make([]bool, p.procs)
+	deadline := time.Now().Add(p.quiesceTimeout() + p.settle + bindTimeout)
+	for have, exited := 0, 0; have < p.procs || exited < p.procs; {
+		ev, err := nextEvent(events, deadline, "STATS", missing(gotStats))
 		if err != nil {
-			return nil, fmt.Errorf("node %d: %w", r, err)
+			return nil, err
 		}
-		if err := json.Unmarshal([]byte(line), &stats[r]); err != nil {
-			return nil, fmt.Errorf("node %d: bad stats line: %w", r, err)
+		switch ev.kind {
+		case "stats":
+			if err := json.Unmarshal([]byte(ev.payload), &stats[ev.rank]); err != nil {
+				return nil, fmt.Errorf("node %d: bad stats line: %w", ev.rank, err)
+			}
+			if !gotStats[ev.rank] {
+				gotStats[ev.rank] = true
+				have++
+			}
+		case "exit":
+			if ev.err != nil {
+				return nil, fmt.Errorf("node %d died before quiescence (%s); %d/%d ranks reported stats",
+					ev.rank, exitStatus(ev.err), have, p.procs)
+			}
+			if !gotStats[ev.rank] {
+				return nil, fmt.Errorf("node %d exited without reporting stats; %d/%d ranks reported",
+					ev.rank, have, p.procs)
+			}
+			children[ev.rank] = nil // reaped by its reader goroutine
+			exited++
 		}
-	}
-	for r, c := range children {
-		if err := c.cmd.Wait(); err != nil {
-			return nil, fmt.Errorf("node %d: %w", r, err)
-		}
-		children[r] = nil
 	}
 	return stats, nil
 }
 
-// scanPrefix reads lines until one starts with prefix, returning the
-// remainder; other lines pass through to stderr (node diagnostics).
-func scanPrefix(sc *bufio.Scanner, prefix string) (string, error) {
+// missing lists the ranks whose report is still outstanding.
+func missing(got []bool) []int {
+	var m []int
+	for r, ok := range got {
+		if !ok {
+			m = append(m, r)
+		}
+	}
+	return m
+}
+
+// exitStatus renders a child's exit for the watchdog messages.
+func exitStatus(err error) string {
+	if err == nil {
+		return "exited cleanly"
+	}
+	return err.Error()
+}
+
+// readChild is the per-child reader goroutine: protocol lines become
+// events, everything else passes through to stderr (node diagnostics),
+// and the child's exit — expected or not — is always posted so the
+// parent's phase loops can attribute a dead pipe to its rank.
+func readChild(rank int, cmd *exec.Cmd, stdout io.Reader, events chan<- childEvent) {
+	sc := bufio.NewScanner(stdout)
 	for sc.Scan() {
 		line := sc.Text()
-		if rest, ok := strings.CutPrefix(line, prefix); ok {
-			return rest, nil
+		if rest, ok := strings.CutPrefix(line, "ADDR "); ok {
+			events <- childEvent{rank: rank, kind: "addr", payload: rest}
+		} else if rest, ok := strings.CutPrefix(line, "STATS "); ok {
+			events <- childEvent{rank: rank, kind: "stats", payload: rest}
+		} else {
+			fmt.Fprintln(os.Stderr, line)
 		}
-		fmt.Fprintln(os.Stderr, line)
 	}
-	if err := sc.Err(); err != nil {
-		return "", err
+	events <- childEvent{rank: rank, kind: "exit", err: cmd.Wait()}
+}
+
+// nextEvent waits for one child event or the phase deadline, whichever
+// comes first.
+func nextEvent(events <-chan childEvent, deadline time.Time, want string, missing []int) (childEvent, error) {
+	wait := time.Until(deadline)
+	if wait <= 0 {
+		wait = 0
 	}
-	return "", fmt.Errorf("stream ended before %q line", strings.TrimSpace(prefix))
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case ev := <-events:
+		return ev, nil
+	case <-t.C:
+		return childEvent{}, fmt.Errorf("timed out waiting for %s from rank(s) %v", want, missing)
+	}
 }
 
 // writeClusterReport prints the per-rank table the paper-style

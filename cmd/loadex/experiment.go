@@ -62,8 +62,12 @@ func runExperiment(args []string) error {
 	if p.term == "all" {
 		terms = termdet.Names()
 	}
+	// The chaos axis is a comma-list of plan names ("-chaos
+	// none,delay,crash" compares the fault-free cells against the
+	// faulted ones); a single name pins every cell to that plan.
+	plans := strings.Split(p.chaos, ",")
 
-	cells := experiments.Cells(scenarios, mechs, runtimes, terms)
+	cells := experiments.Cells(scenarios, mechs, runtimes, terms, plans)
 	results, failed := experiments.Sweep(cells, *repeat, func(c experiments.Cell) (*workload.Report, error) {
 		q := p
 		if c.Term != "" {
@@ -71,6 +75,7 @@ func runExperiment(args []string) error {
 		} else if q.term == "all" {
 			q.term = termdet.Default
 		}
+		q.chaos = c.Chaos
 		return runCell(c.Scenario, core.Mech(c.Mech), c.Runtime, *inproc, &q)
 	}, nil)
 

@@ -15,6 +15,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	xnet "repro/internal/net"
 	"repro/internal/termdet"
@@ -54,6 +55,14 @@ func runList(args []string) error {
 	tw = tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
 	for _, name := range termdet.Names() {
 		fmt.Fprintf(tw, "  %s\t%s\n", name, termdet.Describe(name))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "chaos plans (-chaos; fault injection on any runtime, validated offline by `loadex validate`):")
+	tw = tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	for _, name := range chaos.Names() {
+		fmt.Fprintf(tw, "  %s\t%s\n", name, chaos.Describe(name))
 	}
 	tw.Flush()
 	fmt.Fprintln(w)

@@ -78,6 +78,12 @@ func main() {
 				os.Exit(1)
 			}
 			return
+		case "validate":
+			if err := runValidate(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "loadex validate:", err)
+				os.Exit(1)
+			}
+			return
 		case "list":
 			if err := runList(os.Args[2:]); err != nil {
 				fmt.Fprintln(os.Stderr, "loadex list:", err)
@@ -212,5 +218,6 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "       loadex experiment [-scenario s|all] [-mech m|all] [-runtime r|all] [-repeat k] [-json file] ...")
 	fmt.Fprintln(os.Stderr, "       loadex cluster [-procs n] [-scenario s] [-mech m|all] [-inproc] ...")
 	fmt.Fprintln(os.Stderr, "       loadex node -rank r -n procs [-scenario s] [-mech m] ...   (normally forked by cluster)")
-	fmt.Fprintln(os.Stderr, "       loadex list   (print registered scenarios, mechanisms, runtimes and codecs)")
+	fmt.Fprintln(os.Stderr, "       loadex validate -dir d   (replay recorded chaos traces, check cross-rank invariants)")
+	fmt.Fprintln(os.Stderr, "       loadex list   (print registered scenarios, mechanisms, chaos plans, runtimes and codecs)")
 }

@@ -26,9 +26,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	xnet "repro/internal/net"
 	"repro/internal/solver"
@@ -68,6 +70,8 @@ type nodeParams struct {
 	spin      time.Duration
 	settle    time.Duration
 	timeout   time.Duration
+	chaos     string
+	traceDir  string
 }
 
 func (p *nodeParams) register(fs *flag.FlagSet) {
@@ -87,6 +91,10 @@ func (p *nodeParams) register(fs *flag.FlagSet) {
 	fs.DurationVar(&p.spin, "spin", time.Millisecond, "nominal execution time per work item")
 	fs.DurationVar(&p.settle, "settle", 50*time.Millisecond, "delay for trailing state messages before exit")
 	fs.DurationVar(&p.timeout, "timeout", 2*time.Minute, "per-node quiescence deadline (raise for large forked solver cells)")
+	fs.StringVar(&p.chaos, "chaos", "",
+		"fault-injection plan: "+strings.Join(chaos.Names(), "|")+" (empty = none; `loadex list` describes them)")
+	fs.StringVar(&p.traceDir, "trace", "",
+		"record per-rank JSONL trace events under this directory for `loadex validate`")
 }
 
 // mechNames lists the registered mechanism names in the order the
@@ -182,7 +190,26 @@ func (p *nodeParams) validate(matrix bool) error {
 		}
 		return fmt.Errorf("unknown termination protocol %q (available: %s)", p.term, avail)
 	}
+	if !(matrix && strings.Contains(p.chaos, ",")) {
+		if _, err := chaos.Get(p.chaos); err != nil {
+			return err
+		}
+	} else {
+		// `loadex experiment` sweeps a comma-list of plans.
+		for _, name := range strings.Split(p.chaos, ",") {
+			if _, err := chaos.Get(name); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// chaosPlan resolves the -chaos flag (already validated; nil when no
+// plan is selected).
+func (p *nodeParams) chaosPlan() *chaos.Plan {
+	plan, _ := chaos.Get(p.chaos)
+	return plan
 }
 
 // singleTerm rejects the "-term all" sweep value for commands that run
@@ -194,6 +221,17 @@ func (p *nodeParams) singleTerm(command string) error {
 	}
 	return fmt.Errorf("-term all is an experiment-sweep value; pick one protocol for `%s` (available: %s), or use `loadex experiment -term all` for the mechanism × protocol overhead table",
 		command, strings.Join(termdet.Names(), ", "))
+}
+
+// singleChaos rejects a comma-list of chaos plans for commands that run
+// one plan per invocation; only `loadex experiment` fans the plan axis
+// out.
+func (p *nodeParams) singleChaos(command string) error {
+	if !strings.Contains(p.chaos, ",") {
+		return nil
+	}
+	return fmt.Errorf("-chaos takes one plan for `%s` (available: %s); `loadex experiment` sweeps a comma-list",
+		command, strings.Join(chaos.Names(), ", "))
 }
 
 // quiesceTimeout normalizes the per-node quiescence deadline (tests
@@ -229,8 +267,13 @@ func runNode(args []string) error {
 	if *rank < 0 || *rank >= p.procs {
 		return fmt.Errorf("rank %d out of range [0,%d)", *rank, p.procs)
 	}
+	rec, err := p.openNodeRecorder(*rank)
+	if err != nil {
+		return err
+	}
+	defer rec.Close()
 	if workload.IsAppScenario(p.scenario) {
-		return runAppScenarioNode(&p, *rank, *listen)
+		return runAppScenarioNode(&p, *rank, *listen, rec)
 	}
 	progs, err := p.programs()
 	if err != nil {
@@ -243,6 +286,8 @@ func runNode(args []string) error {
 	opts := xnet.ProgramOptions(xnet.Options{
 		Codec: codec,
 		Logf:  nodeLogf,
+		Chaos: p.chaosPlan(),
+		Rec:   rec,
 	}, progs)
 	nd, err := xnet.NewNode(*rank, p.procs, core.Mech(p.mech), p.config(), opts)
 	if err != nil {
@@ -259,12 +304,65 @@ func runNode(args []string) error {
 	if err := nd.Start(addrs); err != nil {
 		return err
 	}
+	armCrash(p.chaosPlan(), *rank, rec)
 
 	stats, err := runNodeProgram(nd, progs[*rank], &p)
 	if err != nil {
 		return err
 	}
+	rec.Record(chaos.Event{Ev: chaos.EvFinal, Rank: *rank, Executed: stats.Executed})
 	return emitStats(nd, stats)
+}
+
+// openNodeRecorder opens this rank's trace file (nil recorder when
+// tracing is off) and stamps the opening meta event.
+func (p *nodeParams) openNodeRecorder(rank int) (*chaos.Recorder, error) {
+	if p.traceDir == "" {
+		return nil, nil
+	}
+	rec, err := chaos.OpenRecorder(filepath.Join(p.traceDir, fmt.Sprintf("rank-%d.jsonl", rank)))
+	if err != nil {
+		return nil, err
+	}
+	rec.Record(chaos.Event{
+		Ev: chaos.EvMeta, Rank: rank, N: p.procs,
+		Scenario: p.scenario, Mech: p.mech, Term: p.term, Plan: p.chaos,
+	})
+	return rec, nil
+}
+
+// openInProcRecorder opens the single trace file an in-process run of
+// every rank shares (nil recorder when tracing is off); events carry
+// their rank, so one file per run suffices.
+func (p *nodeParams) openInProcRecorder() (*chaos.Recorder, error) {
+	if p.traceDir == "" {
+		return nil, nil
+	}
+	rec, err := chaos.OpenRecorder(filepath.Join(p.traceDir, "inproc.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	rec.Record(chaos.Event{
+		Ev: chaos.EvMeta, N: p.procs,
+		Scenario: p.scenario, Mech: p.mech, Term: p.term, Plan: p.chaos,
+	})
+	return rec, nil
+}
+
+// armCrash schedules this process's chaos crash: a genuine process
+// death (not a simulated one) at the plan's crash time, so the parent's
+// watchdog — not cooperative shutdown — must notice it. The recorder is
+// closed first so the truncated trace (no final event) survives for the
+// validator to diagnose.
+func armCrash(plan *chaos.Plan, rank int, rec *chaos.Recorder) {
+	if !plan.Crashes(rank) {
+		return
+	}
+	time.AfterFunc(time.Duration(plan.CrashAfter*float64(time.Second)), func() {
+		fmt.Fprintf(os.Stderr, "node %d: chaos plan %q: crashing now\n", rank, plan.Name)
+		rec.Close()
+		os.Exit(3)
+	})
 }
 
 // nodeLogf routes transport diagnostics to stderr (stdout carries the
@@ -310,7 +408,7 @@ func emitStats(nd *xnet.Node, stats nodeStats) error {
 // exactly one rank; the solver's cross-rank bookkeeping travels as
 // data messages, and the detector's control frames (TypeCtrl) release
 // every process once rank 0's detector concludes.
-func runAppScenarioNode(p *nodeParams, rank int, listen string) error {
+func runAppScenarioNode(p *nodeParams, rank int, listen string, rec *chaos.Recorder) error {
 	w, err := workload.Get(p.scenario)
 	if err != nil {
 		return err
@@ -321,6 +419,7 @@ func runAppScenarioNode(p *nodeParams, rank int, listen string) error {
 	if err != nil {
 		return err
 	}
+	app = workload.Recorded(app, rec)
 	if params.Term != "" {
 		opts.Term = params.Term
 	}
@@ -331,6 +430,7 @@ func runAppScenarioNode(p *nodeParams, rank int, listen string) error {
 	nd, err := xnet.NewNode(rank, p.procs, core.Mech(p.mech), p.config(), xnet.Options{
 		Codec: codec,
 		Logf:  nodeLogf,
+		Chaos: p.chaosPlan(),
 	})
 	if err != nil {
 		return err
@@ -350,6 +450,7 @@ func runAppScenarioNode(p *nodeParams, rank int, listen string) error {
 	if err := nd.Start(addrs); err != nil {
 		return err
 	}
+	armCrash(p.chaosPlan(), rank, rec)
 	hr, err := an.Run(p.quiesceTimeout())
 	if err != nil {
 		return err

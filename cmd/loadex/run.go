@@ -17,10 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/live"
@@ -52,6 +54,9 @@ func runRun(args []string) error {
 		return err
 	}
 	if err := p.singleTerm("loadex run"); err != nil {
+		return err
+	}
+	if err := p.singleChaos("loadex run"); err != nil {
 		return err
 	}
 	runtimes, scenarios, mechs, err := expandAxes(*runtime, &p)
@@ -92,25 +97,68 @@ func isRuntime(name string) bool {
 	return false
 }
 
-// runCell executes one scenario × mechanism × runtime cell.
+// runCell executes one scenario × mechanism × runtime cell, wiring the
+// cell's chaos plan into whichever fault layer the runtime carries (the
+// simulated network, the live host, the TCP fault writer) and — when
+// tracing — recording the run for `loadex validate`.
 func runCell(scenario string, mech core.Mech, rt string, inproc bool, p *nodeParams) (*workload.Report, error) {
 	w, err := workload.Get(scenario)
 	if err != nil {
 		return nil, err
 	}
+	plan := p.chaosPlan()
+	isApp := workload.IsAppScenario(scenario)
+	params := p.params()
 	drive := p.driveOptions()
+
+	// Recording surface per cell kind: application scenarios trace
+	// through the workload.Recorded wrapper on every runtime; program
+	// scenarios only on the net runtime (its transport carries the
+	// hooks). Program cells on sim/live have no trace hooks — recording
+	// just finals there would be indistinguishable from a run that lost
+	// every event, so they stay untraced.
+	var rec *chaos.Recorder
+	if p.traceDir != "" && (isApp || rt == "net") && !(rt == "net" && !inproc) {
+		q := *p
+		q.traceDir = filepath.Join(p.traceDir, cellDirName(scenario, string(mech), rt, p.term))
+		rec, err = q.openInProcRecorder()
+		if err != nil {
+			return nil, err
+		}
+		defer rec.Close()
+		if isApp {
+			params.Record = rec
+		}
+	}
 	switch rt {
 	case "sim":
-		return sim.NewWorkloadDriver().Run(w, mech, p.config(), p.params())
+		d := sim.NewWorkloadDriver()
+		d.Network.Chaos = plan
+		return d.Run(w, mech, p.config(), params)
 	case "live":
-		return live.Driver{Drive: drive}.Run(w, mech, p.config(), p.params())
+		if plan != nil && !isApp {
+			return nil, fmt.Errorf("chaos plans only apply to application scenarios on the live runtime (program cells: use sim or net)")
+		}
+		d := live.Driver{Drive: drive}
+		d.App.Chaos = plan
+		return d.Run(w, mech, p.config(), params)
 	case "net":
 		if inproc {
 			codec, err := xnet.NewCodec(p.codec)
 			if err != nil {
 				return nil, err
 			}
-			return xnet.Driver{Opts: xnet.Options{Codec: codec}, Drive: drive}.Run(w, mech, p.config(), p.params())
+			opts := xnet.Options{Codec: codec, Chaos: plan}
+			if !isApp {
+				opts.Rec = rec
+			}
+			rep, err := xnet.Driver{Opts: opts, Drive: drive}.Run(w, mech, p.config(), params)
+			if err == nil && !isApp {
+				for r, ex := range rep.Executed {
+					rec.Record(chaos.Event{Ev: chaos.EvFinal, Rank: r, Executed: ex})
+				}
+			}
+			return rep, err
 		}
 		// Forked: one OS process per rank — program scenarios walk their
 		// compiled programs, application scenarios host one rank of the
@@ -120,11 +168,24 @@ func runCell(scenario string, mech core.Mech, rt string, inproc bool, p *nodePar
 	return nil, fmt.Errorf("unknown runtime %q", rt)
 }
 
+// cellDirName names one cell's trace subdirectory (the validator
+// treats each directory holding *.jsonl files as one run).
+func cellDirName(scenario, mech, rt, term string) string {
+	name := scenario + "-" + mech + "-" + rt
+	if term != "" && term != "all" {
+		name += "-" + term
+	}
+	return name
+}
+
 // runCellForked runs one net cell as forked OS processes, folding the
 // per-rank STATS reports into a matrix report.
 func runCellForked(scenario string, mech core.Mech, p *nodeParams) (*workload.Report, error) {
 	q := *p
 	q.scenario, q.mech = scenario, string(mech)
+	if p.traceDir != "" {
+		q.traceDir = filepath.Join(p.traceDir, cellDirName(scenario, string(mech), "net", p.term))
+	}
 	start := time.Now()
 	stats, err := runClusterForked(&q)
 	if err != nil {

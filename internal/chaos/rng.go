@@ -1,0 +1,28 @@
+package chaos
+
+// RNG is a small deterministic pseudo-random generator (SplitMix64),
+// the same construction as sim.RNG: fault decisions must be
+// reproducible across Go releases and derivable per fault site without
+// shared state (see Plan.RNGFor). Duplicated rather than imported so
+// the dependency arrow stays runtime → chaos.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed; equal seeds produce
+// identical streams.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}

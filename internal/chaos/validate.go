@@ -1,0 +1,300 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Violation is one failed cross-rank invariant.
+type Violation struct {
+	// Check names the invariant ("conservation", "compute",
+	// "quiescence", "selection").
+	Check string
+	// Detail explains the specific failure.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Check + ": " + v.Detail }
+
+// Report is the outcome of validating one recorded run.
+type Report struct {
+	// N is the cluster size from the meta events (0 if none recorded).
+	N int
+	// Scenario/Mech/Term/Plan describe the run, from the meta events.
+	Scenario, Mech, Term, Plan string
+	// Event tallies.
+	Events, Sends, Recvs, Starts, Dones, Decides int
+	// Finals is how many ranks closed their trace with a final event.
+	Finals int
+	// Violations is every failed invariant, empty for a clean run.
+	Violations []Violation
+}
+
+// OK reports whether the run passed every check.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Format writes the human-readable validation summary.
+func (r *Report) Format(w io.Writer) {
+	fmt.Fprintf(w, "run: n=%d scenario=%s mech=%s term=%s plan=%s\n",
+		r.N, orDash(r.Scenario), orDash(r.Mech), orDash(r.Term), orDash(r.Plan))
+	fmt.Fprintf(w, "events: %d (%d send, %d recv, %d start, %d done, %d decide, %d/%d final)\n",
+		r.Events, r.Sends, r.Recvs, r.Starts, r.Dones, r.Decides, r.Finals, r.N)
+	if r.OK() {
+		fmt.Fprintf(w, "OK: all invariants hold\n")
+		return
+	}
+	fmt.Fprintf(w, "FAIL: %d violation(s)\n", len(r.Violations))
+	for _, v := range r.Violations {
+		fmt.Fprintf(w, "  - %s\n", v)
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func (r *Report) violate(check, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{Check: check, Detail: fmt.Sprintf(format, args...)})
+}
+
+// maxViolationsPerCheck bounds the detail spam from a badly broken run;
+// the overflow is summarized.
+const maxViolationsPerCheck = 16
+
+// Validate checks one recorded run's cross-rank invariants:
+//
+//   - conservation: per directed rank pair, the multiset of sent
+//     message payloads equals the multiset of received ones. A surplus
+//     send is a lost (or still in-flight at termination) message; a
+//     surplus receive is a duplicated or forged one. Because every rank
+//     records its final event only after local termination, a clean
+//     conservation check also means the termination detector never
+//     fired with messages in flight.
+//   - compute: per rank, every started compute interval completed
+//     (starts == dones), and a rank's final executed count matches its
+//     recorded completions.
+//   - quiescence: every rank of the cluster closed its trace with
+//     exactly one final event — a missing final is a crashed rank or a
+//     truncated trace.
+//   - selection: every recorded decision selected exactly the
+//     least-loaded ranks of the view it was taken on (master excluded,
+//     lower rank on ties) — the policy of core.PlanDecision.
+// pair is one directed rank pair for conservation bookkeeping.
+type pair struct{ from, to int }
+
+func Validate(events []Event) *Report {
+	r := &Report{Events: len(events)}
+
+	sent := map[pair]map[string]int{}
+	recv := map[pair]map[string]int{}
+	starts := map[int]int{}
+	dones := map[int]int{}
+	finals := map[int]int{}
+	executed := map[int]int64{}
+
+	add := func(m map[pair]map[string]int, p pair, k string) {
+		if m[p] == nil {
+			m[p] = map[string]int{}
+		}
+		m[p][k]++
+	}
+
+	selViol, consViol := 0, 0
+	for _, e := range events {
+		switch e.Ev {
+		case EvMeta:
+			if e.N > 0 {
+				if r.N != 0 && r.N != e.N {
+					r.violate("quiescence", "conflicting cluster sizes in meta events: %d vs %d", r.N, e.N)
+				}
+				r.N = e.N
+			}
+			setIfEmpty(&r.Scenario, e.Scenario)
+			setIfEmpty(&r.Mech, e.Mech)
+			setIfEmpty(&r.Term, e.Term)
+			setIfEmpty(&r.Plan, e.Plan)
+		case EvSend:
+			r.Sends++
+			add(sent, pair{e.Rank, e.Peer}, e.key())
+		case EvRecv:
+			r.Recvs++
+			add(recv, pair{e.Peer, e.Rank}, e.key())
+		case EvStart:
+			r.Starts++
+			starts[e.Rank]++
+		case EvDone:
+			r.Dones++
+			dones[e.Rank]++
+		case EvDecide:
+			r.Decides++
+			if v := checkSelection(e); v != "" {
+				if selViol++; selViol <= maxViolationsPerCheck {
+					r.violate("selection", "%s", v)
+				}
+			}
+		case EvFinal:
+			r.Finals++
+			finals[e.Rank]++
+			executed[e.Rank] = e.Executed
+		default:
+			r.violate("quiescence", "rank %d recorded unknown event kind %q", e.Rank, e.Ev)
+		}
+	}
+
+	// Conservation: diff the send/recv multisets per directed pair.
+	for _, p := range sortedPairs(sent, recv) {
+		for _, k := range sortedKeys(sent[p], recv[p]) {
+			d := sent[p][k] - recv[p][k]
+			if d == 0 {
+				continue
+			}
+			if consViol++; consViol > maxViolationsPerCheck {
+				continue
+			}
+			if d > 0 {
+				r.violate("conservation", "%d message(s) %d->%d lost or in flight at termination (payload %s)", d, p.from, p.to, k)
+			} else {
+				r.violate("conservation", "%d message(s) %d->%d received but never sent (duplicated?) (payload %s)", -d, p.from, p.to, k)
+			}
+		}
+	}
+	if selViol > maxViolationsPerCheck {
+		r.violate("selection", "... and %d more selection violations", selViol-maxViolationsPerCheck)
+	}
+	if consViol > maxViolationsPerCheck {
+		r.violate("conservation", "... and %d more conservation violations", consViol-maxViolationsPerCheck)
+	}
+
+	// Compute intervals and per-rank quiescence.
+	ranks := map[int]bool{}
+	for rk := range starts {
+		ranks[rk] = true
+	}
+	for rk := range dones {
+		ranks[rk] = true
+	}
+	for _, rk := range sortedInts(ranks) {
+		if starts[rk] != dones[rk] {
+			r.violate("compute", "rank %d started %d compute interval(s) but completed %d", rk, starts[rk], dones[rk])
+		}
+	}
+	n := r.N
+	for rk := 0; rk < n; rk++ {
+		switch finals[rk] {
+		case 0:
+			r.violate("quiescence", "rank %d never reached quiescence (no final event: crashed rank or truncated trace)", rk)
+		case 1:
+			if ex := executed[rk]; ex != int64(dones[rk]) {
+				r.violate("compute", "rank %d reports %d executed item(s) but recorded %d completion(s)", rk, ex, dones[rk])
+			}
+		default:
+			r.violate("quiescence", "rank %d recorded %d final events", rk, finals[rk])
+		}
+	}
+	if n == 0 && r.Events > 0 {
+		r.violate("quiescence", "no meta event: cluster size unknown, per-rank quiescence unchecked")
+	}
+	for rk := range finals {
+		if rk < 0 || (n > 0 && rk >= n) {
+			r.violate("quiescence", "final event from out-of-range rank %d (n=%d)", rk, n)
+		}
+	}
+	return r
+}
+
+// checkSelection recomputes the least-loaded selection for one recorded
+// decision and returns a violation detail, or "" if coherent.
+func checkSelection(e Event) string {
+	if len(e.View) == 0 || len(e.Sel) == 0 {
+		return fmt.Sprintf("rank %d recorded a decision without view or selection", e.Rank)
+	}
+	for _, s := range e.Sel {
+		if s == e.Rank {
+			return fmt.Sprintf("rank %d selected itself as a slave (sel %v)", e.Rank, e.Sel)
+		}
+		if s < 0 || s >= len(e.View) {
+			return fmt.Sprintf("rank %d selected out-of-range rank %d (view has %d ranks)", e.Rank, s, len(e.View))
+		}
+	}
+	want := LeastLoaded(e.View, e.Rank, len(e.Sel))
+	got := append([]int(nil), e.Sel...)
+	sort.Ints(got)
+	if !equalSelection(e.View, got, want) {
+		return fmt.Sprintf("rank %d selected %v but the least-loaded ranks of its view %v are %v", e.Rank, got, e.View, want)
+	}
+	return ""
+}
+
+// equalSelection accepts any selection whose per-slot loads match the
+// canonical least-loaded one: equal-load ranks are interchangeable, so
+// only load-profile deviations count as incoherent.
+func equalSelection(view []float64, got, want []int) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	const eps = 1e-9
+	for i := range got {
+		if got[i] == want[i] {
+			continue
+		}
+		if math.Abs(view[got[i]]-view[want[i]]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+func setIfEmpty(dst *string, v string) {
+	if *dst == "" {
+		*dst = v
+	}
+}
+
+func sortedPairs(ms ...map[pair]map[string]int) []pair {
+	set := map[pair]bool{}
+	for _, m := range ms {
+		for p := range m {
+			set[p] = true
+		}
+	}
+	var pairs []pair
+	for p := range set {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].from != pairs[j].from {
+			return pairs[i].from < pairs[j].from
+		}
+		return pairs[i].to < pairs[j].to
+	})
+	return pairs
+}
+
+func sortedKeys(ms ...map[string]int) []string {
+	set := map[string]bool{}
+	for _, m := range ms {
+		for k := range m {
+			set[k] = true
+		}
+	}
+	var keys []string
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedInts(set map[int]bool) []int {
+	var out []int
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -20,15 +20,19 @@ import (
 	"repro/internal/workload"
 )
 
-// Cell is one scenario × mechanism × runtime (× termination protocol)
-// coordinate of the matrix. Term is set only for application-scenario
-// cells — program scenarios quiesce through their own Done
-// announcements, so a protocol axis would just repeat identical runs.
+// Cell is one scenario × mechanism × runtime (× termination protocol ×
+// chaos plan) coordinate of the matrix. Term is set only for
+// application-scenario cells — program scenarios quiesce through their
+// own Done announcements, so a protocol axis would just repeat
+// identical runs. Chaos names the fault-injection plan (empty or
+// "none" = fault-free); the live runtime only supports it for
+// application scenarios, so live program cells carry an empty Chaos.
 type Cell struct {
 	Scenario string `json:"scenario"`
 	Mech     string `json:"mech"`
 	Runtime  string `json:"runtime"`
 	Term     string `json:"term,omitempty"`
+	Chaos    string `json:"chaos,omitempty"`
 }
 
 // String names the cell the way error messages and logs refer to it.
@@ -37,17 +41,26 @@ func (c Cell) String() string {
 	if c.Term != "" {
 		s += " × " + c.Term
 	}
+	if c.Chaos != "" {
+		s += " × chaos:" + c.Chaos
+	}
 	return s
 }
 
-// Cells expands the scenario, mechanism, runtime and termination
-// protocol axes into the cell list of their cross product, in table
-// order (scenario-major, mechanisms in paper order). The protocol axis
-// applies only to application scenarios; program cells carry an empty
-// Term. Passing no terms (or only "") yields the pre-protocol matrix.
-func Cells(scenarios []string, mechs []core.Mech, runtimes []string, terms []string) []Cell {
+// Cells expands the scenario, mechanism, runtime, termination protocol
+// and chaos-plan axes into the cell list of their cross product, in
+// table order (scenario-major, mechanisms in paper order). The
+// protocol axis applies only to application scenarios and the chaos
+// axis skips live program cells (the live runtime injects faults
+// through the application host only); inapplicable axes collapse to
+// one cell with the field empty. Passing no terms and no plans (or
+// only "") yields the plain matrix.
+func Cells(scenarios []string, mechs []core.Mech, runtimes []string, terms, plans []string) []Cell {
 	if len(terms) == 0 {
 		terms = []string{""}
+	}
+	if len(plans) == 0 {
+		plans = []string{""}
 	}
 	var cells []Cell
 	for _, s := range scenarios {
@@ -57,8 +70,14 @@ func Cells(scenarios []string, mechs []core.Mech, runtimes []string, terms []str
 		}
 		for _, m := range mechs {
 			for _, r := range runtimes {
+				ps := plans
+				if r == "live" && !workload.IsAppScenario(s) {
+					ps = []string{""}
+				}
 				for _, tm := range ts {
-					cells = append(cells, Cell{Scenario: s, Mech: string(m), Runtime: r, Term: tm})
+					for _, pl := range ps {
+						cells = append(cells, Cell{Scenario: s, Mech: string(m), Runtime: r, Term: tm, Chaos: pl})
+					}
 				}
 			}
 		}
@@ -285,7 +304,10 @@ func WriteSweepMarkdown(w io.Writer, results []CellResult) {
 			if a, b := mechOrder(cells[i].Mech), mechOrder(cells[j].Mech); a != b {
 				return a < b
 			}
-			return cells[i].Term < cells[j].Term
+			if cells[i].Term != cells[j].Term {
+				return cells[i].Term < cells[j].Term
+			}
+			return cells[i].Chaos < cells[j].Chaos
 		})
 		fmt.Fprintf(w, "### %s — %s runtime (%d procs, %d run(s) per cell)\n\n",
 			g.scenario, g.runtime, cells[0].Procs, cells[0].Repeats)
@@ -300,6 +322,9 @@ func WriteSweepMarkdown(w io.Writer, results []CellResult) {
 			label := res.Mech
 			if res.Term != "" {
 				label += " × " + res.Term
+			}
+			if res.Chaos != "" {
+				label += " × " + res.Chaos
 			}
 			row := []string{label}
 			for _, col := range markdownColumns {

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/termdet"
 	"repro/internal/workload"
@@ -29,6 +30,15 @@ type AppRunner struct {
 	TimeScale float64
 	// Timeout bounds the whole run (default 120s).
 	Timeout time.Duration
+	// Chaos, when active, degrades delivery at the in-process seam:
+	// state and data messages can be dropped or delayed per the plan
+	// (wall time), and a crashed rank stops sending and receiving
+	// everything, control frames included. Plain delay preserves
+	// per-link FIFO (each link drains its delayed messages through one
+	// ordered queue, matching the simulator's clamp and the TCP
+	// writer's sequential stalls); only a Reorder plan delivers via
+	// independent timers and so genuinely breaks the FIFO assumption.
+	Chaos *chaos.Plan
 }
 
 // Runtime implements workload.AppRunner.
@@ -54,6 +64,13 @@ func (r *AppRunner) RunApp(n int, app workload.App, opts workload.AppRunOptions)
 		busy:     make([]core.BusyMeter, n),
 		doneCh:   make(chan struct{}),
 		quit:     make(chan struct{}),
+	}
+	if r.Chaos.Active() {
+		h.plan = r.Chaos
+		h.chaosRNG = r.Chaos.RNGFor(n)
+		if !r.Chaos.Reorder && (r.Chaos.Delay > 0 || r.Chaos.SlowDelay > 0) {
+			h.links = make([]chan liveDelivery, n*n)
+		}
 	}
 	for i := range h.ranks {
 		det, err := termdet.New(opts.Term, n, i)
@@ -127,6 +144,10 @@ type liveAppRank struct {
 	wakeCh  chan struct{}
 	pending *liveCompute
 	det     termdet.Protocol
+	// timer is the rank's reused compute-sleep timer (rank goroutine
+	// only): time.After would leave one uncollected runtime timer per
+	// compute interval.
+	timer *time.Timer
 }
 
 type liveCompute struct {
@@ -148,6 +169,20 @@ type liveAppHost struct {
 	counters []core.Counters
 	busy     []core.BusyMeter
 
+	// plan/chaosRNG inject delivery faults (nil without a plan). The
+	// rng is only drawn under mu (state/data sends happen inside
+	// callbacks); control frames are never randomly faulted, so the
+	// lock-free SendCtrl path needs no draw.
+	plan     *chaos.Plan
+	chaosRNG *chaos.RNG
+	// links[from*n+to], non-nil when the plan stalls deliveries without
+	// permitting reorders, is the link's FIFO delivery queue: one
+	// goroutine per active link sleeps out each message's stall in send
+	// order, so delay jitter cannot reorder a link the way independent
+	// timers would (the mechanisms assume FIFO channels, like the
+	// paper's MPI). Queues are created lazily under mu.
+	links []chan liveDelivery
+
 	doneCh   chan struct{}
 	doneOnce sync.Once
 	quit     chan struct{}
@@ -163,11 +198,105 @@ func (h *liveAppHost) Context(rank int) core.Context { return liveAppCtx{h, rank
 func (h *liveAppHost) SendData(from, to int, m workload.DataMsg) {
 	h.counters[from].AddData(m.Bytes)
 	h.ranks[from].det.OnSend(liveDetCtx{h, from}, to)
-	// The send runs under the callback mutex; the receiver's buffer
-	// (16k messages) is the deadlock guard, as in live.Cluster. In-
-	// process application scale keeps traffic orders of magnitude
+	stall, deliver := h.inject(from, to, chaos.ClassData)
+	if !deliver {
+		return
+	}
+	msg := liveDataMsg{from: from, m: m}
+	ch := h.ranks[to].dataCh
+	// The (inline) send runs under the callback mutex; the receiver's
+	// buffer (16k messages) is the deadlock guard, as in live.Cluster.
+	// In-process application scale keeps traffic orders of magnitude
 	// below it; revisit before hosting much larger task graphs.
-	h.ranks[to].dataCh <- liveDataMsg{from: from, m: m}
+	h.dispatch(from, to, stall, func() {
+		select {
+		case ch <- msg:
+		case <-h.quit:
+		}
+	})
+}
+
+// liveDelivery is one message riding a link's FIFO queue: sleep until
+// at, then run send (which posts to the destination channel,
+// quit-guarded).
+type liveDelivery struct {
+	at   time.Time
+	send func()
+}
+
+// dispatch delivers one surviving (not dropped) message. When the plan
+// stalls deliveries but forbids reordering, every remote message rides
+// its link's FIFO queue — even stall-free ones, which must not overtake
+// an earlier delayed message. Reorder plans use independent timers
+// (deliberately racing), and the unfaulted path stays inline. Runs
+// under mu, which guards lazy queue creation.
+func (h *liveAppHost) dispatch(from, to int, stall time.Duration, send func()) {
+	if h.links != nil && from != to {
+		li := from*len(h.ranks) + to
+		q := h.links[li]
+		if q == nil {
+			q = make(chan liveDelivery, 1<<14)
+			h.links[li] = q
+			go h.runLink(q)
+		}
+		q <- liveDelivery{at: time.Now().Add(stall), send: send}
+		return
+	}
+	if stall > 0 {
+		time.AfterFunc(stall, send)
+		return
+	}
+	send()
+}
+
+// runLink drains one link's delayed deliveries in send order, sleeping
+// out each message's residual stall. quit aborts a sleep early; the
+// message's own quit-guarded send then drops it if the run is already
+// torn down.
+func (h *liveAppHost) runLink(q chan liveDelivery) {
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case d := <-q:
+			if wait := time.Until(d.at); wait > 0 {
+				timer.Reset(wait)
+				select {
+				case <-timer.C:
+				case <-h.quit:
+					if !timer.Stop() {
+						<-timer.C
+					}
+				}
+			}
+			d.send()
+		case <-h.quit:
+			return
+		}
+	}
+}
+
+// inject applies the chaos plan to one in-process delivery: the extra
+// stall to impose (0 = deliver inline) and whether to deliver at all.
+// Must run under mu (it draws from the shared rng); local delivery is
+// never faulted.
+func (h *liveAppHost) inject(from, to int, cl chaos.Class) (time.Duration, bool) {
+	if h.plan == nil || from == to {
+		return 0, true
+	}
+	if h.plan.CrashedAt(time.Since(h.start).Seconds(), from, to) {
+		return 0, false
+	}
+	if h.plan.Drops(cl, h.chaosRNG) {
+		return 0, false
+	}
+	stall := h.plan.DelayFor(h.chaosRNG)
+	if h.plan.SlowsLink(from, to) && h.plan.SlowDelay > 0 {
+		stall += h.plan.SlowDelay
+	}
+	return time.Duration(stall * float64(time.Second)), true
 }
 
 func (h *liveAppHost) Compute(rank int, seconds float64, done func()) {
@@ -197,8 +326,20 @@ func (c liveAppCtx) N() int       { return c.h.N() }
 func (c liveAppCtx) Now() float64 { return c.h.Now() }
 
 func (c liveAppCtx) Send(to int, kind int, payload any, bytes float64) {
-	c.h.counters[c.rank].AddState(kind, bytes)
-	c.h.ranks[to].stateCh <- liveStateMsg{from: c.rank, kind: kind, payload: payload}
+	h := c.h
+	h.counters[c.rank].AddState(kind, bytes)
+	stall, deliver := h.inject(c.rank, to, chaos.ClassState)
+	if !deliver {
+		return
+	}
+	msg := liveStateMsg{from: c.rank, kind: kind, payload: payload}
+	ch := h.ranks[to].stateCh
+	h.dispatch(c.rank, to, stall, func() {
+		select {
+		case ch <- msg:
+		case <-h.quit:
+		}
+	})
 }
 
 func (c liveAppCtx) Broadcast(kind int, payload any, bytes float64) {
@@ -222,8 +363,15 @@ func (c liveDetCtx) Rank() int { return c.rank }
 func (c liveDetCtx) N() int    { return c.h.N() }
 
 func (c liveDetCtx) SendCtrl(to int, ct termdet.Ctrl) {
-	c.h.counters[c.rank].AddCtrl(core.BytesCtrl)
-	c.h.ranks[to].ctrlCh <- liveCtrlMsg{from: c.rank, c: ct}
+	h := c.h
+	h.counters[c.rank].AddCtrl(core.BytesCtrl)
+	// A crashed rank neither sends nor receives control frames (no rng
+	// draw: this path runs outside the callback mutex, and control
+	// traffic is never randomly dropped or delayed).
+	if h.plan != nil && h.plan.CrashedAt(time.Since(h.start).Seconds(), c.rank, to) {
+		return
+	}
+	h.ranks[to].ctrlCh <- liveCtrlMsg{from: c.rank, c: ct}
 }
 
 // ---- rank main loop -----------------------------------------------------
@@ -244,7 +392,7 @@ func (h *liveAppHost) runRank(rank int) {
 		}
 		if p := rk.pending; p != nil {
 			rk.pending = nil
-			h.sleep(p.seconds)
+			h.sleep(rk, p.seconds)
 			h.mu.Lock()
 			p.done()
 			h.mu.Unlock()
@@ -361,16 +509,26 @@ func (h *liveAppHost) checkTerminated(rk *liveAppRank) {
 	}
 }
 
-// sleep spends one compute interval of wall clock, bounded by quit so
-// shutdown is prompt.
-func (h *liveAppHost) sleep(seconds float64) {
+// sleep spends one compute interval of wall clock on rk's goroutine,
+// bounded by quit so shutdown is prompt. Each rank reuses its own
+// timer across intervals (the sleep only ever runs on the rank's
+// goroutine).
+func (h *liveAppHost) sleep(rk *liveAppRank, seconds float64) {
 	d := time.Duration(seconds * h.scale * float64(time.Second))
 	if d <= 0 {
 		return
 	}
+	if rk.timer == nil {
+		rk.timer = time.NewTimer(d)
+	} else {
+		rk.timer.Reset(d)
+	}
 	select {
-	case <-time.After(d):
+	case <-rk.timer.C:
 	case <-h.quit:
+		if !rk.timer.Stop() {
+			<-rk.timer.C // drain so a later Reset starts clean
+		}
 	}
 }
 

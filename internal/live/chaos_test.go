@@ -1,0 +1,45 @@
+package live_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/live"
+	_ "repro/internal/solver" // registers the solver-wl scenario
+	"repro/internal/workload"
+)
+
+// TestChaosDelayFIFORegression pins the fix for a real hang: the live
+// host once delivered delayed messages through independent timers,
+// which let jittered deliveries overtake each other on a link. The
+// snapshot mechanism's rounds assume FIFO channels, so roughly one run
+// in three wedged until the two-minute timeout. Delayed deliveries now
+// drain through per-link FIFO queues; this test replays the failing
+// configuration (solver-wl × snapshot × live × delay) a few times with
+// a short timeout — a reintroduced reorder shows up as a timeout error
+// here, not as a flaky two-minute CI stall.
+func TestChaosDelayFIFORegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run live solver cell")
+	}
+	plan, err := chaos.Get("delay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Get("solver-wl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		d := live.Driver{App: live.AppRunner{Chaos: plan, Timeout: 30 * time.Second}}
+		rep, err := d.Run(w, core.MechSnapshot, core.Config{}, workload.Params{Procs: 8})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if rep.TotalExecuted() == 0 {
+			t.Fatalf("run %d executed nothing", i)
+		}
+	}
+}

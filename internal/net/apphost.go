@@ -217,15 +217,26 @@ func (nd *Node) appHandleCtrl(m ctrlMsg) {
 }
 
 // appSleep spends one compute interval of wall clock, bounded by quit
-// so shutdown is prompt.
+// so shutdown is prompt. The node's timer is reused across intervals
+// (appSleep only ever runs on the node goroutine): time.After would
+// leave one uncollected runtime timer per compute interval, which adds
+// up under short intervals on long scenario runs.
 func (nd *Node) appSleep(seconds float64) {
 	d := time.Duration(seconds * nd.appB.scale * float64(time.Second))
 	if d <= 0 {
 		return
 	}
+	if nd.sleepTimer == nil {
+		nd.sleepTimer = time.NewTimer(d)
+	} else {
+		nd.sleepTimer.Reset(d)
+	}
 	select {
-	case <-time.After(d):
+	case <-nd.sleepTimer.C:
 	case <-nd.quit:
+		if !nd.sleepTimer.Stop() {
+			<-nd.sleepTimer.C // drain so a later Reset starts clean
+		}
 	}
 }
 

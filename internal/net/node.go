@@ -4,11 +4,13 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/termdet"
 )
@@ -34,6 +36,16 @@ type Options struct {
 	// mean nominal speed); a node scales the spin of work items it
 	// executes by its own factor.
 	Speed []float64
+	// Chaos, when active, degrades this node's outbound links per the
+	// plan: a fault writer between each writer goroutine and its socket
+	// delays, drops, reorders or severs individual frames (wall time).
+	// Give every node of a cluster the same plan so each directed link
+	// is faulted exactly once, on its sending side.
+	Chaos *chaos.Plan
+	// Rec, when non-nil, receives the trace events `loadex validate`
+	// checks: one send per assigned work item, one recv/start/done per
+	// executed one, one decide per committed decision.
+	Rec *chaos.Recorder
 }
 
 // inMsg is one item of the prioritized state channel: either a decoded
@@ -143,6 +155,11 @@ type Node struct {
 	busy       core.BusyMeter // snapshot-blocked wall-clock time
 	decisions  int64
 	decLatency float64 // seconds, Acquire → view-ready, summed
+
+	// sleepTimer is appSleep's reused compute timer (node goroutine
+	// only): short intervals over a long run would otherwise allocate
+	// one uncollected runtime timer per interval.
+	sleepTimer *time.Timer
 }
 
 // NewNode creates a node of rank within n processes running mech. The
@@ -282,19 +299,32 @@ func (nd *Node) Start(addrs []string) error {
 		return err
 	}
 
-	// Dial every lower rank, retrying briefly: with the loadex stdio
-	// handshake everyone is already listening, but a raw deployment may
-	// start ranks in any order.
+	// Dial every lower rank, retrying with jittered exponential backoff:
+	// with the loadex stdio handshake everyone is already listening, but
+	// a raw deployment may start ranks in any order. Each peer gets a
+	// fair share of the remaining budget — its share of the overall
+	// deadline divided by the dials still to make — so one dead address
+	// cannot starve every later dial, and the jitter keeps a large
+	// cluster's retries from herding onto a recovering listener.
 	for s := 0; s < nd.rank; s++ {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return fail(fmt.Errorf("net: rank %d dialing rank %d: mesh dial budget exhausted", nd.rank, s))
+		}
+		peerDeadline := time.Now().Add(remaining / time.Duration(nd.rank-s))
 		var conn net.Conn
 		var err error
+		backoff := 2 * time.Millisecond
 		for {
-			d := net.Dialer{Deadline: deadline}
+			d := net.Dialer{Deadline: peerDeadline}
 			conn, err = d.Dial("tcp", addrs[s])
-			if err == nil || time.Now().After(deadline) {
+			if err == nil || time.Now().After(peerDeadline) {
 				break
 			}
-			time.Sleep(20 * time.Millisecond)
+			time.Sleep(backoff/2 + rand.N(backoff))
+			if backoff < 200*time.Millisecond {
+				backoff *= 2
+			}
 		}
 		if err != nil {
 			return fail(fmt.Errorf("net: rank %d dialing rank %d: %w", nd.rank, s, err))
@@ -468,7 +498,14 @@ var encodeBufs = sync.Pool{
 // when the queue momentarily empties.
 func (nd *Node) writeLoop(p *peer) {
 	defer nd.wgWriters.Done()
-	bw := bufio.NewWriterSize(p.conn, 1<<16)
+	// The fault writer (if any) sits between the buffer and the socket:
+	// p.conn itself stays raw so Close can still half-close the TCP
+	// connection.
+	var out io.Writer = p.conn
+	if nd.opts.Chaos.Active() {
+		out = newFaultWriter(p.conn, nd.opts.Chaos, nd.rank, p.rank, nd.start, nd.quit)
+	}
+	bw := bufio.NewWriterSize(out, 1<<16)
 	send := func(m Message) bool {
 		bp := encodeBufs.Get().(*[]byte)
 		defer func() {
@@ -648,6 +685,9 @@ func (nd *Node) handle(m inMsg) {
 // execute performs one work item (spin scaled by this node's speed
 // factor) and acknowledges it to the assigner.
 func (nd *Node) execute(w workMsg) {
+	nd.opts.Rec.Record(chaos.Event{Ev: chaos.EvRecv, Rank: nd.rank, Peer: w.from,
+		Kind: int32(TypeWork), Work: w.load[core.Workload], Spin: w.spin.Seconds()})
+	nd.opts.Rec.Record(chaos.Event{Ev: chaos.EvStart, Rank: nd.rank})
 	c := nodeCtx{nd}
 	nd.exch.LocalChange(c, w.load, true)
 	if w.spin > 0 {
@@ -663,6 +703,7 @@ func (nd *Node) execute(w workMsg) {
 	}
 	nd.exch.LocalChange(c, neg, true)
 	nd.executed.Add(1)
+	nd.opts.Rec.Record(chaos.Event{Ev: chaos.EvDone, Rank: nd.rank})
 	nd.post(w.from, Message{Type: TypeWorkDone, From: int32(nd.rank)})
 }
 
@@ -690,6 +731,8 @@ func (nd *Node) Invoke(fn func(ctx core.Context, exch core.Exchanger)) {
 func (nd *Node) AssignWork(to int, load core.Load, spin time.Duration) {
 	nd.outstanding.Add(1)
 	nd.est.AddData(core.BytesWorkItem)
+	nd.opts.Rec.Record(chaos.Event{Ev: chaos.EvSend, Rank: nd.rank, Peer: to,
+		Kind: int32(TypeWork), Work: load[core.Workload], Spin: spin.Seconds()})
 	nd.post(to, Message{Type: TypeWork, From: int32(nd.rank), Load: load, Spin: int64(spin)})
 }
 
@@ -709,6 +752,17 @@ func (nd *Node) Decide(totalWork float64, slaves int, spin time.Duration) (core.
 			nd.decisions++
 			nd.decLatency += time.Since(acquireAt).Seconds()
 			dec = core.PlanDecision(exch.View(), nd.rank, slaves, totalWork)
+			if nd.opts.Rec != nil {
+				ev := chaos.Event{Ev: chaos.EvDecide, Rank: nd.rank,
+					Work: totalWork, Slaves: slaves}
+				for _, l := range dec.View {
+					ev.View = append(ev.View, l[core.Workload])
+				}
+				for _, a := range dec.Assignments {
+					ev.Sel = append(ev.Sel, int(a.Proc))
+				}
+				nd.opts.Rec.Record(ev)
+			}
 			// The cumulative counter leads Commit: any snapshot cut that
 			// observed this decision's credits is covered by a later
 			// read of Assigned() (the conservation tests rely on it).

@@ -31,10 +31,7 @@ func (*AppRunner) Runtime() string { return "sim" }
 // Algorithm 1 loops through the engine until the event queue drains,
 // and verifies the drain coincides with detector-announced termination.
 func (r *AppRunner) RunApp(n int, app workload.App, opts workload.AppRunOptions) (*workload.AppReport, error) {
-	net := r.Network
-	if net == (NetworkConfig{}) {
-		net = DefaultNetwork()
-	}
+	net := r.Network.Normalized()
 	eng := NewEngine()
 	eng.MaxSteps = opts.MaxSteps
 	h := &appHost{app: app, opts: opts, busySince: make([]float64, n)}

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/chaos"
+)
 
 // NetworkConfig describes the interconnect of the simulated platform.
 //
@@ -29,6 +33,23 @@ type NetworkConfig struct {
 	// (e.g. after a snapshot completes, §4.5) their messages queue at the
 	// receiver.
 	IngressBandwidth float64
+	// Chaos, when non-nil, injects delivery faults (delay jitter,
+	// reordering, loss, slow rank, rank crash) per the plan, in virtual
+	// time. A pointer so NetworkConfig stays ==-comparable.
+	Chaos *chaos.Plan
+}
+
+// Normalized returns the config with the zero value replaced by
+// DefaultNetwork, preserving an attached chaos plan: a config that only
+// names a fault plan still means "the default platform, faulted".
+func (c NetworkConfig) Normalized() NetworkConfig {
+	base := c
+	base.Chaos = nil
+	if base == (NetworkConfig{}) {
+		base = DefaultNetwork()
+	}
+	base.Chaos = c.Chaos
+	return base
 }
 
 // DefaultNetwork returns a configuration resembling a early-2000s cluster
@@ -86,6 +107,14 @@ type Network struct {
 	// experiment harness (Table 6 reports mechanism messages only; the
 	// PR-3 counters report per-kind volume too).
 	perKind map[[2]int]MessageCount
+
+	// Fault-injection state (nil/empty without an active chaos plan).
+	chaosRNG *chaos.RNG
+	// lastArrive[from*n+to] keeps delivery FIFO per link under delay
+	// jitter unless the plan permits reordering.
+	lastArrive []Time
+	// dropped counts chaos-discarded messages, indexed by channel.
+	dropped [NumChannels]int64
 }
 
 // NewNetwork creates a network of n processes delivering messages through
@@ -94,7 +123,7 @@ func NewNetwork(eng *Engine, n int, cfg NetworkConfig, deliver func(*Message)) *
 	if n <= 0 {
 		panic("sim: network needs at least one process")
 	}
-	return &Network{
+	nw := &Network{
 		eng:         eng,
 		cfg:         cfg,
 		n:           n,
@@ -103,6 +132,13 @@ func NewNetwork(eng *Engine, n int, cfg NetworkConfig, deliver func(*Message)) *
 		ingressFree: make([]Time, n),
 		perKind:     make(map[[2]int]MessageCount),
 	}
+	if cfg.Chaos.Active() {
+		nw.chaosRNG = cfg.Chaos.RNGFor(n)
+		if cfg.Chaos.Delay > 0 && !cfg.Chaos.Reorder {
+			nw.lastArrive = make([]Time, n*n)
+		}
+	}
+	return nw
 }
 
 // N returns the number of processes.
@@ -126,6 +162,19 @@ func (nw *Network) Send(m *Message) {
 	}
 	now := nw.eng.Now()
 	m.Sent = now
+	plan := nw.cfg.Chaos
+	faulted := nw.chaosRNG != nil && m.From != m.To
+
+	// Nothing leaves a crashed rank, and lossy links drop eligible
+	// messages before they occupy any bandwidth. Local delivery
+	// (From == To) is never faulted: a process does not lose messages
+	// to itself.
+	if faulted {
+		if plan.CrashedAt(float64(now), m.From, m.From) || plan.Drops(chaosClass(m.Channel), nw.chaosRNG) {
+			nw.dropped[m.Channel]++
+			return
+		}
+	}
 
 	lat := nw.cfg.Latency
 	bw := nw.cfg.Bandwidth
@@ -140,6 +189,10 @@ func (nw *Network) Send(m *Message) {
 	xfer := Duration(0)
 	if bw > 0 {
 		xfer = Duration(m.Bytes / bw)
+	}
+	if faulted && plan.SlowsLink(m.From, m.To) && plan.SlowFactor > 1 {
+		lat = Duration(float64(lat) * plan.SlowFactor)
+		xfer = Duration(float64(xfer) * plan.SlowFactor)
 	}
 
 	li := m.From*nw.n + m.To
@@ -158,6 +211,23 @@ func (nw *Network) Send(m *Message) {
 		}
 		arrive += ing
 		nw.ingressFree[m.To] = arrive
+	}
+
+	if faulted {
+		// Delay jitter, FIFO-clamped per link unless the plan permits
+		// reordering; then the receive-side crash cut — nothing arrives
+		// at a crashed rank.
+		arrive += Duration(plan.DelayFor(nw.chaosRNG))
+		if nw.lastArrive != nil {
+			if nw.lastArrive[li] > arrive {
+				arrive = nw.lastArrive[li]
+			}
+			nw.lastArrive[li] = arrive
+		}
+		if plan.CrashedAt(float64(arrive), m.To, m.To) {
+			nw.dropped[m.Channel]++
+			return
+		}
 	}
 
 	m.Arrived = arrive
@@ -187,6 +257,32 @@ func (nw *Network) Broadcast(from int, template Message) int {
 		sent++
 	}
 	return sent
+}
+
+// chaosClass maps a simulator channel onto the chaos traffic classes.
+func chaosClass(c Channel) chaos.Class {
+	switch c {
+	case StateChannel:
+		return chaos.ClassState
+	case DataChannel:
+		return chaos.ClassData
+	case CtrlChannel:
+		return chaos.ClassCtrl
+	}
+	return chaos.ClassOther
+}
+
+// Dropped returns how many messages on a channel the chaos plan
+// discarded (loss or crash); always zero without an active plan.
+func (nw *Network) Dropped(c Channel) int64 { return nw.dropped[c] }
+
+// DroppedTotal sums the chaos-discarded messages over all channels.
+func (nw *Network) DroppedTotal() int64 {
+	var total int64
+	for _, d := range nw.dropped {
+		total += d
+	}
+	return total
 }
 
 // Count returns the aggregate counters for a channel.

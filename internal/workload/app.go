@@ -312,6 +312,9 @@ func RunAppScenario(runner AppRunner, as AppScenario, mech core.Mech, cfg core.C
 	if err != nil {
 		return nil, err
 	}
+	if p.Record != nil {
+		app = Recorded(app, p.Record)
+	}
 	if p.Term != "" {
 		opts.Term = p.Term
 	}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"sync"
+
+	"repro/internal/chaos"
+)
+
+// Recorded wraps an application so every cross-rank effect lands in a
+// chaos trace: SendData emits a send event, HandleData a recv event,
+// each Compute a start/done pair, and Outcome one final event per
+// local rank carrying that rank's completed-compute count. The
+// resulting JSONL stream is what `loadex validate` replays to check
+// cross-run invariants (conservation, compute completion, quiescence).
+//
+// The wrapper interposes on both sides of the port — it hands the
+// application a recording AppHost on Attach — so it works identically
+// under every runtime and under forked hosting, where each process
+// records only its local rank's half of each exchange.
+func Recorded(app App, rec *chaos.Recorder) App {
+	if rec == nil {
+		return app
+	}
+	return &recordedApp{app: app, rec: rec}
+}
+
+type recordedApp struct {
+	app  App
+	rec  *chaos.Recorder
+	host AppHost
+
+	mu    sync.Mutex
+	dones map[int]int64
+}
+
+// countDone tallies one completed compute for rank.
+func (r *recordedApp) countDone(rank int) {
+	r.mu.Lock()
+	if r.dones == nil {
+		r.dones = make(map[int]int64)
+	}
+	r.dones[rank]++
+	r.mu.Unlock()
+}
+
+func (r *recordedApp) doneCount(rank int) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dones[rank]
+}
+
+func (r *recordedApp) Attach(host AppHost) error {
+	r.host = host
+	return r.app.Attach(&recordedHost{AppHost: host, r: r})
+}
+
+func (r *recordedApp) HandleState(rank, from, kind int, payload any) {
+	r.app.HandleState(rank, from, kind, payload)
+}
+
+func (r *recordedApp) HandleData(rank, from int, m DataMsg) {
+	r.rec.Record(chaos.Event{
+		Ev: chaos.EvRecv, Rank: rank, Peer: from,
+		Kind: m.Kind, Node: m.Node, Count: m.Count,
+		Work: m.Work, Size: m.Size,
+	})
+	r.app.HandleData(rank, from, m)
+}
+
+func (r *recordedApp) TryStart(rank int) bool { return r.app.TryStart(rank) }
+func (r *recordedApp) Blocked(rank int) bool  { return r.app.Blocked(rank) }
+func (r *recordedApp) Done() bool             { return r.app.Done() }
+
+func (r *recordedApp) Outcome(hr *AppReport) AppOutcome {
+	out := r.app.Outcome(hr)
+	if r.host != nil {
+		for rank := 0; rank < r.host.N(); rank++ {
+			if !r.host.Local(rank) {
+				continue
+			}
+			r.rec.Record(chaos.Event{
+				Ev: chaos.EvFinal, Rank: rank,
+				Executed: r.doneCount(rank),
+			})
+		}
+	}
+	return out
+}
+
+// recordedHost interposes on the host surface the application sees:
+// sends and computes are traced, everything else passes through.
+type recordedHost struct {
+	AppHost
+	r *recordedApp
+}
+
+func (h *recordedHost) SendData(from, to int, m DataMsg) {
+	h.r.rec.Record(chaos.Event{
+		Ev: chaos.EvSend, Rank: from, Peer: to,
+		Kind: m.Kind, Node: m.Node, Count: m.Count,
+		Work: m.Work, Size: m.Size,
+	})
+	h.AppHost.SendData(from, to, m)
+}
+
+func (h *recordedHost) Compute(rank int, seconds float64, done func()) {
+	h.r.rec.Record(chaos.Event{Ev: chaos.EvStart, Rank: rank, Spin: seconds})
+	h.AppHost.Compute(rank, seconds, func() {
+		h.r.rec.Record(chaos.Event{Ev: chaos.EvDone, Rank: rank, Spin: seconds})
+		h.r.countDone(rank)
+		done()
+	})
+}

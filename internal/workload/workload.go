@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 )
 
@@ -48,6 +49,13 @@ type Params struct {
 	// scenarios quiesce through their own Done announcements and ignore
 	// it.
 	Term string
+	// Record, when non-nil, streams per-rank trace events (sends,
+	// receives, computes, finals) for `loadex validate`. Only
+	// application scenarios honour it here — RunAppScenario wraps the
+	// application with Recorded; program scenarios trace through their
+	// runtime hosts instead. It never travels to forked processes:
+	// each `loadex node` opens its own recorder.
+	Record *chaos.Recorder
 }
 
 // DefaultParams returns the quickstart-sized defaults.
