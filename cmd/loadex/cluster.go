@@ -40,6 +40,8 @@ func runCluster(args []string) error {
 	p.register(fs)
 	procs := fs.Int("procs", 0, "number of processes (alias for -n)")
 	inproc := fs.Bool("inproc", false, "run the nodes in-process (same TCP sockets, no fork)")
+	fs.DurationVar(&p.statsTimeout, "stats-timeout", defaultStatsTimeout,
+		"forked clusters: watchdog slack for stats collection — the ADDR-phase deadline, and the padding added to -timeout + -settle for the STATS phase (raise on heavily loaded machines)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -187,10 +189,12 @@ type childEvent struct {
 	err     error // exit status, for "exit" events
 }
 
-// bindTimeout bounds the fork-to-ADDR phase: every child only has to
-// bind one localhost socket and print a line, so a child silent for
-// this long is wedged, not slow.
-const bindTimeout = 30 * time.Second
+// defaultStatsTimeout is the watchdog slack when -stats-timeout is
+// unset: it bounds the fork-to-ADDR phase on its own (every child only
+// has to bind one localhost socket and print a line, so a child silent
+// for this long is wedged, not slow) and pads the STATS deadline on top
+// of the quiescence and settle budgets.
+const defaultStatsTimeout = 30 * time.Second
 
 // runClusterForkedWith is runClusterForked against an explicit loadex
 // binary (tests build one: the test binary cannot re-execute itself as
@@ -265,7 +269,7 @@ func runClusterForkedWith(exe string, p *nodeParams) ([]nodeStats, error) {
 	// exit status: the cluster can never complete one rank short.
 	addrs := make([]string, p.procs)
 	gotAddr := make([]bool, p.procs)
-	addrDeadline := time.Now().Add(bindTimeout)
+	addrDeadline := time.Now().Add(p.watchdogSlack())
 	for have := 0; have < p.procs; {
 		ev, err := nextEvent(events, addrDeadline, "ADDR", missing(gotAddr))
 		if err != nil {
@@ -303,7 +307,7 @@ func runClusterForkedWith(exe string, p *nodeParams) ([]nodeStats, error) {
 	// can never conclude.
 	stats := make([]nodeStats, p.procs)
 	gotStats := make([]bool, p.procs)
-	deadline := time.Now().Add(p.quiesceTimeout() + p.settle + bindTimeout)
+	deadline := time.Now().Add(p.quiesceTimeout() + p.settle + p.watchdogSlack())
 	for have, exited := 0, 0; have < p.procs || exited < p.procs; {
 		ev, err := nextEvent(events, deadline, "STATS", missing(gotStats))
 		if err != nil {

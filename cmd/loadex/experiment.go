@@ -12,6 +12,13 @@ package main
 // Cells that fail do not abort the sweep: every cell is visited, the
 // failures are listed at the end, and the exit status is non-zero if
 // any cell failed.
+//
+// -service switches to the sustained-throughput bench of the scheduler
+// service (internal/service): per mechanism, one resident mesh admits a
+// stream of -jobs synthetic jobs at concurrency -conc, and the cell
+// records jobs/s and p50/p99 makespan beside the counter totals:
+//
+//	loadex experiment -service -mech all -jobs 24 -conc 4 -json BENCH_pr7.json -label pr7
 
 import (
 	"flag"
@@ -35,6 +42,9 @@ func runExperiment(args []string) error {
 	repeat := fs.Int("repeat", 1, "runs per cell (aggregated as mean/min/max)")
 	jsonPath := fs.String("json", "", "write the machine-readable benchmark record to this file")
 	label := fs.String("label", "pr3", "label stored in the benchmark record")
+	svc := fs.Bool("service", false, "run the scheduler-service sustained-throughput bench instead of the cell matrix")
+	jobs := fs.Int("jobs", 24, "service bench: jobs streamed per mechanism")
+	conc := fs.Int("conc", 4, "service bench: concurrently running jobs (offered load)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -46,6 +56,9 @@ func runExperiment(args []string) error {
 	}
 	if err := p.validate(true); err != nil {
 		return err
+	}
+	if *svc {
+		return runServiceBench(&p, *jobs, *conc, *jsonPath, *label)
 	}
 	if *repeat < 1 {
 		return fmt.Errorf("-repeat must be at least 1, got %d", *repeat)
@@ -103,6 +116,75 @@ func runExperiment(args []string) error {
 			return werr
 		}
 		fmt.Printf("wrote %d cell(s) to %s\n", len(results), *jsonPath)
+	}
+	return failedCellsError(failed)
+}
+
+// runServiceBench runs the sustained-throughput service bench: one
+// resident mesh per mechanism (× protocol, if "-term all"), a stream of
+// identical synthetic jobs, and a bench record whose cells carry jobs/s
+// and p50/p99 makespan beside the usual counter totals.
+func runServiceBench(p *nodeParams, jobs, conc int, jsonPath, label string) error {
+	if jobs < 1 {
+		return fmt.Errorf("-jobs must be at least 1, got %d", jobs)
+	}
+	if conc < 1 {
+		return fmt.Errorf("-conc must be at least 1, got %d", conc)
+	}
+	mechs := []core.Mech{core.Mech(p.mech)}
+	if p.mech == "all" {
+		mechs = core.Mechanisms()
+	}
+	terms := []string{p.term}
+	if p.term == "all" {
+		terms = termdet.Names()
+	}
+	var results []experiments.CellResult
+	var failed []experiments.CellError
+	for _, term := range terms {
+		cfg := experiments.ServiceBenchConfig{
+			Procs:     p.procs,
+			Jobs:      jobs,
+			Conc:      conc,
+			Decisions: p.decisions,
+			Work:      p.work,
+			Slaves:    p.slaves,
+			Spin:      p.spin,
+			Term:      term,
+			Mechs:     mechs,
+		}
+		res, fail := experiments.ServiceSweep(cfg, func(m core.Mech) {
+			fmt.Printf("service-stream %s term=%s: %d jobs at conc %d on %d ranks\n",
+				m, term, jobs, conc, p.procs)
+		})
+		results = append(results, res...)
+		failed = append(failed, fail...)
+	}
+
+	experiments.WriteSweepMarkdown(os.Stdout, results)
+
+	if jsonPath != "" {
+		bench := experiments.Bench{
+			Label:  label,
+			Repeat: 1,
+			Params: p.params(),
+			Cells:  results,
+		}
+		for _, f := range failed {
+			bench.Failed = append(bench.Failed, f.Error())
+		}
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		werr := experiments.WriteBenchJSON(f, bench)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Printf("wrote %d cell(s) to %s\n", len(results), jsonPath)
 	}
 	return failedCellsError(failed)
 }

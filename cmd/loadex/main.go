@@ -28,6 +28,13 @@
 //	                                            report per-rank stats
 //	loadex node    [-rank r] [...]              one cluster process
 //	                                            (normally forked by cluster)
+//	loadex serve   [-procs n] [-mech m] [-addr a]   persistent scheduler
+//	                                            service: a resident TCP
+//	                                            mesh serving a stream of
+//	                                            jobs (SIGTERM drains)
+//	loadex submit  [-addr a] [-kind k] [...]    submit one job to a
+//	                                            serving instance
+//	loadex job     <status|result|cancel|metrics> query a serving instance
 //	loadex list    print the registered scenarios (program and app),
 //	               mechanisms, termination protocols, runtimes and
 //	               codecs — the sweep axes
@@ -81,6 +88,24 @@ func main() {
 		case "validate":
 			if err := runValidate(os.Args[2:]); err != nil {
 				fmt.Fprintln(os.Stderr, "loadex validate:", err)
+				os.Exit(1)
+			}
+			return
+		case "serve":
+			if err := runServe(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "loadex serve:", err)
+				os.Exit(1)
+			}
+			return
+		case "submit":
+			if err := runSubmit(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "loadex submit:", err)
+				os.Exit(1)
+			}
+			return
+		case "job":
+			if err := runJobCmd(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "loadex job:", err)
 				os.Exit(1)
 			}
 			return
@@ -216,8 +241,12 @@ func usage() {
 	fmt.Fprintf(os.Stderr, "       loadex run [-scenario %s|all] [-mech %s|all] [-runtime sim|live|net|all] [-inproc] ...\n",
 		strings.Join(workload.Names(), "|"), strings.Join(mechNames(), "|"))
 	fmt.Fprintln(os.Stderr, "       loadex experiment [-scenario s|all] [-mech m|all] [-runtime r|all] [-repeat k] [-json file] ...")
+	fmt.Fprintln(os.Stderr, "       loadex experiment -service [-mech m|all] [-jobs n] [-conc k] ...   (scheduler-service throughput bench)")
 	fmt.Fprintln(os.Stderr, "       loadex cluster [-procs n] [-scenario s] [-mech m|all] [-inproc] ...")
 	fmt.Fprintln(os.Stderr, "       loadex node -rank r -n procs [-scenario s] [-mech m] ...   (normally forked by cluster)")
 	fmt.Fprintln(os.Stderr, "       loadex validate -dir d   (replay recorded chaos traces, check cross-rank invariants)")
+	fmt.Fprintln(os.Stderr, "       loadex serve [-procs n] [-mech m] [-term t] [-addr host:port]   (persistent scheduler service)")
+	fmt.Fprintln(os.Stderr, "       loadex submit [-addr a] [-kind synthetic|app] [-wait] ...   (submit one job to a serving instance)")
+	fmt.Fprintln(os.Stderr, "       loadex job <status|result|cancel|metrics> [-addr a] [-id n]   (query a serving instance)")
 	fmt.Fprintln(os.Stderr, "       loadex list   (print registered scenarios, mechanisms, chaos plans, runtimes and codecs)")
 }

@@ -70,8 +70,13 @@ type nodeParams struct {
 	spin      time.Duration
 	settle    time.Duration
 	timeout   time.Duration
-	chaos     string
-	traceDir  string
+	// statsTimeout is the parent watchdog's slack for forked clusters
+	// (the ADDR-phase deadline, and the padding the STATS deadline adds
+	// on top of timeout + settle). It is a `loadex cluster` flag, not a
+	// per-node one: only the parent runs the watchdog.
+	statsTimeout time.Duration
+	chaos        string
+	traceDir     string
 }
 
 func (p *nodeParams) register(fs *flag.FlagSet) {
@@ -241,6 +246,15 @@ func (p *nodeParams) quiesceTimeout() time.Duration {
 		return 2 * time.Minute
 	}
 	return p.timeout
+}
+
+// watchdogSlack normalizes the forked-cluster stats-collection slack
+// (tests build nodeParams literals without it).
+func (p *nodeParams) watchdogSlack() time.Duration {
+	if p.statsTimeout <= 0 {
+		return defaultStatsTimeout
+	}
+	return p.statsTimeout
 }
 
 // programs compiles the scenario for these params.

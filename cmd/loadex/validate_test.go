@@ -1,0 +1,87 @@
+package main
+
+// Error-path coverage for `loadex validate`: a missing trace root, a
+// truncated JSONL line and a directory mixing traces of two different
+// runs must each surface as a named error (non-zero exit through main),
+// never a panic or a silent pass.
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTrace writes one JSONL trace file verbatim.
+func writeTrace(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateMissingDir(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "never-recorded")
+	err := runValidate([]string{"-dir", missing})
+	if err == nil {
+		t.Fatalf("validate of missing dir %s succeeded", missing)
+	}
+	if !strings.Contains(err.Error(), "never-recorded") {
+		t.Errorf("error %q does not name the missing directory", err)
+	}
+}
+
+func TestValidateEmptyDir(t *testing.T) {
+	dir := t.TempDir()
+	err := validateTraceRoot(io.Discard, dir)
+	if err == nil {
+		t.Fatalf("validate of traceless dir succeeded — a validation that checked nothing must not pass")
+	}
+	if !strings.Contains(err.Error(), "no *.jsonl trace files") {
+		t.Errorf("error %q does not say no traces were found", err)
+	}
+}
+
+func TestValidateTruncatedLine(t *testing.T) {
+	dir := t.TempDir()
+	// A crash mid-write leaves a partial last line: valid meta line,
+	// then JSON cut off mid-object.
+	writeTrace(t, dir, "rank-0.jsonl",
+		`{"ev":"meta","rank":0,"n":2,"scenario":"burst","mech":"naive"}
+{"ev":"send","rank":0,"peer":1,`+"\n")
+	err := validateTraceRoot(io.Discard, dir)
+	if err == nil {
+		t.Fatalf("validate of truncated trace succeeded")
+	}
+	if !strings.Contains(err.Error(), "rank-0.jsonl:2:") {
+		t.Errorf("error %q does not name file and line of the truncated record", err)
+	}
+}
+
+func TestValidateMixedRunsInOneDir(t *testing.T) {
+	dir := t.TempDir()
+	// Two per-rank traces whose meta lines disagree on the mechanism:
+	// someone pointed -trace of a second run at an already-used
+	// directory. Both traces are individually clean (quiescent, no
+	// traffic), so only the meta check can catch the mix.
+	writeTrace(t, dir, "rank-0.jsonl",
+		`{"ev":"meta","rank":0,"n":1,"scenario":"burst","mech":"naive"}
+{"ev":"final","rank":0,"executed":0}
+`)
+	writeTrace(t, dir, "rank-0b.jsonl",
+		`{"ev":"meta","rank":0,"n":1,"scenario":"burst","mech":"snapshot"}
+{"ev":"final","rank":0,"executed":0}
+`)
+	var out strings.Builder
+	err := validateTraceRoot(&out, dir)
+	if err == nil {
+		t.Fatalf("validate of mixed-run dir succeeded:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "violated invariants") {
+		t.Errorf("error %q is not an invariant-violation error", err)
+	}
+	if !strings.Contains(out.String(), "conflicting mechanism") {
+		t.Errorf("report does not name the meta conflict:\n%s", out.String())
+	}
+}

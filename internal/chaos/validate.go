@@ -114,10 +114,10 @@ func Validate(events []Event) *Report {
 				}
 				r.N = e.N
 			}
-			setIfEmpty(&r.Scenario, e.Scenario)
-			setIfEmpty(&r.Mech, e.Mech)
-			setIfEmpty(&r.Term, e.Term)
-			setIfEmpty(&r.Plan, e.Plan)
+			r.setMeta("scenario", &r.Scenario, e.Scenario)
+			r.setMeta("mechanism", &r.Mech, e.Mech)
+			r.setMeta("term protocol", &r.Term, e.Term)
+			r.setMeta("chaos plan", &r.Plan, e.Plan)
 		case EvSend:
 			r.Sends++
 			add(sent, pair{e.Rank, e.Peer}, e.key())
@@ -249,10 +249,21 @@ func equalSelection(view []float64, got, want []int) bool {
 	return true
 }
 
-func setIfEmpty(dst *string, v string) {
-	if *dst == "" {
-		*dst = v
+// setMeta records one run-level meta field. Two different non-empty
+// values inside one validation unit mean the directory mixes traces of
+// two different runs — a "meta" violation, not a silent first-wins:
+// every downstream invariant (conservation, quiescence) would otherwise
+// be checked against an incoherent event soup.
+func (r *Report) setMeta(name string, dst *string, v string) {
+	if v == "" {
+		return
 	}
+	if *dst != "" && *dst != v {
+		r.violate("meta", "conflicting %s in meta events: %q vs %q (traces from different runs mixed in one directory?)",
+			name, *dst, v)
+		return
+	}
+	*dst = v
 }
 
 func sortedPairs(ms ...map[pair]map[string]int) []pair {

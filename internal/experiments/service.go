@@ -1,0 +1,166 @@
+package experiments
+
+// The sustained-throughput bench of the scheduler service: a stream of
+// identical synthetic jobs over one resident mesh, per mechanism. The
+// one-shot matrix measures one run's cost; this measures the amortized
+// regime the ROADMAP north-star cares about — jobs per second and tail
+// makespan at a fixed offered load, with the load-information mechanism
+// shared across concurrent tenants.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/stats"
+)
+
+// Service-bench metric names (beside the shared counter metrics).
+const (
+	MetricJobs        = "jobs"
+	MetricJobsPerSec  = "jobs_per_sec"
+	MetricMakespanP50 = "makespan_p50_s"
+	MetricMakespanP99 = "makespan_p99_s"
+)
+
+// ServiceBenchConfig shapes one sustained-throughput sweep.
+type ServiceBenchConfig struct {
+	// Procs is the resident mesh size.
+	Procs int
+	// Jobs is the number of jobs streamed per mechanism.
+	Jobs int
+	// Conc is the service's concurrency cap (offered load).
+	Conc int
+	// Decisions/Work/Slaves/Spin shape each synthetic job.
+	Decisions int
+	Work      float64
+	Slaves    int
+	Spin      time.Duration
+	// Term is the per-job termination protocol.
+	Term string
+	// Mechs lists the mechanisms to bench (nil = all three).
+	Mechs []core.Mech
+}
+
+func (c *ServiceBenchConfig) normalize() {
+	if c.Procs <= 0 {
+		c.Procs = 4
+	}
+	if c.Jobs <= 0 {
+		c.Jobs = 24
+	}
+	if c.Conc <= 0 {
+		c.Conc = 4
+	}
+	if c.Decisions <= 0 {
+		c.Decisions = 3
+	}
+	if c.Work <= 0 {
+		c.Work = 90
+	}
+	if c.Slaves <= 0 {
+		c.Slaves = 2
+	}
+	if len(c.Mechs) == 0 {
+		c.Mechs = core.Mechanisms()
+	}
+}
+
+// ServiceSweep streams cfg.Jobs jobs through one resident mesh per
+// mechanism and reports each mesh as one cell (Runtime "net", Scenario
+// "service-stream"): throughput and tail makespan from the service
+// metrics, counter totals from the mesh and the per-job shares.
+func ServiceSweep(cfg ServiceBenchConfig, progress func(core.Mech)) ([]CellResult, []CellError) {
+	cfg.normalize()
+	var results []CellResult
+	var failed []CellError
+	for _, mech := range cfg.Mechs {
+		cell := Cell{Scenario: "service-stream", Mech: string(mech), Runtime: "net", Term: cfg.Term}
+		if progress != nil {
+			progress(mech)
+		}
+		res, err := serviceCell(cfg, mech)
+		if err != nil {
+			failed = append(failed, CellError{Cell: cell, Err: err})
+			continue
+		}
+		res.Cell = cell
+		results = append(results, res)
+	}
+	return results, failed
+}
+
+// serviceCell runs one mechanism's stream and flattens the service
+// metrics into a cell result (single-run summaries).
+func serviceCell(cfg ServiceBenchConfig, mech core.Mech) (CellResult, error) {
+	s, err := service.New(service.Config{
+		Procs:         cfg.Procs,
+		Mech:          mech,
+		Term:          cfg.Term,
+		MaxConcurrent: cfg.Conc,
+		QueueCap:      cfg.Jobs + cfg.Conc,
+	})
+	if err != nil {
+		return CellResult{}, err
+	}
+	defer s.Close()
+
+	spec := service.JobSpec{
+		Decisions: cfg.Decisions,
+		Work:      cfg.Work,
+		Slaves:    cfg.Slaves,
+		Spin:      cfg.Spin.Seconds(),
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Jobs)
+	for i := 0; i < cfg.Jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id, err := s.Submit(spec)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			st, err := s.Result(id, 2*time.Minute)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if st.State != service.StateDone {
+				errs[i] = fmt.Errorf("job %d finished %s: %s", id, st.State, st.Err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return CellResult{}, err
+		}
+	}
+
+	m := s.Metrics()
+	one := func(v float64) stats.Summary { return stats.Summarize([]float64{v}) }
+	res := CellResult{
+		Procs:   cfg.Procs,
+		Repeats: 1,
+		Metrics: map[string]stats.Summary{
+			MetricJobs:            one(float64(m.Completed)),
+			MetricJobsPerSec:      one(m.JobsPerSec),
+			MetricMakespanP50:     one(m.MakespanP50),
+			MetricMakespanP99:     one(m.MakespanP99),
+			MetricStateMsgs:       one(float64(m.Mesh.StateMsgs)),
+			MetricStateBytes:      one(m.Mesh.StateBytes),
+			MetricDataMsgs:        one(float64(m.Jobs.DataMsgs)),
+			MetricDataBytes:       one(m.Jobs.DataBytes),
+			MetricCtrlMsgs:        one(float64(m.Jobs.CtrlMsgs)),
+			MetricCtrlBytes:       one(m.Jobs.CtrlBytes),
+			MetricDecisions:       one(float64(m.Jobs.Decisions)),
+			MetricDecisionLatency: one(m.Jobs.DecisionLatency),
+			MetricSnapshotRounds:  one(float64(m.Mesh.SnapshotRounds)),
+		},
+	}
+	return res, nil
+}

@@ -52,6 +52,14 @@ const (
 	TypeDone
 	TypeData
 	TypeCtrl
+	// The job-tagged variants multiplex many concurrent jobs over one
+	// resident mesh (internal/service): same payloads as their base
+	// types plus a job id the receiving node routes on. Legacy frames
+	// stay byte-identical — a mesh serving jobs still speaks the exact
+	// one-shot protocol for its own state channel.
+	TypeJobState
+	TypeJobData
+	TypeJobCtrl
 )
 
 // String returns a short name for the message type.
@@ -71,6 +79,12 @@ func (t MsgType) String() string {
 		return "data"
 	case TypeCtrl:
 		return "ctrl"
+	case TypeJobState:
+		return "job_state"
+	case TypeJobData:
+		return "job_data"
+	case TypeJobCtrl:
+		return "job_ctrl"
 	}
 	return fmt.Sprintf("type(%d)", uint8(t))
 }
@@ -83,7 +97,10 @@ func (t MsgType) String() string {
 type Message struct {
 	Type MsgType `json:"type"`
 	From int32   `json:"from"`
-	// Kind is the core state-message kind (TypeState only).
+	// Job identifies the multiplexed job of a TypeJob* frame (zero for
+	// every legacy type: job ids start at 1).
+	Job int32 `json:"job,omitempty"`
+	// Kind is the core state-message kind (TypeState/TypeJobState only).
 	Kind int32 `json:"kind,omitempty"`
 	// Req is the snapshot request id (start_snp, snp).
 	Req int32 `json:"req,omitempty"`
@@ -112,6 +129,44 @@ func DataMessage(from int, m workload.DataMsg) Message {
 // control frame.
 func CtrlMessage(from int, c termdet.Ctrl) Message {
 	return Message{Type: TypeCtrl, From: int32(from), Ctrl: c}
+}
+
+// JobDataMessage builds the job-tagged wire message for one data-channel
+// send of a multiplexed job.
+func JobDataMessage(job int32, from int, m workload.DataMsg) Message {
+	return Message{Type: TypeJobData, Job: job, From: int32(from), Data: m}
+}
+
+// JobCtrlMessage builds the job-tagged wire message for one
+// termination-detection control frame of a multiplexed job.
+func JobCtrlMessage(job int32, from int, c termdet.Ctrl) Message {
+	return Message{Type: TypeJobCtrl, Job: job, From: int32(from), Ctrl: c}
+}
+
+// JobStateMessage builds the job-tagged wire message for one
+// state-channel send of a multiplexed job (a hosted application's own
+// mechanism traffic, isolated from the mesh's shared state channel).
+func JobStateMessage(job int32, from int, kind int, payload any) (Message, error) {
+	m, err := StateMessage(from, kind, payload)
+	if err != nil {
+		return m, err
+	}
+	m.Type, m.Job = TypeJobState, job
+	return m, nil
+}
+
+// jobBase maps a job-tagged type onto the base type whose payload
+// layout it shares (and returns the input unchanged for non-job types).
+func jobBase(t MsgType) MsgType {
+	switch t {
+	case TypeJobState:
+		return TypeState
+	case TypeJobData:
+		return TypeData
+	case TypeJobCtrl:
+		return TypeCtrl
+	}
+	return t
 }
 
 // StateMessage builds the wire message for one core state-channel send.
@@ -227,7 +282,14 @@ const assignmentSize = 4 + 8*int(core.NumMetrics)
 func (BinaryCodec) Encode(dst []byte, m Message) ([]byte, error) {
 	dst = append(dst, byte(m.Type))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(m.From))
-	switch m.Type {
+	t := m.Type
+	if base := jobBase(t); base != t {
+		// Job-tagged frames carry the job id right after the sender,
+		// then the exact payload layout of their base type.
+		dst = binary.BigEndian.AppendUint32(dst, uint32(m.Job))
+		t = base
+	}
+	switch t {
 	case TypeHello, TypeWorkDone, TypeDone:
 		// header only
 	case TypeWork:
@@ -288,7 +350,14 @@ func (BinaryCodec) Decode(b []byte) (Message, error) {
 	if m.From, err = r.i32(); err != nil {
 		return m, err
 	}
-	switch m.Type {
+	base := m.Type
+	if b := jobBase(base); b != base {
+		if m.Job, err = r.i32(); err != nil {
+			return m, err
+		}
+		base = b
+	}
+	switch base {
 	case TypeHello, TypeWorkDone, TypeDone:
 	case TypeWork:
 		if m.Load, err = r.load(); err != nil {

@@ -149,7 +149,15 @@ func frameClass(body []byte) chaos.Class {
 	if body[0] == '{' {
 		const prefix = `{"type":`
 		if len(body) > len(prefix) && string(body[:len(prefix)]) == prefix {
-			return classOfType(MsgType(body[len(prefix)] - '0'))
+			// The type number may be multi-digit (job-tagged frames).
+			n := 0
+			for _, c := range body[len(prefix):] {
+				if c < '0' || c > '9' || n > 255 {
+					break
+				}
+				n = n*10 + int(c-'0')
+			}
+			return classOfType(MsgType(n))
 		}
 		return chaos.ClassOther
 	}
@@ -158,7 +166,7 @@ func frameClass(body []byte) chaos.Class {
 
 // classOfType buckets the wire message types.
 func classOfType(t MsgType) chaos.Class {
-	switch t {
+	switch jobBase(t) {
 	case TypeState:
 		return chaos.ClassState
 	case TypeWork, TypeData:

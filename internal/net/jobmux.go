@@ -1,0 +1,234 @@
+package net
+
+// Job multiplexing: the service layer (internal/service) keeps one
+// resident mesh up across many jobs, so several termination-detection
+// scopes and data streams share each per-peer TCP connection. A JobPort
+// is one rank's endpoint of one such job — it posts job-tagged frames
+// through the node's existing writer goroutines (preserving the
+// per-pair FIFO order the detectors rely on) and receives the frames
+// readLoop routes to it by job id.
+//
+// The port deliberately does not touch the node's own measurement state
+// (nd.est is node-goroutine-owned); each port keeps its own
+// mutex-guarded core.Counters so concurrent jobs stay accountable in
+// isolation.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/termdet"
+	"repro/internal/workload"
+)
+
+// JobState is one inbound job-scoped state message.
+type JobState struct {
+	From    int
+	Kind    int
+	Payload any
+}
+
+// JobData is one inbound job-scoped application data message.
+type JobData struct {
+	From int
+	Msg  workload.DataMsg
+}
+
+// JobCtrl is one inbound job-scoped termination-detection control
+// frame.
+type JobCtrl struct {
+	From int
+	Ctrl termdet.Ctrl
+}
+
+// JobPort is one rank's endpoint of one multiplexed job. The job's
+// per-rank driver goroutine owns the receive side (drain CtrlCh before
+// DataCh, mirroring the node loops); any goroutine may send.
+type JobPort struct {
+	nd *Node
+	id int32
+
+	// StateCh carries job-scoped state messages (solver assembly
+	// traffic), CtrlCh detector control frames, DataCh application data,
+	// WakeCh local main-loop wakeups (never crosses the wire).
+	StateCh chan JobState
+	DataCh  chan JobData
+	CtrlCh  chan JobCtrl
+	WakeCh  chan struct{}
+
+	mu  sync.Mutex
+	cnt core.Counters
+}
+
+// Rank returns the hosting node's rank.
+func (jp *JobPort) Rank() int { return jp.nd.rank }
+
+// N returns the mesh size.
+func (jp *JobPort) N() int { return jp.nd.n }
+
+// ID returns the job id this port serves.
+func (jp *JobPort) ID() int32 { return jp.id }
+
+// RegisterJob creates this rank's port for job id. buf sizes the
+// inbound channels; it must exceed the largest burst a peer can send
+// before the job's driver drains (the service sizes it from the job
+// spec). Registering an id twice is an error — job ids are
+// service-global and start at 1.
+func (nd *Node) RegisterJob(id int32, buf int) (*JobPort, error) {
+	if id <= 0 {
+		return nil, fmt.Errorf("net: job id %d out of range (ids start at 1)", id)
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	jp := &JobPort{
+		nd:      nd,
+		id:      id,
+		StateCh: make(chan JobState, buf),
+		DataCh:  make(chan JobData, buf),
+		CtrlCh:  make(chan JobCtrl, buf),
+		WakeCh:  make(chan struct{}, 1),
+	}
+	nd.jobMu.Lock()
+	defer nd.jobMu.Unlock()
+	if nd.jobs == nil {
+		nd.jobs = make(map[int32]*JobPort)
+	}
+	if nd.jobs[id] != nil {
+		return nil, fmt.Errorf("net: rank %d job %d already registered", nd.rank, id)
+	}
+	nd.jobs[id] = jp
+	return jp, nil
+}
+
+// UnregisterJob removes this rank's port for job id. Frames still in
+// flight for the id are dropped by readLoop from then on — by the time
+// a job's termination detector has fired on every rank, no peer has
+// more of its frames to send, so the drop path only sees stragglers of
+// canceled jobs.
+func (nd *Node) UnregisterJob(id int32) {
+	nd.jobMu.Lock()
+	delete(nd.jobs, id)
+	nd.jobMu.Unlock()
+}
+
+// routeJob delivers one inbound job-tagged frame to its registered
+// port, blocking (against quit) if the port's channel is full so
+// per-pair FIFO order survives backpressure. It reports false when no
+// port holds the id.
+func (nd *Node) routeJob(m Message) bool {
+	nd.jobMu.RLock()
+	jp := nd.jobs[m.Job]
+	nd.jobMu.RUnlock()
+	if jp == nil {
+		return false
+	}
+	switch m.Type {
+	case TypeJobState:
+		select {
+		case jp.StateCh <- JobState{From: int(m.From), Kind: int(m.Kind), Payload: m.StatePayload()}:
+		case <-nd.quit:
+		}
+	case TypeJobData:
+		select {
+		case jp.DataCh <- JobData{From: int(m.From), Msg: m.Data}:
+		case <-nd.quit:
+		}
+	case TypeJobCtrl:
+		select {
+		case jp.CtrlCh <- JobCtrl{From: int(m.From), Ctrl: m.Ctrl}:
+		case <-nd.quit:
+		}
+	}
+	return true
+}
+
+// SendState ships one job-scoped state message to rank `to` (or
+// delivers locally for the own rank) and charges the job's counters
+// with the core byte hint for the kind.
+func (jp *JobPort) SendState(to, kind int, payload any, bytes float64) error {
+	jp.mu.Lock()
+	jp.cnt.AddState(kind, bytes)
+	jp.mu.Unlock()
+	if to == jp.nd.rank {
+		select {
+		case jp.StateCh <- JobState{From: to, Kind: kind, Payload: payload}:
+		case <-jp.nd.quit:
+		}
+		return nil
+	}
+	m, err := JobStateMessage(jp.id, jp.nd.rank, kind, payload)
+	if err != nil {
+		return err
+	}
+	jp.nd.post(to, m)
+	return nil
+}
+
+// SendData ships one job-scoped application data message, charging the
+// application's modeled byte size (the writer goroutine tallies the
+// real encoded frame into the node's wire stats).
+func (jp *JobPort) SendData(to int, m workload.DataMsg) {
+	jp.mu.Lock()
+	jp.cnt.AddData(m.Bytes)
+	jp.mu.Unlock()
+	if to == jp.nd.rank {
+		select {
+		case jp.DataCh <- JobData{From: to, Msg: m}:
+		case <-jp.nd.quit:
+		}
+		return
+	}
+	jp.nd.post(to, JobDataMessage(jp.id, jp.nd.rank, m))
+}
+
+// SendCtrl ships one job-scoped detector control frame.
+func (jp *JobPort) SendCtrl(to int, c termdet.Ctrl) {
+	jp.mu.Lock()
+	jp.cnt.AddCtrl(core.BytesCtrl)
+	jp.mu.Unlock()
+	if to == jp.nd.rank {
+		select {
+		case jp.CtrlCh <- JobCtrl{From: to, Ctrl: c}:
+		case <-jp.nd.quit:
+		}
+		return
+	}
+	jp.nd.post(to, JobCtrlMessage(jp.id, jp.nd.rank, c))
+}
+
+// Wake nudges the port's driver loop without payload (local only).
+func (jp *JobPort) Wake() {
+	select {
+	case jp.WakeCh <- struct{}{}:
+	default:
+	}
+}
+
+// AddDecision records one committed decision this job took against the
+// mesh's shared view.
+func (jp *JobPort) AddDecision(latency float64) {
+	jp.mu.Lock()
+	jp.cnt.AddDecision(latency)
+	jp.mu.Unlock()
+}
+
+// AddBusy adds snapshot-blocked (or otherwise stalled) seconds to the
+// job's tally.
+func (jp *JobPort) AddBusy(sec float64) {
+	jp.mu.Lock()
+	jp.cnt.BusyTime += sec
+	jp.mu.Unlock()
+}
+
+// Counters returns a snapshot of the job's per-rank counters.
+func (jp *JobPort) Counters() core.Counters {
+	jp.mu.Lock()
+	defer jp.mu.Unlock()
+	return jp.cnt.Clone()
+}
+
+// Quit exposes the node's shutdown channel so job drivers can abort
+// blocking receives when the mesh tears down mid-job.
+func (jp *JobPort) Quit() <-chan struct{} { return jp.nd.quit }

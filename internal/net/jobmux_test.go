@@ -1,0 +1,199 @@
+package net
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/termdet"
+	"repro/internal/workload"
+)
+
+// TestJobFrameRoundTrip pushes job-tagged frames through both codecs:
+// the job id and the base-type payload must survive unchanged.
+func TestJobFrameRoundTrip(t *testing.T) {
+	stateMsg, err := JobStateMessage(7, 2, core.KindUpdate, core.UpdatePayload{Load: core.Load{42, -1}})
+	if err != nil {
+		t.Fatalf("JobStateMessage: %v", err)
+	}
+	msgs := []Message{
+		JobDataMessage(1, 3, workload.DataMsg{Kind: 2, Node: 9, Peer: 1, Count: 4, Work: 12.5, Size: 80, Bytes: 640}),
+		JobCtrlMessage(300, 0, termdet.Ctrl{Kind: termdet.CtrlToken, Count: -3, Black: true}),
+		stateMsg,
+	}
+	for _, codec := range []Codec{BinaryCodec{}, JSONCodec{}} {
+		for _, m := range msgs {
+			body, err := codec.Encode(nil, m)
+			if err != nil {
+				t.Fatalf("%T encode %s: %v", codec, m.Type, err)
+			}
+			got, err := codec.Decode(body)
+			if err != nil {
+				t.Fatalf("%T decode %s: %v", codec, m.Type, err)
+			}
+			if got.Job != m.Job {
+				t.Errorf("%T %s: job id %d, want %d", codec, m.Type, got.Job, m.Job)
+			}
+			// Compare the fields the base type carries.
+			if got.Type != m.Type || got.From != m.From ||
+				!reflect.DeepEqual(got.Data, m.Data) || got.Ctrl != m.Ctrl ||
+				got.Kind != m.Kind {
+				t.Errorf("%T %s roundtrip drift:\n got %+v\nwant %+v", codec, m.Type, got, m)
+			}
+		}
+	}
+}
+
+// TestJobFrameClass asserts the chaos fault injector buckets job-tagged
+// frames like their base types for both codecs — including the JSON
+// path, where the type number is now multi-digit.
+func TestJobFrameClass(t *testing.T) {
+	cases := []struct {
+		m    Message
+		want chaos.Class
+	}{
+		{JobDataMessage(1, 0, workload.DataMsg{Kind: 1}), chaos.ClassData},
+		{JobCtrlMessage(2, 0, termdet.Ctrl{Kind: termdet.CtrlAck}), chaos.ClassCtrl},
+	}
+	st, err := JobStateMessage(3, 0, core.KindUpdate, core.UpdatePayload{})
+	if err != nil {
+		t.Fatalf("JobStateMessage: %v", err)
+	}
+	cases = append(cases, struct {
+		m    Message
+		want chaos.Class
+	}{st, chaos.ClassState})
+	for _, codec := range []Codec{BinaryCodec{}, JSONCodec{}} {
+		for _, c := range cases {
+			body, err := codec.Encode(nil, c.m)
+			if err != nil {
+				t.Fatalf("%T encode: %v", codec, err)
+			}
+			if got := frameClass(body); got != c.want {
+				t.Errorf("%T frameClass(%s) = %v, want %v", codec, c.m.Type, got, c.want)
+			}
+		}
+	}
+}
+
+// TestJobMuxRouting wires a 2-rank mesh and checks that frames of two
+// concurrent jobs land on their own ports only, and that frames for an
+// unregistered job id are dropped without disturbing the mesh.
+func TestJobMuxRouting(t *testing.T) {
+	nodes, addrs := make([]*Node, 2), make([]string, 2)
+	for r := 0; r < 2; r++ {
+		nd, err := NewNode(r, 2, core.MechNaive, core.Config{}, Options{})
+		if err != nil {
+			t.Fatalf("NewNode(%d): %v", r, err)
+		}
+		nodes[r] = nd
+		if addrs[r], err = nd.Listen("127.0.0.1:0"); err != nil {
+			t.Fatalf("Listen(%d): %v", r, err)
+		}
+	}
+	defer func() {
+		var wg sync.WaitGroup
+		for _, nd := range nodes {
+			wg.Add(1)
+			go func(nd *Node) {
+				defer wg.Done()
+				nd.Close()
+			}(nd)
+		}
+		wg.Wait()
+	}()
+	errc := make(chan error, 2)
+	for r := 0; r < 2; r++ {
+		go func(r int) { errc <- nodes[r].Start(addrs) }(r)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Fatalf("Start: %v", err)
+		}
+	}
+
+	portA0, err := nodes[0].RegisterJob(1, 8)
+	if err != nil {
+		t.Fatalf("RegisterJob A0: %v", err)
+	}
+	portA1, err := nodes[1].RegisterJob(1, 8)
+	if err != nil {
+		t.Fatalf("RegisterJob A1: %v", err)
+	}
+	portB1, err := nodes[1].RegisterJob(2, 8)
+	if err != nil {
+		t.Fatalf("RegisterJob B1: %v", err)
+	}
+	if _, err := nodes[0].RegisterJob(1, 8); err == nil {
+		t.Errorf("duplicate RegisterJob succeeded")
+	}
+	if _, err := nodes[0].RegisterJob(0, 8); err == nil {
+		t.Errorf("RegisterJob(0) succeeded; ids start at 1")
+	}
+
+	// Job 1 data from rank 0 must reach job 1's port on rank 1 only.
+	portA0.SendData(1, workload.DataMsg{Kind: 5, Work: 7})
+	select {
+	case d := <-portA1.DataCh:
+		if d.From != 0 || d.Msg.Kind != 5 || d.Msg.Work != 7 {
+			t.Errorf("job 1 data drifted: %+v", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("job 1 data never arrived")
+	}
+	select {
+	case d := <-portB1.DataCh:
+		t.Errorf("job 2 port received job 1 data: %+v", d)
+	default:
+	}
+
+	// Ctrl frames of job 2 reach job 2's port.
+	jp, err := nodes[0].RegisterJob(2, 8)
+	if err != nil {
+		t.Fatalf("RegisterJob B0: %v", err)
+	}
+	jp.SendCtrl(1, termdet.Ctrl{Kind: termdet.CtrlAck})
+	select {
+	case c := <-portB1.CtrlCh:
+		if c.From != 0 || c.Ctrl.Kind != termdet.CtrlAck {
+			t.Errorf("job 2 ctrl drifted: %+v", c)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("job 2 ctrl never arrived")
+	}
+
+	// Self-delivery stays local and in order.
+	portA0.SendData(0, workload.DataMsg{Kind: 9})
+	select {
+	case d := <-portA0.DataCh:
+		if d.From != 0 || d.Msg.Kind != 9 {
+			t.Errorf("self-delivery drifted: %+v", d)
+		}
+	case <-time.After(time.Second):
+		t.Fatalf("self-delivery never arrived")
+	}
+
+	// A frame for an unregistered job is dropped; the mesh stays alive.
+	nodes[1].UnregisterJob(2)
+	jp.SendCtrl(1, termdet.Ctrl{Kind: termdet.CtrlAck})
+	portA0.SendData(1, workload.DataMsg{Kind: 6})
+	select {
+	case d := <-portA1.DataCh:
+		if d.Msg.Kind != 6 {
+			t.Errorf("post-drop data drifted: %+v", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("mesh wedged after unknown-job frame")
+	}
+
+	// Per-port counters tally the job's own sends only.
+	if c := portA0.Counters(); c.DataMsgs != 3 {
+		t.Errorf("port A0 data msgs %d, want 3", c.DataMsgs)
+	}
+	if c := portB1.Counters(); c.DataMsgs != 0 || c.CtrlMsgs != 0 {
+		t.Errorf("port B1 tallied traffic it never sent: %+v", c)
+	}
+}

@@ -160,6 +160,14 @@ type Node struct {
 	// only): short intervals over a long run would otherwise allocate
 	// one uncollected runtime timer per interval.
 	sleepTimer *time.Timer
+
+	// jobMu guards jobs, the registry of multiplexed job ports
+	// (internal/service): readLoop routes TypeJob* frames to the port
+	// registered under the frame's job id. Frames for a job id with no
+	// registered port are dropped — the job already finished here, or
+	// was never admitted on this rank.
+	jobMu sync.RWMutex
+	jobs  map[int32]*JobPort
 }
 
 // NewNode creates a node of rank within n processes running mech. The
@@ -458,6 +466,10 @@ func (nd *Node) readLoop(p *peer) {
 			case <-nd.quit:
 				return
 			}
+		case TypeJobState, TypeJobData, TypeJobCtrl:
+			if !nd.routeJob(m) {
+				nd.logf("net: rank %d dropped %s for unknown job %d from %d", nd.rank, m.Type, m.Job, p.rank)
+			}
 		case TypeWorkDone:
 			nd.outstanding.Add(-1)
 		case TypeDone:
@@ -526,15 +538,15 @@ func (nd *Node) writeLoop(p *peer) {
 		nd.msgsOut.Add(1)
 		nd.bytesOut.Add(int64(len(body)) + FrameHeaderBytes)
 		switch m.Type {
-		case TypeState:
+		case TypeState, TypeJobState:
 			if k := int(m.Kind); k >= 0 && k < len(nd.stateKindMsgs) {
 				nd.stateKindMsgs[k].Add(1)
 				nd.stateKindBytes[k].Add(int64(len(body)))
 			}
-		case TypeWork, TypeData:
+		case TypeWork, TypeData, TypeJobData:
 			nd.workMsgsOut.Add(1)
 			nd.workBytesOut.Add(int64(len(body)))
-		case TypeCtrl:
+		case TypeCtrl, TypeJobCtrl:
 			nd.ctrlMsgsOut.Add(1)
 			nd.ctrlBytesOut.Add(int64(len(body)))
 		}

@@ -1,0 +1,235 @@
+package service
+
+// The client API: JSON request/response bodies in the same 4-byte
+// length-prefixed frames the mesh speaks (net.WriteFrame / ReadFrame),
+// one response per request, many requests per connection. `loadex
+// serve` listens with Serve; `loadex submit` and `loadex job` talk
+// through Client.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	xnet "repro/internal/net"
+)
+
+// API operations.
+const (
+	OpSubmit  = "submit"
+	OpStatus  = "status"
+	OpResult  = "result"
+	OpCancel  = "cancel"
+	OpMetrics = "metrics"
+)
+
+// Request is one client API frame.
+type Request struct {
+	Op string `json:"op"`
+	// ID addresses status/result/cancel.
+	ID int32 `json:"id,omitempty"`
+	// Spec is the submitted job (submit only).
+	Spec *JobSpec `json:"spec,omitempty"`
+	// TimeoutSec bounds a result wait server-side (0 = server default).
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+}
+
+// Response is one server API frame.
+type Response struct {
+	OK      bool       `json:"ok"`
+	Err     string     `json:"err,omitempty"`
+	ID      int32      `json:"id,omitempty"`
+	Job     *JobStatus `json:"job,omitempty"`
+	Metrics *Metrics   `json:"metrics,omitempty"`
+}
+
+// Serve accepts API connections until the listener closes (Close the
+// listener to stop; in-flight requests finish). It blocks, so run it
+// in its own goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return nil
+			default:
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles one client connection: frames in, frames out.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var buf []byte
+	for {
+		body, err := xnet.ReadFrame(br, buf)
+		if err != nil {
+			return // EOF or a broken client; nothing to answer
+		}
+		buf = body
+		var req Request
+		resp := Response{OK: true}
+		if err := json.Unmarshal(body, &req); err != nil {
+			resp = Response{Err: fmt.Sprintf("bad request frame: %v", err)}
+		} else {
+			resp = s.handle(req)
+		}
+		out, err := json.Marshal(resp)
+		if err != nil {
+			return
+		}
+		if err := xnet.WriteFrame(bw, out); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// handle dispatches one API request.
+func (s *Server) handle(req Request) Response {
+	fail := func(err error) Response { return Response{Err: err.Error()} }
+	switch req.Op {
+	case OpSubmit:
+		if req.Spec == nil {
+			return fail(fmt.Errorf("submit without a job spec"))
+		}
+		id, err := s.Submit(*req.Spec)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, ID: id}
+	case OpStatus:
+		st, err := s.Status(req.ID)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, ID: req.ID, Job: &st}
+	case OpResult:
+		timeout := time.Duration(req.TimeoutSec * float64(time.Second))
+		if timeout <= 0 {
+			timeout = 2 * time.Minute
+		}
+		st, err := s.Result(req.ID, timeout)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, ID: req.ID, Job: &st}
+	case OpCancel:
+		if err := s.Cancel(req.ID); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, ID: req.ID}
+	case OpMetrics:
+		m := s.Metrics()
+		return Response{OK: true, Metrics: &m}
+	}
+	return fail(fmt.Errorf("unknown op %q", req.Op))
+}
+
+// Client is one API connection. Methods serialize on it, so a client is
+// safe for concurrent use (each request owns the connection for its
+// round trip).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	buf  []byte
+}
+
+// Dial connects to a serving `loadex serve` instance.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, br: bufio.NewReader(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip performs one request/response exchange.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	body, err := json.Marshal(req)
+	if err != nil {
+		return Response{}, err
+	}
+	if err := xnet.WriteFrame(c.conn, body); err != nil {
+		return Response{}, fmt.Errorf("service: send %s: %w", req.Op, err)
+	}
+	in, err := xnet.ReadFrame(c.br, c.buf)
+	if err != nil {
+		return Response{}, fmt.Errorf("service: read %s response: %w", req.Op, err)
+	}
+	c.buf = in
+	var resp Response
+	if err := json.Unmarshal(in, &resp); err != nil {
+		return Response{}, fmt.Errorf("service: decode %s response: %w", req.Op, err)
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("service: %s: %s", req.Op, resp.Err)
+	}
+	return resp, nil
+}
+
+// Submit admits one job and returns its id.
+func (c *Client) Submit(spec JobSpec) (int32, error) {
+	resp, err := c.roundTrip(Request{Op: OpSubmit, Spec: &spec})
+	if err != nil {
+		return 0, err
+	}
+	return resp.ID, nil
+}
+
+// Status fetches the job's current state.
+func (c *Client) Status(id int32) (*JobStatus, error) {
+	resp, err := c.roundTrip(Request{Op: OpStatus, ID: id})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Job, nil
+}
+
+// Result blocks (server-side, bounded by timeout) until the job is
+// terminal and returns its final state.
+func (c *Client) Result(id int32, timeout time.Duration) (*JobStatus, error) {
+	resp, err := c.roundTrip(Request{Op: OpResult, ID: id, TimeoutSec: timeout.Seconds()})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Job, nil
+}
+
+// Cancel requests job cancellation.
+func (c *Client) Cancel(id int32) error {
+	_, err := c.roundTrip(Request{Op: OpCancel, ID: id})
+	return err
+}
+
+// Metrics fetches the service metrics.
+func (c *Client) Metrics() (*Metrics, error) {
+	resp, err := c.roundTrip(Request{Op: OpMetrics})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Metrics, nil
+}

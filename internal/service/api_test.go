@@ -1,0 +1,78 @@
+package service
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestAPIRoundTrip drives the full client surface over real TCP frames:
+// submit, status, result, metrics, cancel, and error responses.
+func TestAPIRoundTrip(t *testing.T) {
+	s := newTestServer(t, core.MechNaive, 4)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	go s.Serve(ln)
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	id, err := c.Submit(JobSpec{Decisions: 2, Work: 40, Slaves: 2})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if id <= 0 {
+		t.Fatalf("job id %d, want positive", id)
+	}
+	st, err := c.Result(id, 30*time.Second)
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("state %s (err %q), want done", st.State, st.Err)
+	}
+	if st2, err := c.Status(id); err != nil || st2.State != StateDone {
+		t.Fatalf("status after done: %v (state %v)", err, st2)
+	}
+
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if m.Completed < 1 || m.Procs != 4 || m.Mech != "naive" {
+		t.Errorf("metrics %+v inconsistent", m)
+	}
+
+	// A slow job canceled through the API goes terminal as canceled.
+	id2, err := c.Submit(JobSpec{Decisions: 100, Work: 50, Slaves: 2, Spin: 0.02})
+	if err != nil {
+		t.Fatalf("submit slow: %v", err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if err := c.Cancel(id2); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	if st, err = c.Result(id2, 30*time.Second); err != nil {
+		t.Fatalf("result after cancel: %v", err)
+	}
+	if st.State != StateCanceled {
+		t.Errorf("state %s after cancel, want canceled", st.State)
+	}
+
+	// Unknown job ids are named errors, not dead connections.
+	if _, err := c.Status(9999); err == nil {
+		t.Errorf("status of unknown job succeeded")
+	}
+	// The connection survives the error response.
+	if _, err := c.Metrics(); err != nil {
+		t.Errorf("metrics after error response: %v", err)
+	}
+}

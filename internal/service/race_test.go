@@ -1,0 +1,72 @@
+package service
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestConcurrentAdmissionIsolation is the race-lane check for the
+// multiplexed mesh: N jobs submitted simultaneously share the resident
+// mesh, and each must keep an isolated detector instance and
+// non-interfering counters. Isolation is asserted through the
+// Dijkstra–Scholten identity — every data message of a job is
+// acknowledged within that job's control stream, plus one initial
+// detach ack and one termination announcement per non-root rank, so
+// CtrlMsgs == DataMsgs + 2(n-1) holds PER JOB. A single frame delivered
+// across jobs (data or ctrl) breaks the identity on both jobs.
+func TestConcurrentAdmissionIsolation(t *testing.T) {
+	const (
+		procs = 4
+		jobs  = 8
+	)
+	s, err := New(Config{Procs: procs, Mech: core.MechIncrements, MaxConcurrent: jobs})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	statuses := make([]JobStatus, jobs)
+	errs := make([]error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id, err := s.Submit(JobSpec{Decisions: 3, Work: 90, Slaves: 2, Masters: 3})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			statuses[i], errs[i] = s.Result(id, time.Minute)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < jobs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("job %d: %v", i, errs[i])
+		}
+		st := statuses[i]
+		if st.State != StateDone {
+			t.Fatalf("job %d state %s: %s", i, st.State, st.Err)
+		}
+		// 3 decisions x 2 slaves, no self-sends (the planner excludes
+		// the master): exactly 6 shares executed, 6 data messages.
+		if st.Executed != 6 {
+			t.Errorf("job %d executed %d, want 6 (cross-job delivery?)", i, st.Executed)
+		}
+		if st.Counters.DataMsgs != 6 {
+			t.Errorf("job %d data msgs %d, want 6", i, st.Counters.DataMsgs)
+		}
+		if want := st.Counters.DataMsgs + 2*(procs-1); st.Counters.CtrlMsgs != want {
+			t.Errorf("job %d DS identity broken: ctrl %d, data %d + 2(n-1) = %d",
+				i, st.Counters.CtrlMsgs, st.Counters.DataMsgs, want)
+		}
+		if st.Counters.Decisions != 3 {
+			t.Errorf("job %d decisions %d, want 3", i, st.Counters.Decisions)
+		}
+	}
+}

@@ -1,0 +1,618 @@
+// Package service is the multi-tenant scheduler service: one resident
+// TCP rank mesh (internal/net) stays up across a stream of jobs, so the
+// cost of a load-information mechanism is amortized the way it is in a
+// long-lived cluster rather than re-paid per run as in the paper's
+// one-shot harness.
+//
+// The sharing model follows the paper's split between load information
+// and work:
+//
+//   - The load-exchange mechanism (naive / increments / snapshot) runs
+//     ONCE per mesh: every node keeps its classic Algorithm 1 loop and
+//     the mechanism's state traffic flows continuously on the shared
+//     state channel. Synthetic jobs take their dynamic decisions
+//     against that shared view, and the work they execute feeds back
+//     into it through LocalChange — concurrent jobs genuinely observe
+//     each other's load, which is the measurement the one-shot harness
+//     cannot express.
+//   - Everything job-scoped is isolated per job: each admitted job gets
+//     its own termdet.Protocol instance per rank, its own core.Counters
+//     and its own data/ctrl (and, for hosted applications, state)
+//     streams as job-id-tagged frames multiplexed over the existing
+//     per-peer connections (net.JobPort).
+//
+// Admission is a bounded queue drained by a scheduler goroutine up to a
+// concurrency cap; a graceful drain (SIGTERM in `loadex serve`) stops
+// admission, lets in-flight and queued jobs finish, then tears the mesh
+// down.
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	xnet "repro/internal/net"
+	"repro/internal/stats"
+	"repro/internal/termdet"
+	"repro/internal/workload"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Procs is the resident mesh size (number of ranks).
+	Procs int
+	// Mech is the mesh's load-exchange mechanism — one per mesh, shared
+	// by every job for the mesh's lifetime.
+	Mech core.Mech
+	// Cfg is the mechanism configuration (periods, thresholds).
+	Cfg core.Config
+	// Term names the termination-detection protocol instantiated per
+	// job and rank (empty = termdet.Default).
+	Term string
+	// Opts is the node option template (codec, timeouts, logging).
+	Opts xnet.Options
+	// MaxConcurrent caps simultaneously running jobs (default 4).
+	MaxConcurrent int
+	// QueueCap bounds the admission queue (default 64); Submit fails
+	// once it is full.
+	QueueCap int
+	// TimeScale is the wall-clock duration of one application second of
+	// hosted-app compute (default 1).
+	TimeScale float64
+}
+
+func (c *Config) normalize() error {
+	if c.Procs < 2 {
+		return fmt.Errorf("service: mesh needs at least 2 ranks, got %d", c.Procs)
+	}
+	if !termdet.Valid(c.Term) {
+		return fmt.Errorf("service: unknown termination protocol %q", c.Term)
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = 1
+	}
+	return nil
+}
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// JobSpec describes one submitted job. Kind selects the payload:
+// "synthetic" runs the paper's master/slave load program against the
+// mesh's shared view; "app" hosts a registered application scenario
+// (e.g. solver-wl) with job-scoped state traffic.
+type JobSpec struct {
+	Kind string `json:"kind"`
+
+	// Synthetic jobs: Decisions dynamic decisions of Work flops each,
+	// split over Slaves least-loaded ranks per the shared view, taken
+	// round-robin by the first Masters ranks; each work share spins
+	// Spin seconds of wall clock on its executing rank.
+	Decisions int     `json:"decisions,omitempty"`
+	Work      float64 `json:"work,omitempty"`
+	Slaves    int     `json:"slaves,omitempty"`
+	Masters   int     `json:"masters,omitempty"`
+	Spin      float64 `json:"spin,omitempty"`
+
+	// App jobs: the registered application scenario to host, with its
+	// workload parameters (Procs is forced to the mesh size).
+	Scenario string `json:"scenario,omitempty"`
+}
+
+func (sp *JobSpec) normalize(procs int) error {
+	switch sp.Kind {
+	case "", "synthetic":
+		sp.Kind = "synthetic"
+		if sp.Decisions <= 0 {
+			sp.Decisions = 4
+		}
+		if sp.Work <= 0 {
+			sp.Work = 100
+		}
+		if sp.Slaves <= 0 {
+			sp.Slaves = 2
+		}
+		if sp.Slaves >= procs {
+			sp.Slaves = procs - 1
+		}
+		if sp.Masters <= 0 || sp.Masters > procs {
+			sp.Masters = min(3, procs)
+		}
+		if sp.Spin < 0 {
+			sp.Spin = 0
+		}
+	case "app":
+		if sp.Scenario == "" {
+			return fmt.Errorf("service: app job needs a scenario name")
+		}
+		if !workload.IsAppScenario(sp.Scenario) {
+			return fmt.Errorf("service: %q is not a registered application scenario", sp.Scenario)
+		}
+	default:
+		return fmt.Errorf("service: unknown job kind %q (synthetic, app)", sp.Kind)
+	}
+	return nil
+}
+
+// JobStatus is the externally visible state of one job.
+type JobStatus struct {
+	ID    int32   `json:"id"`
+	Kind  string  `json:"kind"`
+	State string  `json:"state"`
+	Err   string  `json:"err,omitempty"`
+	// Submitted/Started/Finished are seconds since the server started
+	// (zero when the phase has not been reached).
+	Submitted float64 `json:"submitted"`
+	Started   float64 `json:"started,omitempty"`
+	Finished  float64 `json:"finished,omitempty"`
+	// Makespan is Finished-Started for finished jobs, in seconds.
+	Makespan float64 `json:"makespan,omitempty"`
+	// Executed counts completed work units across ranks.
+	Executed int64 `json:"executed,omitempty"`
+	// Counters is the job's own (mesh-wide, merged over ranks)
+	// measurement share: job data/ctrl/state messages, decisions,
+	// acquire latencies.
+	Counters core.Counters `json:"counters"`
+}
+
+// Metrics is the service-level measurement surface.
+type Metrics struct {
+	Mech   string  `json:"mech"`
+	Term   string  `json:"term"`
+	Procs  int     `json:"procs"`
+	Uptime float64 `json:"uptime_sec"`
+
+	Admitted  int64 `json:"jobs_admitted"`
+	Completed int64 `json:"jobs_completed"`
+	Failed    int64 `json:"jobs_failed"`
+	Canceled  int64 `json:"jobs_canceled"`
+	Running   int   `json:"jobs_running"`
+	Queue     int   `json:"queue_depth"`
+	Draining  bool  `json:"draining"`
+
+	// JobsPerSec is completed jobs over uptime.
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// MakespanP50/P99 are percentiles over finished jobs' makespans,
+	// seconds.
+	MakespanP50 float64 `json:"makespan_p50_s"`
+	MakespanP99 float64 `json:"makespan_p99_s"`
+
+	// Mesh is the resident mesh's own counter total (the shared
+	// mechanism's state traffic plus wire-tallied job frames), merged
+	// over ranks; Jobs is the per-job counter total merged over every
+	// finished job.
+	Mesh core.Counters `json:"mesh"`
+	Jobs core.Counters `json:"jobs"`
+}
+
+// job is the server-side record of one admitted job.
+type job struct {
+	id   int32
+	spec JobSpec
+
+	state     string
+	err       error
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	executed int64
+	counters core.Counters
+
+	// cancel is closed by Cancel; synthetic masters stop issuing
+	// decisions at the next check, app jobs fail their run.
+	cancel     chan struct{}
+	cancelOnce sync.Once
+	// doneCh closes when the job reaches a terminal state.
+	doneCh chan struct{}
+}
+
+// Server is the scheduler service: a resident mesh plus a job table.
+type Server struct {
+	cfg   Config
+	nodes []*xnet.Node
+	start time.Time
+	// decMu serializes dynamic decisions per rank (mechanism contract:
+	// decisions on one node must not overlap; across nodes they may).
+	decMu []sync.Mutex
+
+	mu       sync.Mutex
+	nextID   int32
+	jobs     map[int32]*job
+	queue    []*job
+	running  int
+	draining bool
+	closed   bool
+	// admitCh nudges the scheduler loop.
+	admitCh chan struct{}
+	// idleCh is closed when draining and no job is queued or running.
+	idleCh   chan struct{}
+	idleOnce sync.Once
+
+	admitted, completed, failed, canceled int64
+	makespans                             []float64
+	jobCounters                           core.Counters
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds the resident mesh and starts the scheduler. The mesh nodes
+// run the classic Algorithm 1 loop with the configured mechanism — the
+// shared state channel is live from this moment until Close.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	nodeOpts := cfg.Opts
+	nodeOpts.Initial, nodeOpts.Speed = nil, nil
+
+	s := &Server{
+		cfg:     cfg,
+		decMu:   make([]sync.Mutex, cfg.Procs),
+		start:   time.Now(),
+		jobs:    make(map[int32]*job),
+		admitCh: make(chan struct{}, 1),
+		idleCh:  make(chan struct{}),
+		quit:    make(chan struct{}),
+	}
+	nodes := make([]*xnet.Node, 0, cfg.Procs)
+	stop := func() {
+		var wg sync.WaitGroup
+		for _, nd := range nodes {
+			wg.Add(1)
+			go func(nd *xnet.Node) {
+				defer wg.Done()
+				nd.Close()
+			}(nd)
+		}
+		wg.Wait()
+	}
+	addrs := make([]string, cfg.Procs)
+	for rank := 0; rank < cfg.Procs; rank++ {
+		nd, err := xnet.NewNode(rank, cfg.Procs, cfg.Mech, cfg.Cfg, nodeOpts)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		nodes = append(nodes, nd)
+		if addrs[rank], err = nd.Listen("127.0.0.1:0"); err != nil {
+			stop()
+			return nil, err
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Procs)
+	for rank := 0; rank < cfg.Procs; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = nodes[rank].Start(addrs)
+		}(rank)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			stop()
+			return nil, err
+		}
+	}
+	s.nodes = nodes
+	s.wg.Add(1)
+	go s.schedule()
+	return s, nil
+}
+
+// Submit admits one job to the queue and returns its id.
+func (s *Server) Submit(spec JobSpec) (int32, error) {
+	if err := spec.normalize(s.cfg.Procs); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("service: server closed")
+	}
+	if s.draining {
+		return 0, fmt.Errorf("service: draining, not admitting jobs")
+	}
+	if len(s.queue) >= s.cfg.QueueCap {
+		return 0, fmt.Errorf("service: admission queue full (%d jobs)", len(s.queue))
+	}
+	s.nextID++
+	j := &job{
+		id:        s.nextID,
+		spec:      spec,
+		state:     StateQueued,
+		submitted: time.Now(),
+		cancel:    make(chan struct{}),
+		doneCh:    make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	s.queue = append(s.queue, j)
+	s.admitted++
+	s.nudge()
+	return j.id, nil
+}
+
+// nudge wakes the scheduler loop (caller holds mu or doesn't care).
+func (s *Server) nudge() {
+	select {
+	case s.admitCh <- struct{}{}:
+	default:
+	}
+}
+
+// schedule drains the queue up to the concurrency cap.
+func (s *Server) schedule() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for s.running < s.cfg.MaxConcurrent && len(s.queue) > 0 {
+			j := s.queue[0]
+			s.queue = s.queue[1:]
+			if j.state == StateCanceled {
+				continue // canceled while queued; already terminal
+			}
+			j.state = StateRunning
+			j.started = time.Now()
+			s.running++
+			s.wg.Add(1)
+			go s.runJob(j)
+		}
+		idle := s.draining && s.running == 0 && len(s.queue) == 0
+		s.mu.Unlock()
+		if idle {
+			s.idleOnce.Do(func() { close(s.idleCh) })
+		}
+		select {
+		case <-s.admitCh:
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// runJob executes one admitted job to a terminal state.
+func (s *Server) runJob(j *job) {
+	defer s.wg.Done()
+	var err error
+	switch j.spec.Kind {
+	case "synthetic":
+		err = s.runSynthetic(j)
+	case "app":
+		err = s.runApp(j)
+	default:
+		err = fmt.Errorf("service: unknown job kind %q", j.spec.Kind)
+	}
+	s.mu.Lock()
+	j.finished = time.Now()
+	canceled := false
+	select {
+	case <-j.cancel:
+		canceled = true
+	default:
+	}
+	switch {
+	case err != nil:
+		j.state, j.err = StateFailed, err
+		s.failed++
+	case canceled:
+		j.state = StateCanceled
+		s.canceled++
+	default:
+		j.state = StateDone
+		s.completed++
+		s.makespans = append(s.makespans, j.finished.Sub(j.started).Seconds())
+	}
+	s.jobCounters.Merge(j.counters)
+	s.running--
+	s.mu.Unlock()
+	close(j.doneCh)
+	s.nudge()
+}
+
+// Status returns the job's current externally visible state.
+func (s *Server) Status(id int32) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return JobStatus{}, fmt.Errorf("service: no job %d", id)
+	}
+	return s.statusLocked(j), nil
+}
+
+func (s *Server) statusLocked(j *job) JobStatus {
+	st := JobStatus{
+		ID:        j.id,
+		Kind:      j.spec.Kind,
+		State:     j.state,
+		Submitted: j.submitted.Sub(s.start).Seconds(),
+		Executed:  j.executed,
+		Counters:  j.counters.Clone(),
+	}
+	if j.err != nil {
+		st.Err = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		st.Started = j.started.Sub(s.start).Seconds()
+	}
+	if !j.finished.IsZero() {
+		st.Finished = j.finished.Sub(s.start).Seconds()
+		st.Makespan = j.finished.Sub(j.started).Seconds()
+	}
+	return st
+}
+
+// Result blocks until the job reaches a terminal state, then returns
+// it. The wait is bounded by timeout (0 = no bound beyond server
+// shutdown).
+func (s *Server) Result(id int32, timeout time.Duration) (JobStatus, error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return JobStatus{}, fmt.Errorf("service: no job %d", id)
+	}
+	var bound <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		bound = t.C
+	}
+	select {
+	case <-j.doneCh:
+	case <-bound:
+		return JobStatus{}, fmt.Errorf("service: job %d not finished after %s", id, timeout)
+	case <-s.quit:
+		return JobStatus{}, fmt.Errorf("service: server closing")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statusLocked(j), nil
+}
+
+// Cancel requests job cancellation: a queued job goes terminal
+// immediately, a running synthetic job stops issuing decisions at its
+// next check (in-flight work still drains so the shared view stays
+// conserved).
+func (s *Server) Cancel(id int32) error {
+	s.mu.Lock()
+	j := s.jobs[id]
+	if j == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("service: no job %d", id)
+	}
+	j.cancelOnce.Do(func() { close(j.cancel) })
+	if j.state == StateQueued {
+		j.state = StateCanceled
+		j.finished = time.Now()
+		s.canceled++
+		s.mu.Unlock()
+		close(j.doneCh)
+		s.nudge()
+		return nil
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Metrics samples the service-level measurement surface.
+func (s *Server) Metrics() Metrics {
+	mesh := core.Counters{}
+	for _, nd := range s.nodes {
+		mesh.Merge(nd.Counters())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := Metrics{
+		Mech:      string(s.cfg.Mech),
+		Term:      termName(s.cfg.Term),
+		Procs:     s.cfg.Procs,
+		Uptime:    time.Since(s.start).Seconds(),
+		Admitted:  s.admitted,
+		Completed: s.completed,
+		Failed:    s.failed,
+		Canceled:  s.canceled,
+		Running:   s.running,
+		Queue:     len(s.queue),
+		Draining:  s.draining,
+		Mesh:      mesh,
+		Jobs:      s.jobCounters.Clone(),
+	}
+	if m.Uptime > 0 {
+		m.JobsPerSec = float64(s.completed) / m.Uptime
+	}
+	if len(s.makespans) > 0 {
+		sorted := append([]float64(nil), s.makespans...)
+		sort.Float64s(sorted)
+		m.MakespanP50 = stats.Percentile(sorted, 0.50)
+		m.MakespanP99 = stats.Percentile(sorted, 0.99)
+	}
+	return m
+}
+
+func termName(t string) string {
+	if t == "" {
+		return termdet.Default
+	}
+	return t
+}
+
+// Drain stops admission, waits (bounded by timeout) for queued and
+// running jobs to finish, then tears the mesh down. It is the SIGTERM
+// path of `loadex serve`.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	idle := s.running == 0 && len(s.queue) == 0
+	s.mu.Unlock()
+	if idle {
+		s.idleOnce.Do(func() { close(s.idleCh) })
+	}
+	s.nudge()
+	var bound <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		bound = t.C
+	}
+	select {
+	case <-s.idleCh:
+	case <-bound:
+		s.Close()
+		return fmt.Errorf("service: drain incomplete after %s", timeout)
+	}
+	return s.Close()
+}
+
+// Close tears the service down: the scheduler stops, running job
+// drivers observe the mesh quit channel, the mesh closes gracefully.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.quit)
+	var wg sync.WaitGroup
+	for _, nd := range s.nodes {
+		wg.Add(1)
+		go func(nd *xnet.Node) {
+			defer wg.Done()
+			nd.Close()
+		}(nd)
+	}
+	wg.Wait()
+	s.wg.Wait()
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

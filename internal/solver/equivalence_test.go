@@ -106,6 +106,66 @@ func TestCrossRuntimeSolverEquivalence(t *testing.T) {
 	}
 }
 
+// TestSolverWl32ProcSimCell runs the solver-wl scenario at the paper's
+// 32-processor scale on the reference simulator, one cell per
+// mechanism, and checks the structure-determined invariants at a size
+// the 8-proc suite cannot: identical decision counts and executed flops
+// across mechanisms (both are fixed by the assembly tree, not by view
+// timing), the Dijkstra–Scholten control budget, and every rank's own
+// view returning to zero after quiescence. Gated out of -short: the
+// 32-proc sim cells are the slow tail of this package.
+func TestSolverWl32ProcSimCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("32-proc sim cells skipped in -short mode")
+	}
+	const procs = 32
+	w, err := workload.Get("solver-wl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sim.NewWorkloadDriver()
+	p := workload.Params{Procs: procs}
+	var refFlops float64
+	refDecisions := 0
+	for i, mech := range core.Mechanisms() {
+		rep, err := d.Run(w, mech, core.Config{NoMoreMasterOpt: true}, p)
+		if err != nil {
+			t.Fatalf("%s: %v", mech, err)
+		}
+		res, ok := rep.AppResult.(*solver.Result)
+		if !ok {
+			t.Fatalf("%s: AppResult is %T", mech, rep.AppResult)
+		}
+		if res.Decisions == 0 || res.MaxPeakMem <= 0 {
+			t.Fatalf("%s: degenerate result %+v", mech, res)
+		}
+		if i == 0 {
+			refFlops, refDecisions = res.TotalExecutedFlops(), res.Decisions
+		} else {
+			if res.Decisions != refDecisions {
+				t.Errorf("%s: %d decisions, want %d (one per Type 2 node regardless of mechanism)",
+					mech, res.Decisions, refDecisions)
+			}
+			if relDiff(res.TotalExecutedFlops(), refFlops) > 1e-9 {
+				t.Errorf("%s: executed flops %v, want %v (structure-determined)",
+					mech, res.TotalExecutedFlops(), refFlops)
+			}
+		}
+		if want := rep.Counters.DataMsgs + 2*(procs-1); rep.Counters.CtrlMsgs != want {
+			t.Errorf("%s: ctrl msgs %d, want data msgs %d + 2(n-1) = %d",
+				mech, rep.Counters.CtrlMsgs, rep.Counters.DataMsgs, want)
+		}
+		for r, view := range rep.FinalViews {
+			for metric, v := range view[r] {
+				if math.Abs(v) > 1e-3 {
+					t.Errorf("%s: rank %d final own %s = %v, want ~0",
+						mech, r, core.Metric(metric), v)
+				}
+			}
+		}
+	}
+}
+
 // relDiff returns |a-b| / max(|a|, |b|, 1).
 func relDiff(a, b float64) float64 {
 	den := math.Max(math.Max(math.Abs(a), math.Abs(b)), 1)
