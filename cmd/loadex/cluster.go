@@ -60,6 +60,9 @@ func runCluster(args []string) error {
 	if err := p.singleChaos("loadex cluster"); err != nil {
 		return err
 	}
+	if err := p.singleTopo("loadex cluster"); err != nil {
+		return err
+	}
 	mechs := []string{p.mech}
 	if p.mech == "all" {
 		mechs = mechNames()
@@ -244,6 +247,9 @@ func runClusterForkedWith(exe string, p *nodeParams) ([]nodeStats, error) {
 		if p.chaos != "" {
 			args = append(args, "-chaos", p.chaos)
 		}
+		if p.topo != "" {
+			args = append(args, "-topo", p.topo)
+		}
 		if p.traceDir != "" {
 			args = append(args, "-trace", p.traceDir)
 		}
@@ -400,8 +406,12 @@ func writeClusterReport(w io.Writer, p *nodeParams, inproc bool, stats []nodeSta
 	if inproc {
 		mode = "in-process"
 	}
-	fmt.Fprintf(w, "== scenario %s × mechanism %s — %d procs over localhost TCP (%s, codec %s) ==\n",
-		p.scenario, p.mech, p.procs, mode, p.codec)
+	topo := p.topo
+	if topo == "" {
+		topo = core.TopoFull
+	}
+	fmt.Fprintf(w, "== scenario %s × mechanism %s — %d procs over localhost TCP, topology %s (%s, codec %s) ==\n",
+		p.scenario, p.mech, p.procs, topo, mode, p.codec)
 	fmt.Fprintf(w, "base workload: %d masters × %d decisions × %g work units over %d least-loaded slaves (spin %s)\n",
 		p.masters, p.decisions, p.work, p.slaves, p.spin)
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)

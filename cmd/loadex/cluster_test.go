@@ -98,7 +98,8 @@ func TestNodeParamsValidate(t *testing.T) {
 		{func(p *nodeParams) { p.masters = 9 }, "masters"},
 		{func(p *nodeParams) { p.slaves = 0 }, "slave"},
 		{func(p *nodeParams) { p.decisions = 0 }, "decision"},
-		{func(p *nodeParams) { p.mech = "gossip" }, "unknown mechanism"},
+		{func(p *nodeParams) { p.mech = "telepathy" }, "unknown mechanism"},
+		{func(p *nodeParams) { p.topo = "moebius" }, "unknown topology"},
 		{func(p *nodeParams) { p.scenario = "nope" }, "unknown scenario"},
 		{func(p *nodeParams) { p.codec = "xml" }, "unknown codec"},
 		{func(p *nodeParams) { p.term = "heartbeat" }, "unknown termination protocol"},
@@ -122,10 +123,33 @@ func TestNodeParamsValidate(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "quickstart") {
 		t.Errorf("unknown-scenario error %v does not list registered scenarios", err)
 	}
-	p = testParams("quickstart", "gossip")
+	p = testParams("quickstart", "telepathy")
 	err = p.validate(false)
 	if err == nil || !strings.Contains(err.Error(), "snapshot") {
 		t.Errorf("unknown-mechanism error %v does not list registered mechanisms", err)
+	}
+	p = testParams("quickstart", "snapshot")
+	p.topo = "moebius"
+	err = p.validate(false)
+	if err == nil || !strings.Contains(err.Error(), "ring") {
+		t.Errorf("unknown-topology error %v does not list registered topologies", err)
+	}
+	// The hypercube constrains -n; the builder's error must surface.
+	p = testParams("quickstart", "snapshot")
+	p.topo = "hypercube" // procs = 5, not a power of two
+	if err := p.validate(false); err == nil {
+		t.Error("hypercube on 5 ranks validated")
+	}
+	// An application scenario needs the complete graph.
+	p = testParams("solver-wl", "snapshot")
+	p.topo = "ring"
+	err = p.validate(false)
+	if err == nil || !strings.Contains(err.Error(), "full topology") {
+		t.Errorf("app scenario on a sparse topology validated: %v", err)
+	}
+	p.topo = "full"
+	if err := p.validate(false); err != nil {
+		t.Errorf("app scenario on the full topology rejected: %v", err)
 	}
 	p = testParams("quickstart", "snapshot")
 	p.term = "heartbeat"

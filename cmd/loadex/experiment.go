@@ -77,10 +77,13 @@ func runExperiment(args []string) error {
 	}
 	// The chaos axis is a comma-list of plan names ("-chaos
 	// none,delay,crash" compares the fault-free cells against the
-	// faulted ones); a single name pins every cell to that plan.
+	// faulted ones); a single name pins every cell to that plan. The
+	// topology axis works the same way ("-topo full,ring,grid2d"
+	// measures state traffic per neighbor graph).
 	plans := strings.Split(p.chaos, ",")
+	topos := strings.Split(p.topo, ",")
 
-	cells := experiments.Cells(scenarios, mechs, runtimes, terms, plans)
+	cells := experiments.Cells(scenarios, mechs, runtimes, terms, plans, topos)
 	results, failed := experiments.Sweep(cells, *repeat, func(c experiments.Cell) (*workload.Report, error) {
 		q := p
 		if c.Term != "" {
@@ -89,6 +92,10 @@ func runExperiment(args []string) error {
 			q.term = termdet.Default
 		}
 		q.chaos = c.Chaos
+		q.topo = c.Topo
+		if q.topo == "" {
+			q.topo = core.TopoFull
+		}
 		return runCell(c.Scenario, core.Mech(c.Mech), c.Runtime, *inproc, &q)
 	}, nil)
 
@@ -133,7 +140,7 @@ func runServiceBench(p *nodeParams, jobs, conc int, jsonPath, label string) erro
 	}
 	mechs := []core.Mech{core.Mech(p.mech)}
 	if p.mech == "all" {
-		mechs = core.Mechanisms()
+		mechs = core.AllMechanisms()
 	}
 	terms := []string{p.term}
 	if p.term == "all" {
@@ -204,7 +211,7 @@ func expandAxes(runtime string, p *nodeParams) (runtimes, scenarios []string, me
 	}
 	mechs = []core.Mech{core.Mech(p.mech)}
 	if p.mech == "all" {
-		mechs = core.Mechanisms()
+		mechs = core.AllMechanisms()
 	}
 	return runtimes, scenarios, mechs, nil
 }

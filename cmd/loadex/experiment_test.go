@@ -62,8 +62,9 @@ func TestExperimentCommandSimSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// scenarios (5 program + 3 solver app) × mechanisms on one runtime
-	wantCells := 8 * 3
+	// scenarios (5 program + 3 solver app) × mechanisms (the paper's
+	// three plus gossip and diffusion) on one runtime
+	wantCells := 8 * 5
 	if len(bench.Cells) != wantCells {
 		t.Fatalf("bench holds %d cells, want %d", len(bench.Cells), wantCells)
 	}

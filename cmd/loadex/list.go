@@ -45,10 +45,22 @@ func runList(args []string) error {
 	fmt.Fprintln(w, "  (app scenarios run on every runtime; `loadex cluster` forks them one OS process per rank)")
 	fmt.Fprintln(w)
 
-	fmt.Fprintln(w, "mechanisms (-mech; \"all\" sweeps them):")
-	for _, m := range core.Mechanisms() {
+	fmt.Fprintln(w, "mechanisms (-mech; \"all\" sweeps them — the paper's three, then the dissemination tenants):")
+	for _, m := range core.AllMechanisms() {
 		fmt.Fprintf(w, "  %s\n", m)
 	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "topologies (-topo; neighbor graph state messages travel — `loadex experiment` sweeps a comma-list):")
+	tw = tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	for _, inf := range core.TopologyInfos() {
+		params := inf.Params
+		if params == "none" {
+			params = ""
+		}
+		fmt.Fprintf(tw, "  %s\t%s\t%s\n", inf.Name, params, inf.Desc)
+	}
+	tw.Flush()
 	fmt.Fprintln(w)
 
 	fmt.Fprintln(w, "termination protocols (-term, app scenarios; \"all\" sweeps them in `loadex experiment`):")

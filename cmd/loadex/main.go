@@ -17,8 +17,10 @@
 // Besides the experiment tables, three subcommands run registered
 // workload scenarios (internal/workload) on the runtimes:
 //
-//	loadex run     [-scenario s] [-mech m] [-runtime r]   the scenario ×
-//	               mechanism × runtime matrix ("all" fans any axis out)
+//	loadex run     [-scenario s] [-mech m] [-runtime r] [-topo t]   the
+//	               scenario × mechanism × runtime matrix ("all" fans any
+//	               axis out; -topo names the neighbor graph state
+//	               messages travel, default full)
 //	loadex experiment [-repeat k] [-json file] [...]   the measured matrix:
 //	               per-cell message/byte/latency aggregates over k runs,
 //	               paper-shaped markdown tables + benchmark JSON
@@ -36,8 +38,8 @@
 //	                                            serving instance
 //	loadex job     <status|result|cancel|metrics> query a serving instance
 //	loadex list    print the registered scenarios (program and app),
-//	               mechanisms, termination protocols, runtimes and
-//	               codecs — the sweep axes
+//	               mechanisms, topologies, termination protocols,
+//	               runtimes and codecs — the sweep axes
 //
 // Scenarios come in two kinds: program scenarios compile to per-rank
 // synthetic step scripts, and application scenarios (solver-wl,
@@ -238,9 +240,9 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: loadex [-scale f] [-seed n] <table1|table3|table4|table5|table6|table7|fig1|fig2|ablations|all>")
-	fmt.Fprintf(os.Stderr, "       loadex run [-scenario %s|all] [-mech %s|all] [-runtime sim|live|net|all] [-inproc] ...\n",
-		strings.Join(workload.Names(), "|"), strings.Join(mechNames(), "|"))
-	fmt.Fprintln(os.Stderr, "       loadex experiment [-scenario s|all] [-mech m|all] [-runtime r|all] [-repeat k] [-json file] ...")
+	fmt.Fprintf(os.Stderr, "       loadex run [-scenario %s|all] [-mech %s|all] [-runtime sim|live|net|all] [-topo %s] [-inproc] ...\n",
+		strings.Join(workload.Names(), "|"), strings.Join(mechNames(), "|"), strings.Join(core.TopologyNames(), "|"))
+	fmt.Fprintln(os.Stderr, "       loadex experiment [-scenario s|all] [-mech m|all] [-runtime r|all] [-topo t1,t2,...] [-repeat k] [-json file] ...")
 	fmt.Fprintln(os.Stderr, "       loadex experiment -service [-mech m|all] [-jobs n] [-conc k] ...   (scheduler-service throughput bench)")
 	fmt.Fprintln(os.Stderr, "       loadex cluster [-procs n] [-scenario s] [-mech m|all] [-inproc] ...")
 	fmt.Fprintln(os.Stderr, "       loadex node -rank r -n procs [-scenario s] [-mech m] ...   (normally forked by cluster)")
@@ -248,5 +250,5 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "       loadex serve [-procs n] [-mech m] [-term t] [-addr host:port]   (persistent scheduler service)")
 	fmt.Fprintln(os.Stderr, "       loadex submit [-addr a] [-kind synthetic|app] [-wait] ...   (submit one job to a serving instance)")
 	fmt.Fprintln(os.Stderr, "       loadex job <status|result|cancel|metrics> [-addr a] [-id n]   (query a serving instance)")
-	fmt.Fprintln(os.Stderr, "       loadex list   (print registered scenarios, mechanisms, chaos plans, runtimes and codecs)")
+	fmt.Fprintln(os.Stderr, "       loadex list   (print registered scenarios, mechanisms, topologies, chaos plans, runtimes and codecs)")
 }

@@ -63,6 +63,7 @@ type nodeParams struct {
 	noMore    bool
 	codec     string
 	term      string
+	topo      string
 	masters   int
 	decisions int
 	work      float64
@@ -89,6 +90,8 @@ func (p *nodeParams) register(fs *flag.FlagSet) {
 	fs.StringVar(&p.codec, "codec", "binary", "wire codec: "+strings.Join(xnet.CodecNames(), "|"))
 	fs.StringVar(&p.term, "term", termdet.Default,
 		"termination-detection protocol for application scenarios: "+strings.Join(termdet.Names(), "|"))
+	fs.StringVar(&p.topo, "topo", "full",
+		"neighbor topology state messages travel: "+strings.Join(core.TopologyNames(), "|"))
 	fs.IntVar(&p.masters, "masters", 3, "ranks [0,masters) take dynamic decisions (scenarios may widen)")
 	fs.IntVar(&p.decisions, "decisions", 4, "decisions per master")
 	fs.Float64Var(&p.work, "work", 120, "work units distributed per decision")
@@ -102,11 +105,12 @@ func (p *nodeParams) register(fs *flag.FlagSet) {
 		"record per-rank JSONL trace events under this directory for `loadex validate`")
 }
 
-// mechNames lists the registered mechanism names in the order the
-// paper's tables use (core.Mechanisms()).
+// mechNames lists the registered mechanism names: the paper's three
+// first, in the order its tables use, then the dissemination tenants
+// (gossip, diffusion) the topology seam hosts.
 func mechNames() []string {
-	names := make([]string, 0, len(core.Mechanisms()))
-	for _, m := range core.Mechanisms() {
+	names := make([]string, 0, len(core.AllMechanisms()))
+	for _, m := range core.AllMechanisms() {
 		names = append(names, string(m))
 	}
 	return names
@@ -116,7 +120,25 @@ func (p *nodeParams) config() core.Config {
 	return core.Config{
 		Threshold:       core.Load{core.Workload: p.threshold},
 		NoMoreMasterOpt: p.noMore,
+		Topo:            p.topology(),
 	}
+}
+
+// topology resolves the -topo flag. The default "full" (and the empty
+// value of test-built literals) maps to nil — the complete graph every
+// layer assumes when no neighbor graph is named — so the default path
+// is byte-identical to a build without the seam. validate() has already
+// rejected bad names, so a construction error here is a programming
+// error.
+func (p *nodeParams) topology() *core.Topology {
+	if p.topo == "" || p.topo == core.TopoFull {
+		return nil
+	}
+	t, err := core.NewTopology(p.topo, p.procs)
+	if err != nil {
+		panic(fmt.Sprintf("loadex: -topo %q passed validation but did not build: %v", p.topo, err))
+	}
+	return t
 }
 
 // driveOptions maps the flag values onto DriveCluster's options; an
@@ -195,6 +217,24 @@ func (p *nodeParams) validate(matrix bool) error {
 		}
 		return fmt.Errorf("unknown termination protocol %q (available: %s)", p.term, avail)
 	}
+	// `loadex experiment` sweeps a comma-list of topologies; every entry
+	// must build for this -n (hypercube, for one, constrains it).
+	topos := []string{p.topo}
+	if matrix && strings.Contains(p.topo, ",") {
+		topos = strings.Split(p.topo, ",")
+	}
+	for _, name := range topos {
+		if name == "" {
+			continue
+		}
+		if _, err := core.NewTopology(name, p.procs); err != nil {
+			return err
+		}
+		if name != core.TopoFull && workload.IsAppScenario(p.scenario) {
+			return fmt.Errorf("application scenario %q needs the full topology (its solver addresses arbitrary ranks); got -topo %s",
+				p.scenario, name)
+		}
+	}
 	if !(matrix && strings.Contains(p.chaos, ",")) {
 		if _, err := chaos.Get(p.chaos); err != nil {
 			return err
@@ -226,6 +266,17 @@ func (p *nodeParams) singleTerm(command string) error {
 	}
 	return fmt.Errorf("-term all is an experiment-sweep value; pick one protocol for `%s` (available: %s), or use `loadex experiment -term all` for the mechanism × protocol overhead table",
 		command, strings.Join(termdet.Names(), ", "))
+}
+
+// singleTopo rejects a comma-list of topologies for commands that run
+// one neighbor graph per invocation; only `loadex experiment` fans the
+// topology axis out.
+func (p *nodeParams) singleTopo(command string) error {
+	if !strings.Contains(p.topo, ",") {
+		return nil
+	}
+	return fmt.Errorf("-topo takes one topology for `%s` (available: %s); `loadex experiment` sweeps a comma-list",
+		command, strings.Join(core.TopologyNames(), ", "))
 }
 
 // singleChaos rejects a comma-list of chaos plans for commands that run
@@ -340,7 +391,7 @@ func (p *nodeParams) openNodeRecorder(rank int) (*chaos.Recorder, error) {
 	}
 	rec.Record(chaos.Event{
 		Ev: chaos.EvMeta, Rank: rank, N: p.procs,
-		Scenario: p.scenario, Mech: p.mech, Term: p.term, Plan: p.chaos,
+		Scenario: p.scenario, Mech: p.mech, Term: p.term, Plan: p.chaos, Topo: p.topo,
 	})
 	return rec, nil
 }
@@ -358,7 +409,7 @@ func (p *nodeParams) openInProcRecorder() (*chaos.Recorder, error) {
 	}
 	rec.Record(chaos.Event{
 		Ev: chaos.EvMeta, N: p.procs,
-		Scenario: p.scenario, Mech: p.mech, Term: p.term, Plan: p.chaos,
+		Scenario: p.scenario, Mech: p.mech, Term: p.term, Plan: p.chaos, Topo: p.topo,
 	})
 	return rec, nil
 }
@@ -504,7 +555,9 @@ func runNodeProgram(nd *xnet.Node, prog workload.Program, p *nodeParams) (nodeSt
 		return st, err
 	}
 	nd.AnnounceDone()
-	waitFor := int64(p.procs - 1)
+	// Done announcements only travel live links: on a sparse mesh a rank
+	// hears from its neighbors, not from every other rank.
+	waitFor := int64(nd.Links())
 	deadline := time.Now().Add(timeout)
 	for nd.DonesReceived() < waitFor {
 		if time.Now().After(deadline) {

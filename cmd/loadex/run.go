@@ -59,6 +59,9 @@ func runRun(args []string) error {
 	if err := p.singleChaos("loadex run"); err != nil {
 		return err
 	}
+	if err := p.singleTopo("loadex run"); err != nil {
+		return err
+	}
 	runtimes, scenarios, mechs, err := expandAxes(*runtime, &p)
 	if err != nil {
 		return err

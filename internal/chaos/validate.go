@@ -5,12 +5,14 @@ import (
 	"io"
 	"math"
 	"sort"
+
+	"repro/internal/core"
 )
 
 // Violation is one failed cross-rank invariant.
 type Violation struct {
 	// Check names the invariant ("conservation", "compute",
-	// "quiescence", "selection").
+	// "quiescence", "selection", "topology").
 	Check string
 	// Detail explains the specific failure.
 	Detail string
@@ -22,10 +24,10 @@ func (v Violation) String() string { return v.Check + ": " + v.Detail }
 type Report struct {
 	// N is the cluster size from the meta events (0 if none recorded).
 	N int
-	// Scenario/Mech/Term/Plan describe the run, from the meta events.
-	Scenario, Mech, Term, Plan string
+	// Scenario/Mech/Term/Plan/Topo describe the run, from the meta events.
+	Scenario, Mech, Term, Plan, Topo string
 	// Event tallies.
-	Events, Sends, Recvs, Starts, Dones, Decides int
+	Events, Sends, Recvs, Starts, Dones, Decides, States int
 	// Finals is how many ranks closed their trace with a final event.
 	Finals int
 	// Violations is every failed invariant, empty for a clean run.
@@ -37,10 +39,10 @@ func (r *Report) OK() bool { return len(r.Violations) == 0 }
 
 // Format writes the human-readable validation summary.
 func (r *Report) Format(w io.Writer) {
-	fmt.Fprintf(w, "run: n=%d scenario=%s mech=%s term=%s plan=%s\n",
-		r.N, orDash(r.Scenario), orDash(r.Mech), orDash(r.Term), orDash(r.Plan))
-	fmt.Fprintf(w, "events: %d (%d send, %d recv, %d start, %d done, %d decide, %d/%d final)\n",
-		r.Events, r.Sends, r.Recvs, r.Starts, r.Dones, r.Decides, r.Finals, r.N)
+	fmt.Fprintf(w, "run: n=%d scenario=%s mech=%s term=%s plan=%s topo=%s\n",
+		r.N, orDash(r.Scenario), orDash(r.Mech), orDash(r.Term), orDash(r.Plan), orDash(r.Topo))
+	fmt.Fprintf(w, "events: %d (%d send, %d recv, %d state, %d start, %d done, %d decide, %d/%d final)\n",
+		r.Events, r.Sends, r.Recvs, r.States, r.Starts, r.Dones, r.Decides, r.Finals, r.N)
 	if r.OK() {
 		fmt.Fprintf(w, "OK: all invariants hold\n")
 		return
@@ -83,7 +85,13 @@ const maxViolationsPerCheck = 16
 //     truncated trace.
 //   - selection: every recorded decision selected exactly the
 //     least-loaded ranks of the view it was taken on (master excluded,
-//     lower rank on ties) — the policy of core.PlanDecision.
+//     lower rank on ties) — the policy of core.PlanDecision. When the
+//     run's meta names a sparse topology, candidates are restricted to
+//     the master's neighbors (core.PlanDecisionOn).
+//   - topology: every recorded state-channel message travels an edge of
+//     the run's topology — the seam's end-to-end guarantee that no
+//     mechanism leaks traffic across a non-edge.
+//
 // pair is one directed rank pair for conservation bookkeeping.
 type pair struct{ from, to int }
 
@@ -104,6 +112,7 @@ func Validate(events []Event) *Report {
 		m[p][k]++
 	}
 
+	var decides, states []Event
 	selViol, consViol := 0, 0
 	for _, e := range events {
 		switch e.Ev {
@@ -118,6 +127,7 @@ func Validate(events []Event) *Report {
 			r.setMeta("mechanism", &r.Mech, e.Mech)
 			r.setMeta("term protocol", &r.Term, e.Term)
 			r.setMeta("chaos plan", &r.Plan, e.Plan)
+			r.setMeta("topology", &r.Topo, e.Topo)
 		case EvSend:
 			r.Sends++
 			add(sent, pair{e.Rank, e.Peer}, e.key())
@@ -132,17 +142,43 @@ func Validate(events []Event) *Report {
 			dones[e.Rank]++
 		case EvDecide:
 			r.Decides++
-			if v := checkSelection(e); v != "" {
-				if selViol++; selViol <= maxViolationsPerCheck {
-					r.violate("selection", "%s", v)
-				}
-			}
+			decides = append(decides, e)
+		case EvState:
+			r.States++
+			states = append(states, e)
 		case EvFinal:
 			r.Finals++
 			finals[e.Rank]++
 			executed[e.Rank] = e.Executed
 		default:
 			r.violate("quiescence", "rank %d recorded unknown event kind %q", e.Rank, e.Ev)
+		}
+	}
+
+	// Topology-dependent checks run after the whole soup is read: the
+	// meta event naming the topology may sit in a later rank file than
+	// the first decision or state send it governs.
+	topo := r.topology()
+	for _, e := range decides {
+		if v := checkSelection(e, topo); v != "" {
+			if selViol++; selViol <= maxViolationsPerCheck {
+				r.violate("selection", "%s", v)
+			}
+		}
+	}
+	if topo != nil && !topo.IsFull() {
+		topoViol := 0
+		for _, e := range states {
+			if e.Rank == e.Peer || topo.Edge(e.Rank, e.Peer) {
+				continue
+			}
+			if topoViol++; topoViol <= maxViolationsPerCheck {
+				r.violate("topology", "rank %d sent a %s state message to %d, not a neighbor on %s",
+					e.Rank, core.KindName(int(e.Kind)), e.Peer, topo.Name())
+			}
+		}
+		if topoViol > maxViolationsPerCheck {
+			r.violate("topology", "... and %d more topology violations", topoViol-maxViolationsPerCheck)
 		}
 	}
 
@@ -207,12 +243,30 @@ func Validate(events []Event) *Report {
 	return r
 }
 
+// topology reconstructs the run's neighbor graph from the meta fields.
+// A nil result means full semantics (no topology named, or one the
+// validator cannot rebuild — the latter is its own violation).
+func (r *Report) topology() *core.Topology {
+	if r.Topo == "" || r.N <= 0 {
+		return nil
+	}
+	topo, err := core.NewTopology(r.Topo, r.N)
+	if err != nil {
+		r.violate("meta", "meta names topology %q the validator cannot reconstruct for n=%d: %v", r.Topo, r.N, err)
+		return nil
+	}
+	return topo
+}
+
 // checkSelection recomputes the least-loaded selection for one recorded
-// decision and returns a violation detail, or "" if coherent.
-func checkSelection(e Event) string {
+// decision and returns a violation detail, or "" if coherent. On a
+// sparse topology candidates are the master's neighbors, mirroring
+// core.PlanDecisionOn.
+func checkSelection(e Event, topo *core.Topology) string {
 	if len(e.View) == 0 || len(e.Sel) == 0 {
 		return fmt.Sprintf("rank %d recorded a decision without view or selection", e.Rank)
 	}
+	sparse := topo != nil && !topo.IsFull()
 	for _, s := range e.Sel {
 		if s == e.Rank {
 			return fmt.Sprintf("rank %d selected itself as a slave (sel %v)", e.Rank, e.Sel)
@@ -220,14 +274,55 @@ func checkSelection(e Event) string {
 		if s < 0 || s >= len(e.View) {
 			return fmt.Sprintf("rank %d selected out-of-range rank %d (view has %d ranks)", e.Rank, s, len(e.View))
 		}
+		if sparse && !topo.Edge(e.Rank, s) {
+			return fmt.Sprintf("rank %d selected %d, not a neighbor on %s (sel %v)", e.Rank, s, topo.Name(), e.Sel)
+		}
 	}
-	want := LeastLoaded(e.View, e.Rank, len(e.Sel))
+	var want []int
+	if sparse {
+		want = leastLoadedAmong(e.View, e.Rank, len(e.Sel), topo.Neighbors(e.Rank))
+	} else {
+		want = LeastLoaded(e.View, e.Rank, len(e.Sel))
+	}
 	got := append([]int(nil), e.Sel...)
 	sort.Ints(got)
 	if !equalSelection(e.View, got, want) {
 		return fmt.Sprintf("rank %d selected %v but the least-loaded ranks of its view %v are %v", e.Rank, got, e.View, want)
 	}
 	return ""
+}
+
+// leastLoadedAmong is LeastLoaded restricted to a candidate list (the
+// master's neighbors on a sparse topology).
+func leastLoadedAmong(view []float64, exclude, k int, candidates []int) []int {
+	type cand struct {
+		rank int
+		load float64
+	}
+	var cands []cand
+	for _, r := range candidates {
+		if r != exclude && r >= 0 && r < len(view) {
+			cands = append(cands, cand{r, view[r]})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].load != cands[j].load {
+			return cands[i].load < cands[j].load
+		}
+		return cands[i].rank < cands[j].rank
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	if k < 0 {
+		k = 0
+	}
+	sel := make([]int, 0, k)
+	for _, c := range cands[:k] {
+		sel = append(sel, c.rank)
+	}
+	sort.Ints(sel)
+	return sel
 }
 
 // equalSelection accepts any selection whose per-slot loads match the

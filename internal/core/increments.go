@@ -20,13 +20,15 @@ type Increments struct {
 	my      Load
 	acc     Load // Δload accumulator
 	view    *View
+	nbrs    []int // broadcast recipients: cfg.Topo's neighbors (all peers on full)
 	noMore  []bool
 	stats   Stats
 }
 
 // NewIncrements constructs the increments mechanism.
 func NewIncrements(n, rank int, cfg Config) *Increments {
-	return &Increments{n: n, rank: rank, cfg: cfg, view: NewView(n), noMore: make([]bool, n)}
+	return &Increments{n: n, rank: rank, cfg: cfg, view: NewView(n),
+		nbrs: neighborRanks(cfg.Topo, n, rank), noMore: make([]bool, n)}
 }
 
 // Name implements Exchanger.
@@ -64,8 +66,8 @@ func isNonNegative(d Load) bool {
 // flush broadcasts the accumulated increment.
 func (x *Increments) flush(ctx Context) {
 	payload := UpdatePayload{Load: x.acc}
-	for to := 0; to < x.n; to++ {
-		if to == x.rank || (x.cfg.NoMoreMasterOpt && x.noMore[to]) {
+	for _, to := range x.nbrs {
+		if x.cfg.NoMoreMasterOpt && x.noMore[to] {
 			continue
 		}
 		ctx.Send(to, KindUpdate, payload, BytesUpdate)
@@ -100,10 +102,7 @@ func (x *Increments) Commit(ctx Context, assignments []Assignment) {
 		selected[a.Proc] = true
 	}
 	bytes := MasterToAllBytes(len(assignments))
-	for to := 0; to < x.n; to++ {
-		if to == x.rank {
-			continue
-		}
+	for _, to := range x.nbrs {
 		if x.cfg.NoMoreMasterOpt && x.noMore[to] && !selected[int32(to)] {
 			continue
 		}
@@ -126,7 +125,12 @@ func (x *Increments) NoMoreMaster(ctx Context) {
 	if !x.cfg.NoMoreMasterOpt {
 		return
 	}
-	ctx.Broadcast(KindNoMoreMaster, nil, BytesNoMoreMaster)
+	// Only neighbors ever send us updates, so only they need pruning.
+	// On the full topology this is exactly the old broadcast: every
+	// runtime implements Broadcast as the same ascending Send loop.
+	for _, to := range x.nbrs {
+		ctx.Send(to, KindNoMoreMaster, nil, BytesNoMoreMaster)
+	}
 }
 
 // HandleMessage implements Exchanger.

@@ -12,13 +12,15 @@ type Naive struct {
 	my       Load
 	lastSent Load
 	view     *View
+	nbrs     []int  // broadcast recipients: cfg.Topo's neighbors (all peers on full)
 	noMore   []bool // ranks that declared No_more_master
 	stats    Stats
 }
 
 // NewNaive constructs the naive mechanism.
 func NewNaive(n, rank int, cfg Config) *Naive {
-	return &Naive{n: n, rank: rank, cfg: cfg, view: NewView(n), noMore: make([]bool, n)}
+	return &Naive{n: n, rank: rank, cfg: cfg, view: NewView(n),
+		nbrs: neighborRanks(cfg.Topo, n, rank), noMore: make([]bool, n)}
 }
 
 // Name implements Exchanger.
@@ -46,8 +48,8 @@ func (x *Naive) maybeBroadcast(ctx Context) {
 		return
 	}
 	payload := UpdatePayload{Load: x.my}
-	for to := 0; to < x.n; to++ {
-		if to == x.rank || (x.cfg.NoMoreMasterOpt && x.noMore[to]) {
+	for _, to := range x.nbrs {
+		if x.cfg.NoMoreMasterOpt && x.noMore[to] {
 			continue
 		}
 		ctx.Send(to, KindUpdate, payload, BytesUpdate)
@@ -87,7 +89,12 @@ func (x *Naive) NoMoreMaster(ctx Context) {
 	if !x.cfg.NoMoreMasterOpt {
 		return
 	}
-	ctx.Broadcast(KindNoMoreMaster, nil, BytesNoMoreMaster)
+	// Only neighbors ever send us updates, so only they need pruning.
+	// On the full topology this is exactly the old broadcast: every
+	// runtime implements Broadcast as the same ascending Send loop.
+	for _, to := range x.nbrs {
+		ctx.Send(to, KindNoMoreMaster, nil, BytesNoMoreMaster)
+	}
 }
 
 // HandleMessage implements Exchanger.

@@ -83,6 +83,36 @@ func LeastLoaded(v *View, m Metric, exclude, k int) []int {
 	return out
 }
 
+// LeastLoadedAmong is LeastLoaded restricted to the given candidate
+// ranks (deduplicated by the caller; self/exclude entries are
+// skipped). Ties break toward the lower rank when candidates are
+// ascending — the topology's neighbor lists are. Selection on a
+// sparse topology uses it so masters only select slaves they share an
+// edge with.
+func LeastLoadedAmong(v *View, m Metric, exclude, k int, candidates []int) []int {
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	if k <= 0 {
+		return []int{}
+	}
+	sub := make([]Load, 0, len(candidates))
+	ranks := make([]int, 0, len(candidates))
+	for _, p := range candidates {
+		if p == exclude || p < 0 || p >= v.N() {
+			continue
+		}
+		sub = append(sub, v.Load(p))
+		ranks = append(ranks, p)
+	}
+	sel := LeastLoaded(ViewOf(sub), m, -1, k)
+	out := make([]int, len(sel))
+	for i, s := range sel {
+		out[i] = ranks[s]
+	}
+	return out
+}
+
 // ViewOf wraps a load slice in a read-only View, so selection helpers
 // can run over a recorded snapshot.
 func ViewOf(loads []Load) *View { return &View{loads: loads} }
@@ -109,6 +139,27 @@ type Decision struct {
 func PlanDecision(view *View, master, slaves int, totalWork float64) Decision {
 	d := Decision{Master: master, View: view.Snapshot()}
 	sel := LeastLoaded(view, Workload, master, slaves)
+	share := totalWork / float64(len(sel))
+	for _, p := range sel {
+		d.Assignments = append(d.Assignments, Assignment{Proc: int32(p), Delta: Load{Workload: share}})
+	}
+	return d
+}
+
+// PlanDecisionOn is PlanDecision restricted to a topology: on a sparse
+// graph the master selects slaves among its neighbors only (the only
+// ranks whose load it hears about and the only links it can ship work
+// over). On the complete graph (nil or full) it is exactly
+// PlanDecision — same code path, same tie-breaking.
+func PlanDecisionOn(topo *Topology, view *View, master, slaves int, totalWork float64) Decision {
+	if topo.IsFull() {
+		return PlanDecision(view, master, slaves, totalWork)
+	}
+	d := Decision{Master: master, View: view.Snapshot()}
+	sel := LeastLoadedAmong(view, Workload, master, slaves, topo.Neighbors(master))
+	if len(sel) == 0 {
+		return d
+	}
 	share := totalWork / float64(len(sel))
 	for _, p := range sel {
 		d.Assignments = append(d.Assignments, Assignment{Proc: int32(p), Delta: Load{Workload: share}})

@@ -33,6 +33,9 @@ type Cell struct {
 	Runtime  string `json:"runtime"`
 	Term     string `json:"term,omitempty"`
 	Chaos    string `json:"chaos,omitempty"`
+	// Topo names the neighbor topology state messages travel (empty =
+	// the complete graph, the paper's implicit all-to-all mesh).
+	Topo string `json:"topo,omitempty"`
 }
 
 // String names the cell the way error messages and logs refer to it.
@@ -44,29 +47,40 @@ func (c Cell) String() string {
 	if c.Chaos != "" {
 		s += " × chaos:" + c.Chaos
 	}
+	if c.Topo != "" {
+		s += " × topo:" + c.Topo
+	}
 	return s
 }
 
-// Cells expands the scenario, mechanism, runtime, termination protocol
-// and chaos-plan axes into the cell list of their cross product, in
-// table order (scenario-major, mechanisms in paper order). The
-// protocol axis applies only to application scenarios and the chaos
+// Cells expands the scenario, mechanism, runtime, termination protocol,
+// chaos-plan and topology axes into the cell list of their cross
+// product, in table order (scenario-major, mechanisms in paper order).
+// The protocol axis applies only to application scenarios and the chaos
 // axis skips live program cells (the live runtime injects faults
-// through the application host only); inapplicable axes collapse to
-// one cell with the field empty. Passing no terms and no plans (or
-// only "") yields the plain matrix.
-func Cells(scenarios []string, mechs []core.Mech, runtimes []string, terms, plans []string) []Cell {
+// through the application host only); application scenarios keep only
+// the full topology (their solvers address arbitrary ranks).
+// Inapplicable axes collapse to one cell with the field empty. Passing
+// no terms, plans or topos (or only "") yields the plain matrix.
+func Cells(scenarios []string, mechs []core.Mech, runtimes []string, terms, plans, topos []string) []Cell {
 	if len(terms) == 0 {
 		terms = []string{""}
 	}
 	if len(plans) == 0 {
 		plans = []string{""}
 	}
+	if len(topos) == 0 {
+		topos = []string{""}
+	}
 	var cells []Cell
 	for _, s := range scenarios {
 		ts := terms
 		if !workload.IsAppScenario(s) {
 			ts = []string{""}
+		}
+		tps := topos
+		if workload.IsAppScenario(s) {
+			tps = fullOnly(topos)
 		}
 		for _, m := range mechs {
 			for _, r := range runtimes {
@@ -76,13 +90,31 @@ func Cells(scenarios []string, mechs []core.Mech, runtimes []string, terms, plan
 				}
 				for _, tm := range ts {
 					for _, pl := range ps {
-						cells = append(cells, Cell{Scenario: s, Mech: string(m), Runtime: r, Term: tm, Chaos: pl})
+						for _, tp := range tps {
+							cells = append(cells, Cell{Scenario: s, Mech: string(m), Runtime: r, Term: tm, Chaos: pl, Topo: tp})
+						}
 					}
 				}
 			}
 		}
 	}
 	return cells
+}
+
+// fullOnly collapses a topology axis for scenarios that only run on the
+// complete graph: keep the full/default entries, or one empty entry if
+// the sweep named only sparse graphs (the scenario still runs once).
+func fullOnly(topos []string) []string {
+	var kept []string
+	for _, tp := range topos {
+		if tp == "" || tp == string(core.TopoFull) {
+			kept = append(kept, tp)
+		}
+	}
+	if len(kept) == 0 {
+		kept = []string{""}
+	}
+	return kept
 }
 
 // CellRunner executes one repetition of one cell.
@@ -307,7 +339,10 @@ func WriteSweepMarkdown(w io.Writer, results []CellResult) {
 			if cells[i].Term != cells[j].Term {
 				return cells[i].Term < cells[j].Term
 			}
-			return cells[i].Chaos < cells[j].Chaos
+			if cells[i].Chaos != cells[j].Chaos {
+				return cells[i].Chaos < cells[j].Chaos
+			}
+			return topoOrder(cells[i].Topo) < topoOrder(cells[j].Topo)
 		})
 		fmt.Fprintf(w, "### %s — %s runtime (%d procs, %d run(s) per cell)\n\n",
 			g.scenario, g.runtime, cells[0].Procs, cells[0].Repeats)
@@ -326,6 +361,9 @@ func WriteSweepMarkdown(w io.Writer, results []CellResult) {
 			if res.Chaos != "" {
 				label += " × " + res.Chaos
 			}
+			if res.Topo != "" {
+				label += " × " + res.Topo
+			}
 			row := []string{label}
 			for _, col := range markdownColumns {
 				row = append(row, formatSummary(res.Metrics[col.metric]))
@@ -336,14 +374,30 @@ func WriteSweepMarkdown(w io.Writer, results []CellResult) {
 	}
 }
 
-// mechOrder ranks mechanisms in the paper's table order.
+// mechOrder ranks mechanisms in the paper's table order, with the
+// dissemination tenants after the paper's three.
 func mechOrder(mech string) int {
-	for i, m := range core.Mechanisms() {
+	for i, m := range core.AllMechanisms() {
 		if string(m) == mech {
 			return i
 		}
 	}
-	return len(core.Mechanisms())
+	return len(core.AllMechanisms())
+}
+
+// topoOrder ranks topologies densest-first: the full graph (the
+// paper's baseline) leads, then the registered sparse graphs in
+// registry order, then ad-hoc names.
+func topoOrder(topo string) int {
+	if topo == "" || topo == string(core.TopoFull) {
+		return 0
+	}
+	for i, name := range core.TopologyNames() {
+		if name == topo {
+			return i + 1
+		}
+	}
+	return len(core.TopologyNames()) + 1
 }
 
 // formatSummary renders a metric summary compactly: the mean, plus the

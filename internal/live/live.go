@@ -61,6 +61,10 @@ type Cluster struct {
 	nodes []*Node
 	start time.Time
 	wg    sync.WaitGroup
+	// topo is the neighbor graph decisions are restricted to; nil means
+	// the complete graph. The mechanisms themselves carry the same
+	// topology via core.Config and never send across a non-edge.
+	topo *core.Topology
 
 	// outstanding counts work items in flight (assigned, not executed);
 	// used for quiescence detection by Drain.
@@ -120,7 +124,7 @@ func NewClusterSetup(n int, mech core.Mech, cfg core.Config, setup ClusterSetup)
 	if setup.Speed != nil && len(setup.Speed) != n {
 		return nil, fmt.Errorf("live: %d speed factors for %d ranks", len(setup.Speed), n)
 	}
-	cl := &Cluster{start: time.Now()}
+	cl := &Cluster{start: time.Now(), topo: cfg.Topo}
 	for r := 0; r < n; r++ {
 		exch, err := core.New(mech, n, r, cfg)
 		if err != nil {
@@ -238,7 +242,7 @@ func (cl *Cluster) DecideObserved(master int, totalWork float64, slaves int, spi
 	var acquireAt time.Time
 	sel := func() {
 		n.counters.AddDecision(time.Since(acquireAt).Seconds())
-		dec = core.PlanDecision(n.exch.View(), master, slaves, totalWork)
+		dec = core.PlanDecisionOn(cl.topo, n.exch.View(), master, slaves, totalWork)
 		atomic.AddInt64(&cl.assigned, int64(len(dec.Assignments)))
 		n.exch.Commit(ctx{n}, dec.Assignments)
 		for _, a := range dec.Assignments {

@@ -109,6 +109,15 @@ type Message struct {
 	Load core.Load `json:"load,omitempty"`
 	// Assignments is the master_to_all reservation list.
 	Assignments []core.Assignment `json:"assignments,omitempty"`
+	// Origin, Seq and TTL identify a gossip rumor (kind gossip only):
+	// the originating rank, its per-origin sequence number and the
+	// remaining hop budget.
+	Origin int32 `json:"origin,omitempty"`
+	Seq    int32 `json:"seq,omitempty"`
+	TTL    int32 `json:"ttl,omitempty"`
+	// Loads is the diffusion view vector (kind diffuse only), one entry
+	// per rank.
+	Loads []core.Load `json:"loads,omitempty"`
 	// Spin is the work item's execution duration in nanoseconds
 	// (TypeWork only).
 	Spin int64 `json:"spin,omitempty"`
@@ -210,6 +219,18 @@ func StateMessage(from int, kind int, payload any) (Message, error) {
 			return m, fmt.Errorf("net: master_to_slave payload %T", payload)
 		}
 		m.Load = p.Delta
+	case core.KindGossip:
+		p, ok := payload.(core.GossipPayload)
+		if !ok {
+			return m, fmt.Errorf("net: gossip payload %T", payload)
+		}
+		m.Origin, m.Seq, m.TTL, m.Load = p.Origin, p.Seq, p.TTL, p.Load
+	case core.KindDiffuse:
+		p, ok := payload.(core.DiffusePayload)
+		if !ok {
+			return m, fmt.Errorf("net: diffuse payload %T", payload)
+		}
+		m.Loads = p.Loads
 	default:
 		return m, fmt.Errorf("net: unknown state kind %d", kind)
 	}
@@ -230,6 +251,10 @@ func (m *Message) StatePayload() any {
 		return core.SnpPayload{Req: m.Req, Load: m.Load}
 	case core.KindMasterToSlave:
 		return core.MasterToSlavePayload{Delta: m.Load}
+	case core.KindGossip:
+		return core.GossipPayload{Origin: m.Origin, Seq: m.Seq, TTL: m.TTL, Load: m.Load}
+	case core.KindDiffuse:
+		return core.DiffusePayload{Loads: m.Loads}
 	}
 	return nil // no_more_master, end_snp
 }
@@ -327,6 +352,16 @@ func (BinaryCodec) Encode(dst []byte, m Message) ([]byte, error) {
 			for _, a := range m.Assignments {
 				dst = binary.BigEndian.AppendUint32(dst, uint32(a.Proc))
 				dst = appendLoad(dst, a.Delta)
+			}
+		case core.KindGossip:
+			dst = binary.BigEndian.AppendUint32(dst, uint32(m.Origin))
+			dst = binary.BigEndian.AppendUint32(dst, uint32(m.Seq))
+			dst = binary.BigEndian.AppendUint32(dst, uint32(m.TTL))
+			dst = appendLoad(dst, m.Load)
+		case core.KindDiffuse:
+			dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Loads)))
+			for _, l := range m.Loads {
+				dst = appendLoad(dst, l)
 			}
 		default:
 			return nil, fmt.Errorf("net: encode: unknown state kind %d", m.Kind)
@@ -445,6 +480,37 @@ func (BinaryCodec) Decode(b []byte) (Message, error) {
 						return m, err
 					}
 					if m.Assignments[i].Delta, err = r.load(); err != nil {
+						return m, err
+					}
+				}
+			}
+		case core.KindGossip:
+			if m.Origin, err = r.i32(); err != nil {
+				return m, err
+			}
+			if m.Seq, err = r.i32(); err != nil {
+				return m, err
+			}
+			if m.TTL, err = r.i32(); err != nil {
+				return m, err
+			}
+			if m.Load, err = r.load(); err != nil {
+				return m, err
+			}
+		case core.KindDiffuse:
+			n, err := r.i32()
+			if err != nil {
+				return m, err
+			}
+			// Same hostile-length bound as master_to_all: the count must
+			// fit the remaining frame bytes.
+			if n < 0 || int(n) > (len(r.buf)-r.off)/(8*int(core.NumMetrics)) {
+				return m, fmt.Errorf("net: decode: load vector count %d exceeds frame", n)
+			}
+			if n > 0 {
+				m.Loads = make([]core.Load, n)
+				for i := range m.Loads {
+					if m.Loads[i], err = r.load(); err != nil {
 						return m, err
 					}
 				}

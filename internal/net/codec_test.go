@@ -30,6 +30,9 @@ func sampleMessages() []Message {
 			{Proc: 3, Delta: core.Load{20, 2}},
 		}},
 		{Type: TypeState, From: 0, Kind: int32(core.KindMasterToAll)},
+		{Type: TypeState, From: 3, Kind: int32(core.KindGossip), Origin: 6, Seq: 12, TTL: 4, Load: core.Load{55, -1}},
+		{Type: TypeState, From: 5, Kind: int32(core.KindDiffuse), Loads: []core.Load{{1, 2}, {}, {-3.5, 4}}},
+		{Type: TypeState, From: 5, Kind: int32(core.KindDiffuse)},
 		{Type: TypeData, From: 3, Data: workload.DataMsg{
 			Kind: 101, Node: 17, Peer: 2, Count: 48, Work: 1.5e6, Size: 2304, Bytes: 18432,
 		}},
@@ -68,13 +71,19 @@ func TestCodecRoundTrip(t *testing.T) {
 				if err != nil {
 					t.Fatalf("decode %+v: %v", m, err)
 				}
-				// An empty assignment list may round-trip as nil.
+				// Empty assignment/load lists may round-trip as nil.
 				if len(got.Assignments) == 0 {
 					got.Assignments = nil
+				}
+				if len(got.Loads) == 0 {
+					got.Loads = nil
 				}
 				want := m
 				if len(want.Assignments) == 0 {
 					want.Assignments = nil
+				}
+				if len(want.Loads) == 0 {
+					want.Loads = nil
 				}
 				if !reflect.DeepEqual(got, want) {
 					t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
@@ -116,6 +125,11 @@ func TestBinaryDecodeBoundsAssignmentCount(t *testing.T) {
 	if _, err := (BinaryCodec{}).Decode(b); err == nil {
 		t.Fatal("hostile assignment count accepted")
 	}
+	// Same for a diffuse frame's load-vector count.
+	b = []byte{byte(TypeState), 0, 0, 0, 0, 0, 0, 0, byte(core.KindDiffuse), 0x7f, 0xff, 0xff, 0xff}
+	if _, err := (BinaryCodec{}).Decode(b); err == nil {
+		t.Fatal("hostile load vector count accepted")
+	}
 }
 
 func TestStateMessageRoundTrip(t *testing.T) {
@@ -130,6 +144,8 @@ func TestStateMessageRoundTrip(t *testing.T) {
 		{core.KindSnp, core.SnpPayload{Req: 9, Load: core.Load{1, 2}}},
 		{core.KindEndSnp, nil},
 		{core.KindMasterToSlave, core.MasterToSlavePayload{Delta: core.Load{4}}},
+		{core.KindGossip, core.GossipPayload{Origin: 2, Seq: 7, TTL: 3, Load: core.Load{11, -0.5}}},
+		{core.KindDiffuse, core.DiffusePayload{Loads: []core.Load{{1}, {2, 3}}}},
 	}
 	for _, c := range cases {
 		m, err := StateMessage(3, c.kind, c.payload)

@@ -102,6 +102,10 @@ type Node struct {
 	opts    Options
 	speed   float64
 	start   time.Time
+	// topo is the neighbor graph; nil means the complete graph. The
+	// mesh only ever dials/accepts topology edges — a non-neighbor pair
+	// shares no socket at all.
+	topo *core.Topology
 
 	ln        net.Listener
 	peers     []*peer
@@ -142,8 +146,8 @@ type Node struct {
 	// (excluding the FrameHeaderBytes length prefix), updated by the
 	// writer goroutines at encode time — the ground truth the
 	// core.Bytes* estimates are checked against.
-	stateKindMsgs  [core.KindMasterToSlave + 1]atomic.Int64
-	stateKindBytes [core.KindMasterToSlave + 1]atomic.Int64
+	stateKindMsgs  [core.KindMax + 1]atomic.Int64
+	stateKindBytes [core.KindMax + 1]atomic.Int64
 	workMsgsOut    atomic.Int64
 	workBytesOut   atomic.Int64
 	ctrlMsgsOut    atomic.Int64
@@ -206,6 +210,7 @@ func NewNode(rank, n int, mech core.Mech, cfg core.Config, opts Options) (*Node,
 		opts:    opts,
 		speed:   speed,
 		start:   time.Now(),
+		topo:    cfg.Topo,
 		peers:   make([]*peer, n),
 		stateCh: make(chan inMsg, 1<<16),
 		dataCh:  make(chan workMsg, 1<<12),
@@ -219,6 +224,22 @@ func NewNode(rank, n int, mech core.Mech, cfg core.Config, opts Options) (*Node,
 
 // Rank returns the node's rank.
 func (nd *Node) Rank() int { return nd.rank }
+
+// edge reports whether (rank, r) is a topology edge — a pair the mesh
+// connects. A nil topology is the complete graph.
+func (nd *Node) edge(r int) bool { return nd.topo.Edge(nd.rank, r) }
+
+// Links counts the node's live peer connections — its topology degree
+// once Start has built the mesh.
+func (nd *Node) Links() int {
+	links := 0
+	for _, p := range nd.peers {
+		if p != nil {
+			links++
+		}
+	}
+	return links
+}
 
 // Listen binds the node's listener and returns the concrete address
 // (resolve ephemeral ports by passing "127.0.0.1:0").
@@ -255,7 +276,21 @@ func (nd *Node) Start(addrs []string) error {
 		conn net.Conn
 		err  error
 	}
-	expect := nd.n - 1 - nd.rank
+	// Mesh links follow the topology: this node dials its lower-rank
+	// neighbors and accepts its higher-rank ones. A non-neighbor pair
+	// shares no socket at all — on a sparse graph the link count scales
+	// with the degree, not with n.
+	var dials []int
+	expect := 0
+	for s := 0; s < nd.n; s++ {
+		switch {
+		case s == nd.rank || !nd.edge(s):
+		case s < nd.rank:
+			dials = append(dials, s)
+		default:
+			expect++
+		}
+	}
 	acceptCh := make(chan accepted, expect)
 	for i := 0; i < expect; i++ {
 		go func() {
@@ -307,19 +342,19 @@ func (nd *Node) Start(addrs []string) error {
 		return err
 	}
 
-	// Dial every lower rank, retrying with jittered exponential backoff:
-	// with the loadex stdio handshake everyone is already listening, but
-	// a raw deployment may start ranks in any order. Each peer gets a
-	// fair share of the remaining budget — its share of the overall
-	// deadline divided by the dials still to make — so one dead address
-	// cannot starve every later dial, and the jitter keeps a large
-	// cluster's retries from herding onto a recovering listener.
-	for s := 0; s < nd.rank; s++ {
+	// Dial every lower-rank neighbor, retrying with jittered exponential
+	// backoff: with the loadex stdio handshake everyone is already
+	// listening, but a raw deployment may start ranks in any order. Each
+	// peer gets a fair share of the remaining budget — its share of the
+	// overall deadline divided by the dials still to make — so one dead
+	// address cannot starve every later dial, and the jitter keeps a
+	// large cluster's retries from herding onto a recovering listener.
+	for i, s := range dials {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
 			return fail(fmt.Errorf("net: rank %d dialing rank %d: mesh dial budget exhausted", nd.rank, s))
 		}
-		peerDeadline := time.Now().Add(remaining / time.Duration(nd.rank-s))
+		peerDeadline := time.Now().Add(remaining / time.Duration(len(dials)-i))
 		var conn net.Conn
 		var err error
 		backoff := 2 * time.Millisecond
@@ -355,7 +390,7 @@ func (nd *Node) Start(addrs []string) error {
 		if a.err != nil {
 			return fail(fmt.Errorf("net: rank %d accepting: %w", nd.rank, a.err))
 		}
-		if a.rank <= nd.rank || a.rank >= nd.n || nd.peers[a.rank] != nil {
+		if a.rank <= nd.rank || a.rank >= nd.n || !nd.edge(a.rank) || nd.peers[a.rank] != nil {
 			a.conn.Close()
 			return fail(fmt.Errorf("net: rank %d got hello from unexpected rank %d", nd.rank, a.rank))
 		}
@@ -630,6 +665,9 @@ func (c nodeCtx) Send(to int, kind int, payload any, bytes float64) {
 	// writer goroutine tallies what the codec actually emits. The codec
 	// tests assert the two never drift apart.
 	c.nd.est.AddState(kind, bytes)
+	// One send-only trace event per state message: `loadex validate`
+	// checks every one travels a topology edge.
+	c.nd.opts.Rec.Record(chaos.Event{Ev: chaos.EvState, Rank: c.nd.rank, Peer: to, Kind: int32(kind)})
 	m, err := StateMessage(c.nd.rank, kind, payload)
 	if err != nil {
 		panic(err) // a core payload the codec cannot carry is a programming error
@@ -763,7 +801,7 @@ func (nd *Node) Decide(totalWork float64, slaves int, spin time.Duration) (core.
 		exch.Acquire(ctx, func() {
 			nd.decisions++
 			nd.decLatency += time.Since(acquireAt).Seconds()
-			dec = core.PlanDecision(exch.View(), nd.rank, slaves, totalWork)
+			dec = core.PlanDecisionOn(nd.topo, exch.View(), nd.rank, slaves, totalWork)
 			if nd.opts.Rec != nil {
 				ev := chaos.Event{Ev: chaos.EvDecide, Rank: nd.rank,
 					Work: totalWork, Slaves: slaves}
@@ -844,11 +882,14 @@ func (nd *Node) DrainOwn(timeout time.Duration) error {
 	return nil
 }
 
-// AnnounceDone broadcasts this node's Done announcement (its decisions
-// are taken and drained); peers observe it through DonesReceived.
+// AnnounceDone announces this node's Done (its decisions are taken and
+// drained) to every connected peer — its topology neighbors; peers
+// observe it through DonesReceived. On a sparse mesh a rank therefore
+// waits for Links() announcements, not n-1 (work can only ever arrive
+// over a link, so neighbor quiescence is rank quiescence).
 func (nd *Node) AnnounceDone() {
-	for to := 0; to < nd.n; to++ {
-		if to != nd.rank {
+	for to, p := range nd.peers {
+		if p != nil {
 			nd.post(to, Message{Type: TypeDone, From: int32(nd.rank)})
 		}
 	}
@@ -900,7 +941,7 @@ func (nd *Node) sampleCounters() core.Counters {
 		CtrlMsgs:        nd.ctrlMsgsOut.Load(),
 		CtrlBytes:       float64(nd.ctrlBytesOut.Load()),
 	}
-	for k := core.KindUpdate; k <= core.KindMasterToSlave; k++ {
+	for k := core.KindUpdate; k <= core.KindMax; k++ {
 		msgs := nd.stateKindMsgs[k].Load()
 		if msgs == 0 {
 			continue

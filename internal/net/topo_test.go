@@ -1,0 +1,88 @@
+package net
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestSparseMeshDialsOnlyNeighborLinks is the mesh-construction check of
+// the topology seam: a cluster on a sparse graph must open exactly one
+// TCP connection per topology edge — non-neighbor pairs share no socket
+// at all, so the link count scales with the degree, not with n.
+func TestSparseMeshDialsOnlyNeighborLinks(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		edges int // expected total undirected links for n=8
+	}{
+		{"ring", 8},
+		{"hypercube", 12},
+		{"full", 28},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			topo, err := core.NewTopology(tc.name, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cl, err := NewCluster(8, core.MechNaive, core.Config{Topo: topo, Threshold: core.Load{core.Workload: 1}}, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Stop()
+			total := 0
+			for r := 0; r < 8; r++ {
+				got := cl.Node(r).Links()
+				if want := topo.Degree(r); got != want {
+					t.Errorf("rank %d holds %d links, topology degree is %d", r, got, want)
+				}
+				total += got
+			}
+			if total != 2*tc.edges {
+				t.Errorf("cluster holds %d link endpoints, want %d (2 per edge)", total, 2*tc.edges)
+			}
+		})
+	}
+}
+
+// TestSparseMeshRunsDecisions drives load changes and a decision over a
+// ring mesh end to end: updates stay deliverable (no posts to missing
+// peers) and assignments land only on the master's neighbors.
+func TestSparseMeshRunsDecisions(t *testing.T) {
+	topo, err := core.NewTopology("ring", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var missing []string
+	cl, err := NewCluster(5, core.MechNaive,
+		core.Config{Topo: topo, Threshold: core.Load{core.Workload: 1}},
+		Options{Logf: func(format string, args ...any) { missing = append(missing, format) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	for r := 0; r < 5; r++ {
+		cl.LocalChange(r, core.Load{core.Workload: float64(10 * (r + 1))})
+	}
+	dec, err := cl.DecideObserved(0, 40, 2, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Assignments) != 2 {
+		t.Fatalf("decision took %d assignments, want 2", len(dec.Assignments))
+	}
+	for _, a := range dec.Assignments {
+		if p := int(a.Proc); p != 1 && p != 4 {
+			t.Fatalf("master 0 assigned to non-neighbor %d on a 5-ring", p)
+		}
+	}
+	if err := cl.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.ExecutedItems(); got != 2 {
+		t.Fatalf("executed %d items, want 2", got)
+	}
+	if len(missing) > 0 {
+		t.Fatalf("transport logged diagnostics on a healthy sparse mesh: %v", missing)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/chaos"
+	"repro/internal/core"
 )
 
 // NetworkConfig describes the interconnect of the simulated platform.
@@ -37,18 +38,25 @@ type NetworkConfig struct {
 	// reordering, loss, slow rank, rank crash) per the plan, in virtual
 	// time. A pointer so NetworkConfig stays ==-comparable.
 	Chaos *chaos.Plan
+	// Topo, when non-nil, is the neighbor graph the state channel must
+	// respect: a state message between non-neighbors is a seam bug, and
+	// Send panics on one. A pointer so NetworkConfig stays ==-comparable.
+	Topo *core.Topology
 }
 
 // Normalized returns the config with the zero value replaced by
-// DefaultNetwork, preserving an attached chaos plan: a config that only
-// names a fault plan still means "the default platform, faulted".
+// DefaultNetwork, preserving an attached chaos plan and topology: a
+// config that only names a fault plan or a neighbor graph still means
+// "the default platform" with those attached.
 func (c NetworkConfig) Normalized() NetworkConfig {
 	base := c
 	base.Chaos = nil
+	base.Topo = nil
 	if base == (NetworkConfig{}) {
 		base = DefaultNetwork()
 	}
 	base.Chaos = c.Chaos
+	base.Topo = c.Topo
 	return base
 }
 
@@ -159,6 +167,10 @@ func (nw *Network) sameNode(a, b int) bool {
 func (nw *Network) Send(m *Message) {
 	if m.To < 0 || m.To >= nw.n || m.From < 0 || m.From >= nw.n {
 		panic(fmt.Sprintf("sim: send with bad ranks from=%d to=%d n=%d", m.From, m.To, nw.n))
+	}
+	if m.Channel == StateChannel && m.From != m.To && !nw.cfg.Topo.Edge(m.From, m.To) {
+		panic(fmt.Sprintf("sim: state message kind %d from %d to %d crosses a non-edge of %s",
+			m.Kind, m.From, m.To, nw.cfg.Topo.Name()))
 	}
 	now := nw.eng.Now()
 	m.Sent = now

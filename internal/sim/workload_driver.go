@@ -55,6 +55,7 @@ func (d *WorkloadDriver) Run(w workload.Workload, mech core.Mech, cfg core.Confi
 		executed:  make([]int64, n),
 		busySince: make([]float64, n),
 		spin:      Duration(p.Spin.Seconds()),
+		topo:      cfg.Topo,
 		rep:       rep,
 		trace:     d.Trace,
 		measuring: true,
@@ -62,7 +63,11 @@ func (d *WorkloadDriver) Run(w workload.Workload, mech core.Mech, cfg core.Confi
 	for r := range app.busySince {
 		app.busySince[r] = -1
 	}
-	app.rt = NewRuntime(eng, n, d.Network, app)
+	// The network enforces the seam: a state message between
+	// non-neighbors panics the simulation instead of silently passing.
+	netCfg := d.Network
+	netCfg.Topo = cfg.Topo
+	app.rt = NewRuntime(eng, n, netCfg, app)
 	for r := 0; r < n; r++ {
 		exch, err := core.New(mech, n, r, cfg)
 		if err != nil {
@@ -134,6 +139,7 @@ type wlApp struct {
 	assigned int64 // work items committed (leads Commit)
 	done     int64 // work items completed (trails the load decrement)
 	spin     Duration
+	topo     *core.Topology // nil means the complete graph
 	rep      *workload.Report
 	trace    trace.Tracer
 
@@ -257,7 +263,7 @@ func (a *wlApp) TryStart(p *Proc) bool {
 				}
 			}
 			rec.AssignedAtReady, rec.ExecutedAtReady = a.assigned, a.done
-			rec.Decision = core.PlanDecision(a.exs[r].View(), r, st.Slaves, st.Work)
+			rec.Decision = core.PlanDecisionOn(a.topo, a.exs[r].View(), r, st.Slaves, st.Work)
 			// The cumulative counter leads Commit so any snapshot cut
 			// that observed this decision's credits is covered by a
 			// later read (the conservation window relies on it).
