@@ -32,10 +32,12 @@ import (
 	"repro/internal/workload"
 )
 
-func runExperiment(args []string) error {
+func runExperiment(args []string) (retErr error) {
 	fs := flag.NewFlagSet("loadex experiment", flag.ExitOnError)
 	var p nodeParams
 	p.register(fs)
+	var prof profileFlags
+	prof.register(fs)
 	procs := fs.Int("procs", 0, "number of processes (alias for -n)")
 	runtime := fs.String("runtime", "sim", "runtime: "+strings.Join(runtimeNames(), "|")+"|all")
 	inproc := fs.Bool("inproc", true, "net runtime: run the nodes in-process (same TCP sockets, no fork; default true here — unlike `loadex run` — so repeated cells stay cheap; -inproc=false forks one OS process per rank)")
@@ -57,6 +59,15 @@ func runExperiment(args []string) error {
 	if err := p.validate(true); err != nil {
 		return err
 	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
 	if *svc {
 		return runServiceBench(&p, *jobs, *conc, *jsonPath, *label)
 	}

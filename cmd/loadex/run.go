@@ -34,10 +34,12 @@ import (
 // runtimeNames lists the runtimes `loadex run` can target.
 func runtimeNames() []string { return []string{"sim", "live", "net"} }
 
-func runRun(args []string) error {
+func runRun(args []string) (retErr error) {
 	fs := flag.NewFlagSet("loadex run", flag.ExitOnError)
 	var p nodeParams
 	p.register(fs)
+	var prof profileFlags
+	prof.register(fs)
 	procs := fs.Int("procs", 0, "number of processes (alias for -n)")
 	runtime := fs.String("runtime", "sim", "runtime: "+strings.Join(runtimeNames(), "|")+"|all")
 	inproc := fs.Bool("inproc", false, "net runtime: run the nodes in-process (same TCP sockets, no fork)")
@@ -66,6 +68,15 @@ func runRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
 
 	// Visit every cell even when one fails: an `all` sweep must report
 	// which cells broke, not abort on (or worse, report only) the last

@@ -308,8 +308,18 @@ type Stats struct {
 }
 
 // View stores per-process load estimates.
+//
+// The view tracks the minimum of each metric incrementally: minCache[m]
+// holds 1+rank of the current minimum (lowest rank among ties), or 0
+// when unknown. The cache starts unknown and is filled lazily by the
+// first k=1 selection, after which Set keeps it fresh in O(1) except
+// when the minimum itself worsens (then it goes unknown again until the
+// next query's scan). This makes the common PlanDecision case — pick
+// the single least-loaded slave — O(1) on views that mostly receive
+// updates for non-minimal ranks.
 type View struct {
-	loads []Load
+	loads    []Load
+	minCache [NumMetrics]int32
 }
 
 // NewView returns a view over n processes with zero estimates.
@@ -325,10 +335,55 @@ func (v *View) Load(p int) Load { return v.loads[p] }
 func (v *View) Metric(p int, m Metric) float64 { return v.loads[p][m] }
 
 // Set overwrites the estimate for p.
-func (v *View) Set(p int, l Load) { v.loads[p] = l }
+func (v *View) Set(p int, l Load) {
+	old := v.loads[p]
+	v.loads[p] = l
+	for m := range v.minCache {
+		c := v.minCache[m]
+		if c == 0 {
+			continue
+		}
+		cr := int(c) - 1
+		if p == cr {
+			if l[m] > old[m] {
+				// The minimum worsened; some other rank may now hold it.
+				v.minCache[m] = 0
+			}
+		} else if l[m] < v.loads[cr][m] || (l[m] == v.loads[cr][m] && p < cr) {
+			v.minCache[m] = int32(p) + 1
+		}
+	}
+}
 
 // AddTo adds a delta to the estimate for p.
-func (v *View) AddTo(p int, d Load) { v.loads[p] = v.loads[p].Add(d) }
+func (v *View) AddTo(p int, d Load) { v.Set(p, v.loads[p].Add(d)) }
+
+// minRank returns the rank with the smallest estimate of metric m,
+// excluding rank exclude (-1 excludes nobody), lowest rank among ties;
+// -1 when no rank qualifies. It answers from the incremental cache when
+// possible and refreshes it on the scan path whenever the result is
+// also the unexcluded minimum.
+func (v *View) minRank(m Metric, exclude int) int {
+	if c := v.minCache[m]; c != 0 && int(c)-1 != exclude {
+		return int(c) - 1
+	}
+	best, bl := -1, 0.0
+	for p := range v.loads {
+		if p == exclude {
+			continue
+		}
+		if l := v.loads[p][m]; best < 0 || l < bl {
+			best, bl = p, l
+		}
+	}
+	if best >= 0 {
+		if exclude < 0 || exclude >= len(v.loads) || v.loads[exclude][m] > bl ||
+			(v.loads[exclude][m] == bl && exclude > best) {
+			v.minCache[m] = int32(best) + 1
+		}
+	}
+	return best
+}
 
 // SeedView installs the statically-known initial loads of every peer
 // into a freshly initialized mechanism's view — the paper's convention

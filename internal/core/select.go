@@ -19,6 +19,15 @@ func LeastLoaded(v *View, m Metric, exclude, k int) []int {
 	if k <= 0 {
 		return []int{}
 	}
+	if k == 1 {
+		// The common PlanDecision case: one least-loaded slave. The view
+		// tracks its minimum incrementally, so this is O(1) when the
+		// cache is warm and a plain scan (which re-warms it) otherwise.
+		if best := v.minRank(m, exclude); best >= 0 {
+			return []int{best}
+		}
+		return []int{}
+	}
 	// heap is a max-heap of the k best candidates seen so far, ordered
 	// by (load, rank): the root is the worst kept candidate, evicted
 	// when a strictly better one arrives. Ranks are visited in

@@ -85,16 +85,52 @@ func TestLeastLoadedEdgeCases(t *testing.T) {
 	}
 }
 
+// TestViewMinCacheCoherence drives a view through a random Set/AddTo
+// mutation stream interleaved with k=1 selections and checks every
+// answer against the O(n²) oracle: the incremental minimum cache must
+// never serve a stale rank, whatever order updates and queries arrive
+// in.
+func TestViewMinCacheCoherence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(20)
+		v := NewView(n)
+		for op := 0; op < 60; op++ {
+			p := rng.Intn(n)
+			// Quantized loads force ties; negative deltas force the
+			// cached minimum to move both ways.
+			l := Load{Workload: float64(rng.Intn(4)), Memory: float64(rng.Intn(4))}
+			if rng.Intn(2) == 0 {
+				v.Set(p, l)
+			} else {
+				v.AddTo(p, Load{Workload: float64(rng.Intn(5) - 2), Memory: float64(rng.Intn(5) - 2)})
+			}
+			exclude := rng.Intn(n+1) - 1
+			metric := Metric(rng.Intn(int(NumMetrics)))
+			got := LeastLoaded(v, metric, exclude, 1)
+			want := leastLoadedRef(v, metric, exclude, 1)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("trial %d op %d n=%d exclude=%d metric=%v: got %v, want %v",
+					trial, op, n, exclude, metric, got, want)
+			}
+		}
+	}
+}
+
 // BenchmarkLeastLoaded covers the dynamic-decision hot path at and far
-// beyond the paper's 128-process scale.
+// beyond the paper's 128-process scale, up to million-entry views. k=1
+// is the PlanDecision fast path served by the view's incremental
+// minimum; the mutate variant interleaves an update per selection so
+// the cache is exercised under churn rather than answering from a
+// frozen view.
 func BenchmarkLeastLoaded(b *testing.B) {
-	for _, n := range []int{64, 1024, 16384} {
+	for _, n := range []int{64, 1024, 16384, 1 << 20} {
 		v := NewView(n)
 		rng := rand.New(rand.NewSource(1))
 		for p := 0; p < n; p++ {
 			v.Set(p, Load{Workload: rng.Float64() * 1000})
 		}
-		for _, k := range []int{3, 16} {
+		for _, k := range []int{1, 3, 16} {
 			b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					sel := LeastLoaded(v, Workload, 0, k)
@@ -104,5 +140,14 @@ func BenchmarkLeastLoaded(b *testing.B) {
 				}
 			})
 		}
+		b.Run(fmt.Sprintf("n=%d/k=1/mutate", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v.AddTo(i%n, Load{Workload: float64(i%64) - 32})
+				sel := LeastLoaded(v, Workload, 0, 1)
+				if len(sel) != 1 {
+					b.Fatalf("selected %d, want 1", len(sel))
+				}
+			}
+		})
 	}
 }

@@ -163,6 +163,16 @@ const (
 	MetricWireMsgs        = "wire_msgs"
 	MetricWireBytes       = "wire_bytes"
 	MetricElapsed         = "elapsed_s"
+	// MetricEventsPerSec is the simulator's fired-event throughput
+	// (engine events / wall-clock elapsed; sim cells only).
+	MetricEventsPerSec = "events_per_sec"
+	// MetricFramesPerSec is the transport's inbound frame throughput
+	// (wire messages / wall-clock elapsed; net cells only).
+	MetricFramesPerSec = "frames_per_sec"
+	// MetricDetectLatency is the gap between the last work completion
+	// and the termination detector's broadcast, in application seconds —
+	// the per-protocol cost of noticing a finished cluster.
+	MetricDetectLatency = "detect_latency_s"
 )
 
 // MetricNames lists the headline metrics in report order.
@@ -175,6 +185,7 @@ func MetricNames() []string {
 		MetricSnapshots, MetricRestarts, MetricSnapshotRounds, MetricSnapshotTime,
 		MetricDecisionLatency, MetricBusyTime,
 		MetricWireMsgs, MetricWireBytes, MetricElapsed,
+		MetricEventsPerSec, MetricFramesPerSec, MetricDetectLatency,
 	}
 }
 
@@ -202,6 +213,15 @@ func metricsOf(rep *workload.Report) map[string]float64 {
 		MetricWireMsgs:        float64(rep.WireMsgs),
 		MetricWireBytes:       float64(rep.WireBytes),
 		MetricElapsed:         rep.Elapsed.Seconds(),
+		MetricDetectLatency:   rep.DetectLatency,
+	}
+	if el := rep.Elapsed.Seconds(); el > 0 {
+		if rep.SimEvents > 0 {
+			m[MetricEventsPerSec] = float64(rep.SimEvents) / el
+		}
+		if rep.WireMsgs > 0 {
+			m[MetricFramesPerSec] = float64(rep.WireMsgs) / el
+		}
 	}
 	for kind, t := range c.PerKind {
 		m["msgs["+kind+"]"] = float64(t.Msgs)
@@ -313,6 +333,9 @@ var markdownColumns = []struct{ header, metric string }{
 	{"snp rounds", MetricSnapshotRounds},
 	{"acquire latency (s)", MetricDecisionLatency},
 	{"busy (s)", MetricBusyTime},
+	{"events/s", MetricEventsPerSec},
+	{"frames/s", MetricFramesPerSec},
+	{"detect (s)", MetricDetectLatency},
 }
 
 // WriteSweepMarkdown writes one paper-shaped table per scenario ×

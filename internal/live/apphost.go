@@ -3,6 +3,7 @@ package live
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/chaos"
@@ -186,6 +187,12 @@ type liveAppHost struct {
 	doneCh   chan struct{}
 	doneOnce sync.Once
 	quit     chan struct{}
+
+	// lastDoneNS / termNS are wall-clock UnixNano stamps of the latest
+	// compute completion and the detector's first CtrlTerm broadcast;
+	// their difference is the run's detection latency.
+	lastDoneNS atomic.Int64
+	termNS     atomic.Int64
 }
 
 // ---- workload.AppHost ---------------------------------------------------
@@ -364,6 +371,9 @@ func (c liveDetCtx) N() int    { return c.h.N() }
 
 func (c liveDetCtx) SendCtrl(to int, ct termdet.Ctrl) {
 	h := c.h
+	if ct.Kind == termdet.CtrlTerm {
+		h.termNS.CompareAndSwap(0, time.Now().UnixNano())
+	}
 	h.counters[c.rank].AddCtrl(core.BytesCtrl)
 	// A crashed rank neither sends nor receives control frames (no rng
 	// draw: this path runs outside the callback mutex, and control
@@ -396,6 +406,7 @@ func (h *liveAppHost) runRank(rank int) {
 			h.mu.Lock()
 			p.done()
 			h.mu.Unlock()
+			h.lastDoneNS.Store(time.Now().UnixNano())
 			continue
 		}
 		// Priority 0: detector control frames.
@@ -537,6 +548,9 @@ func (h *liveAppHost) report() *workload.AppReport {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	rep := &workload.AppReport{Time: time.Since(h.start).Seconds()}
+	if term, done := h.termNS.Load(), h.lastDoneNS.Load(); term > 0 && done > 0 && term >= done {
+		rep.DetectLatency = float64(term-done) / float64(time.Second)
+	}
 	for r := range h.counters {
 		c := h.counters[r].Clone()
 		c.BusyTime = h.busy[r].Seconds

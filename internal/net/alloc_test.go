@@ -1,0 +1,46 @@
+package net
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestBinaryCodecZeroAlloc pins the zero-allocation wire path: once the
+// encode buffer and the decode target's payload slices are warm, Encode
+// and DecodeInto must allocate nothing for any message type — the
+// regression guard behind the node reader/writer loops' steady state.
+func TestBinaryCodecZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	codec := BinaryCodec{}
+	for i, m := range sampleMessages() {
+		m := m
+		t.Run(fmt.Sprintf("%02d_%s", i, m.Type), func(t *testing.T) {
+			buf, err := codec.Encode(nil, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var dec Message
+			if err := codec.DecodeInto(buf, &dec); err != nil {
+				t.Fatal(err)
+			}
+			if allocs := testing.AllocsPerRun(200, func() {
+				var err error
+				buf, err = codec.Encode(buf[:0], m)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}); allocs != 0 {
+				t.Errorf("Encode: %v allocs/op, want 0", allocs)
+			}
+			if allocs := testing.AllocsPerRun(200, func() {
+				if err := codec.DecodeInto(buf, &dec); err != nil {
+					t.Fatal(err)
+				}
+			}); allocs != 0 {
+				t.Errorf("DecodeInto: %v allocs/op, want 0", allocs)
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package net
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -62,6 +63,24 @@ type appBinding struct {
 	// elsewhere).
 	doneCh   chan struct{}
 	doneOnce sync.Once
+
+	// lastDoneNS / termNS are wall-clock UnixNano stamps of the latest
+	// local compute completion and the detector's first CtrlTerm
+	// broadcast; their difference is the run's detection latency. Under
+	// fork only the process hosting rank 0 observes the broadcast, so
+	// other processes report zero (unobserved).
+	lastDoneNS atomic.Int64
+	termNS     atomic.Int64
+}
+
+// detectLatency derives the detection latency from the binding's
+// stamps; zero when either endpoint was not observed locally.
+func (b *appBinding) detectLatency() float64 {
+	term, done := b.termNS.Load(), b.lastDoneNS.Load()
+	if term == 0 || done == 0 || term < done {
+		return 0
+	}
+	return float64(term-done) / float64(time.Second)
 }
 
 // signalDone latches termination observed by a local detector.
@@ -78,6 +97,9 @@ func (c nodeDetCtx) Rank() int { return c.nd.rank }
 func (c nodeDetCtx) N() int    { return c.nd.n }
 
 func (c nodeDetCtx) SendCtrl(to int, ct termdet.Ctrl) {
+	if ct.Kind == termdet.CtrlTerm {
+		c.nd.appB.termNS.CompareAndSwap(0, time.Now().UnixNano())
+	}
 	c.nd.est.AddCtrl(core.BytesCtrl)
 	c.nd.post(to, CtrlMessage(c.nd.rank, ct))
 }
@@ -109,6 +131,7 @@ func (nd *Node) runApp() {
 			b.mu.Lock()
 			p.done()
 			b.mu.Unlock()
+			b.lastDoneNS.Store(time.Now().UnixNano())
 			continue
 		}
 		// Priority 0: detector control frames.
@@ -437,7 +460,9 @@ func (r *AppRunner) RunApp(n int, app workload.App, opts workload.AppRunOptions)
 	// long as a small run itself).
 	elapsed := time.Since(host.start).Seconds()
 	stop()
-	return appReportOf(nodes, elapsed), runErr
+	rep := appReportOf(nodes, elapsed)
+	rep.DetectLatency = b.detectLatency()
+	return rep, runErr
 }
 
 // AppNode hosts a single rank of an application on one Node — the
@@ -507,5 +532,6 @@ func (an *AppNode) Run(timeout time.Duration) (*workload.AppReport, error) {
 	if rep == nil {
 		rep = appReportOf(an.host.nodes, elapsed)
 	}
+	rep.DetectLatency = an.b.detectLatency()
 	return rep, nil
 }

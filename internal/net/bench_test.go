@@ -83,13 +83,42 @@ func BenchmarkDecode(b *testing.B) {
 	}
 }
 
+// BenchmarkDecodeInto measures the reused-Message decode path the node
+// reader actually runs: payload slice capacity is recycled across
+// frames, so the binary codec's steady state is allocation-free.
+func BenchmarkDecodeInto(b *testing.B) {
+	msgs := benchMessages()
+	for _, codec := range benchCodecs(b) {
+		encoded := make([][]byte, len(msgs))
+		for i, m := range msgs {
+			body, err := codec.Encode(nil, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			encoded[i] = body
+		}
+		b.Run(codec.Name(), func(b *testing.B) {
+			var m Message
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := codec.DecodeInto(encoded[i%len(encoded)], &m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRoundTrip measures one full encode+decode of the whole mix,
-// the per-message cost a node's reader/writer pair pays.
+// the per-message cost a node's reader/writer pair pays. The plain
+// variant goes through value-returning Decode; the into variant reuses
+// one Message the way the reader loop does.
 func BenchmarkRoundTrip(b *testing.B) {
 	msgs := benchMessages()
 	for _, codec := range benchCodecs(b) {
 		b.Run(fmt.Sprintf("%s/mix=%d", codec.Name(), len(msgs)), func(b *testing.B) {
 			var buf []byte
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				for _, m := range msgs {
 					body, err := codec.Encode(buf[:0], m)
@@ -98,6 +127,23 @@ func BenchmarkRoundTrip(b *testing.B) {
 					}
 					buf = body
 					if _, err := codec.Decode(body); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%s/mix=%d/into", codec.Name(), len(msgs)), func(b *testing.B) {
+			var buf []byte
+			var dec Message
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, m := range msgs {
+					body, err := codec.Encode(buf[:0], m)
+					if err != nil {
+						b.Fatal(err)
+					}
+					buf = body
+					if err := codec.DecodeInto(body, &dec); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -271,6 +271,10 @@ type Codec interface {
 	// Decode parses one message from exactly b; trailing garbage is an
 	// error. It must never panic, whatever b contains.
 	Decode(b []byte) (Message, error)
+	// DecodeInto is Decode into a caller-owned Message, reusing its
+	// payload slice capacity — the zero-allocation read path. The
+	// previous contents of m are discarded; on error m is undefined.
+	DecodeInto(b []byte, m *Message) error
 }
 
 // NewCodec returns the codec registered under name.
@@ -374,21 +378,31 @@ func (BinaryCodec) Encode(dst []byte, m Message) ([]byte, error) {
 
 // Decode implements Codec. It is strict: unknown types/kinds, short
 // buffers and trailing bytes are errors, and no input panics.
-func (BinaryCodec) Decode(b []byte) (Message, error) {
+func (c BinaryCodec) Decode(b []byte) (Message, error) {
 	var m Message
+	err := c.DecodeInto(b, &m)
+	return m, err
+}
+
+// DecodeInto implements Codec. Reusing one Message across calls makes
+// the steady-state decode path allocation-free: the assignment and load
+// vectors of master_to_all / diffuse frames land in the slices m
+// already carries whenever their capacity suffices.
+func (BinaryCodec) DecodeInto(b []byte, m *Message) error {
+	*m = Message{Assignments: m.Assignments[:0], Loads: m.Loads[:0]}
 	r := reader{buf: b}
 	t, err := r.u8()
 	if err != nil {
-		return m, err
+		return err
 	}
 	m.Type = MsgType(t)
 	if m.From, err = r.i32(); err != nil {
-		return m, err
+		return err
 	}
 	base := m.Type
 	if b := jobBase(base); b != base {
 		if m.Job, err = r.i32(); err != nil {
-			return m, err
+			return err
 		}
 		base = b
 	}
@@ -396,135 +410,143 @@ func (BinaryCodec) Decode(b []byte) (Message, error) {
 	case TypeHello, TypeWorkDone, TypeDone:
 	case TypeWork:
 		if m.Load, err = r.load(); err != nil {
-			return m, err
+			return err
 		}
 		var u uint64
 		if u, err = r.u64(); err != nil {
-			return m, err
+			return err
 		}
 		m.Spin = int64(u)
 	case TypeData:
 		if m.Data.Kind, err = r.i32(); err != nil {
-			return m, err
+			return err
 		}
 		if m.Data.Node, err = r.i32(); err != nil {
-			return m, err
+			return err
 		}
 		if m.Data.Peer, err = r.i32(); err != nil {
-			return m, err
+			return err
 		}
 		if m.Data.Count, err = r.i32(); err != nil {
-			return m, err
+			return err
 		}
 		if m.Data.Work, err = r.f64(); err != nil {
-			return m, err
+			return err
 		}
 		if m.Data.Size, err = r.f64(); err != nil {
-			return m, err
+			return err
 		}
 		if m.Data.Bytes, err = r.f64(); err != nil {
-			return m, err
+			return err
 		}
 	case TypeCtrl:
 		if m.Ctrl.Kind, err = r.i32(); err != nil {
-			return m, err
+			return err
 		}
 		if m.Ctrl.Count, err = r.i32(); err != nil {
-			return m, err
+			return err
 		}
 		var black byte
 		if black, err = r.u8(); err != nil {
-			return m, err
+			return err
 		}
 		if black > 1 {
-			return m, fmt.Errorf("net: decode: ctrl color byte %d", black)
+			return fmt.Errorf("net: decode: ctrl color byte %d", black)
 		}
 		m.Ctrl.Black = black == 1
 	case TypeState:
 		if m.Kind, err = r.i32(); err != nil {
-			return m, err
+			return err
 		}
 		switch int(m.Kind) {
 		case core.KindUpdate, core.KindMasterToSlave:
 			if m.Load, err = r.load(); err != nil {
-				return m, err
+				return err
 			}
 		case core.KindNoMoreMaster, core.KindEndSnp:
 		case core.KindStartSnp:
 			if m.Req, err = r.i32(); err != nil {
-				return m, err
+				return err
 			}
 		case core.KindSnp:
 			if m.Req, err = r.i32(); err != nil {
-				return m, err
+				return err
 			}
 			if m.Load, err = r.load(); err != nil {
-				return m, err
+				return err
 			}
 		case core.KindMasterToAll:
 			n, err := r.i32()
 			if err != nil {
-				return m, err
+				return err
 			}
 			// Bound the allocation by what the buffer can actually
 			// hold, so a hostile length prefix cannot balloon memory
 			// (divide rather than multiply: n*assignmentSize could
 			// overflow int on 32-bit platforms).
 			if n < 0 || int(n) > (len(r.buf)-r.off)/assignmentSize {
-				return m, fmt.Errorf("net: decode: assignment count %d exceeds frame", n)
+				return fmt.Errorf("net: decode: assignment count %d exceeds frame", n)
 			}
 			if n > 0 {
-				m.Assignments = make([]core.Assignment, n)
+				if cap(m.Assignments) >= int(n) {
+					m.Assignments = m.Assignments[:n]
+				} else {
+					m.Assignments = make([]core.Assignment, n)
+				}
 				for i := range m.Assignments {
 					if m.Assignments[i].Proc, err = r.i32(); err != nil {
-						return m, err
+						return err
 					}
 					if m.Assignments[i].Delta, err = r.load(); err != nil {
-						return m, err
+						return err
 					}
 				}
 			}
 		case core.KindGossip:
 			if m.Origin, err = r.i32(); err != nil {
-				return m, err
+				return err
 			}
 			if m.Seq, err = r.i32(); err != nil {
-				return m, err
+				return err
 			}
 			if m.TTL, err = r.i32(); err != nil {
-				return m, err
+				return err
 			}
 			if m.Load, err = r.load(); err != nil {
-				return m, err
+				return err
 			}
 		case core.KindDiffuse:
 			n, err := r.i32()
 			if err != nil {
-				return m, err
+				return err
 			}
 			// Same hostile-length bound as master_to_all: the count must
 			// fit the remaining frame bytes.
 			if n < 0 || int(n) > (len(r.buf)-r.off)/(8*int(core.NumMetrics)) {
-				return m, fmt.Errorf("net: decode: load vector count %d exceeds frame", n)
+				return fmt.Errorf("net: decode: load vector count %d exceeds frame", n)
 			}
 			if n > 0 {
-				m.Loads = make([]core.Load, n)
+				if cap(m.Loads) >= int(n) {
+					m.Loads = m.Loads[:n]
+				} else {
+					m.Loads = make([]core.Load, n)
+				}
 				for i := range m.Loads {
 					if m.Loads[i], err = r.load(); err != nil {
-						return m, err
+						return err
 					}
 				}
 			}
 		default:
-			return m, fmt.Errorf("net: decode: unknown state kind %d", m.Kind)
+			return fmt.Errorf("net: decode: unknown state kind %d", m.Kind)
 		}
 	default:
-		return m, fmt.Errorf("net: decode: unknown message type %d", t)
+		return fmt.Errorf("net: decode: unknown message type %d", t)
 	}
 	if r.off != len(r.buf) {
-		return m, fmt.Errorf("net: decode: %d trailing bytes", len(r.buf)-r.off)
+		return fmt.Errorf("net: decode: %d trailing bytes", len(r.buf)-r.off)
 	}
-	return m, nil
+	return nil
 }
 
 func appendLoad(dst []byte, l core.Load) []byte {
@@ -619,6 +641,13 @@ func (JSONCodec) Decode(b []byte) (Message, error) {
 		return Message{}, err
 	}
 	return m, nil
+}
+
+// DecodeInto implements Codec. JSON decoding allocates regardless; the
+// method exists so the readers can hold one code path for both codecs.
+func (JSONCodec) DecodeInto(b []byte, m *Message) error {
+	*m = Message{}
+	return json.Unmarshal(b, m)
 }
 
 // ---- framing -------------------------------------------------------------

@@ -2,6 +2,7 @@ package net
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"math/rand/v2"
@@ -441,6 +442,13 @@ func (nd *Node) readLoop(p *peer) {
 	defer nd.wgReaders.Done()
 	br := bufio.NewReaderSize(p.conn, 1<<16)
 	var buf []byte
+	// m is reused across frames: DecodeInto recycles its payload slice
+	// capacity, so the steady-state read path decodes without
+	// allocating. Payloads that escape to another goroutine with a
+	// reference into m (assignment lists, diffusion vectors) hand the
+	// slice over by niling the field below, so the next decode allocates
+	// fresh instead of scribbling on a published slice.
+	var m Message
 	for {
 		body, err := ReadFrame(br, buf)
 		if err != nil {
@@ -454,8 +462,7 @@ func (nd *Node) readLoop(p *peer) {
 			return
 		}
 		buf = body
-		m, err := nd.codec.Decode(body)
-		if err != nil {
+		if err := nd.codec.DecodeInto(body, &m); err != nil {
 			nd.logf("net: rank %d bad frame from %d: %v", nd.rank, p.rank, err)
 			p.conn.Close()
 			return
@@ -481,6 +488,16 @@ func (nd *Node) readLoop(p *peer) {
 			case <-nd.quit:
 				return
 			}
+			// The payload just posted may reference m's slices
+			// (master_to_all assignments, diffuse load vectors);
+			// transfer ownership so the next DecodeInto can't overwrite
+			// a slice another goroutine is reading.
+			if len(m.Assignments) > 0 {
+				m.Assignments = nil
+			}
+			if len(m.Loads) > 0 {
+				m.Loads = nil
+			}
 		case TypeWork:
 			nd.workIn.Add(1)
 			select {
@@ -504,6 +521,14 @@ func (nd *Node) readLoop(p *peer) {
 		case TypeJobState, TypeJobData, TypeJobCtrl:
 			if !nd.routeJob(m) {
 				nd.logf("net: rank %d dropped %s for unknown job %d from %d", nd.rank, m.Type, m.Job, p.rank)
+			}
+			// Same ownership transfer as TypeState: a routed job-state
+			// payload may alias m's slices.
+			if len(m.Assignments) > 0 {
+				m.Assignments = nil
+			}
+			if len(m.Loads) > 0 {
+				m.Loads = nil
 			}
 		case TypeWorkDone:
 			nd.outstanding.Add(-1)
@@ -541,37 +566,65 @@ var encodeBufs = sync.Pool{
 	},
 }
 
-// writeLoop encodes and writes one peer's outbound messages, flushing
-// when the queue momentarily empties.
+// writeLoop encodes and writes one peer's outbound messages. A drained
+// queue leaves as one vectored write: each frame is encoded
+// length-prefix-first into a pooled buffer, the batch is collected into
+// a net.Buffers, and WriteTo hands the whole thing to the kernel in a
+// single writev on a TCP connection — one syscall per drained queue
+// instead of copying every frame through a bufio buffer.
 func (nd *Node) writeLoop(p *peer) {
 	defer nd.wgWriters.Done()
-	// The fault writer (if any) sits between the buffer and the socket:
+	// The fault writer (if any) sits between the batch and the socket:
 	// p.conn itself stays raw so Close can still half-close the TCP
-	// connection.
+	// connection. net.Buffers falls back to one Write per frame on a
+	// non-TCP writer, which keeps the fault writer's frame accumulator
+	// fed exactly as before.
 	var out io.Writer = p.conn
 	if nd.opts.Chaos.Active() {
 		out = newFaultWriter(p.conn, nd.opts.Chaos, nd.rank, p.rank, nd.start, nd.quit)
 	}
-	bw := bufio.NewWriterSize(out, 1<<16)
-	send := func(m Message) bool {
-		bp := encodeBufs.Get().(*[]byte)
-		defer func() {
+	// Batch bounds: keep a burst from pinning unbounded memory while
+	// still amortizing far more than one frame per syscall.
+	const maxBatchFrames = 256
+	const maxBatchBytes = 256 << 10
+	var (
+		frames  []*[]byte // pooled backing buffers of the open batch
+		bufs    net.Buffers
+		pending int // bytes in the open batch
+	)
+	recycle := func() {
+		for _, bp := range frames {
 			encodeBufs.Put(bp)
-		}()
-		body, err := nd.codec.Encode((*bp)[:0], m)
+		}
+		frames = frames[:0]
+		bufs = bufs[:0]
+		pending = 0
+	}
+	defer recycle()
+	encode := func(m Message) bool {
+		bp := encodeBufs.Get().(*[]byte)
+		b := append((*bp)[:0], 0, 0, 0, 0) // length prefix, patched below
+		b, err := nd.codec.Encode(b, m)
 		if err != nil {
+			*bp = b[:0]
+			encodeBufs.Put(bp)
 			nd.logf("net: rank %d encode for %d: %v", nd.rank, p.rank, err)
 			return false
 		}
-		*bp = body[:0]
-		if err := WriteFrame(bw, body); err != nil {
-			if !nd.closing.Load() {
-				nd.logf("net: rank %d write to %d: %v", nd.rank, p.rank, err)
-			}
+		body := b[FrameHeaderBytes:]
+		if len(body) > MaxFrame {
+			*bp = b[:0]
+			encodeBufs.Put(bp)
+			nd.logf("net: rank %d encode for %d: frame of %d bytes exceeds MaxFrame", nd.rank, p.rank, len(body))
 			return false
 		}
+		binary.BigEndian.PutUint32(b[:FrameHeaderBytes], uint32(len(body)))
+		*bp = b
+		frames = append(frames, bp)
+		bufs = append(bufs, b)
+		pending += len(b)
 		nd.msgsOut.Add(1)
-		nd.bytesOut.Add(int64(len(body)) + FrameHeaderBytes)
+		nd.bytesOut.Add(int64(len(b)))
 		switch m.Type {
 		case TypeState, TypeJobState:
 			if k := int(m.Kind); k >= 0 && k < len(nd.stateKindMsgs) {
@@ -587,17 +640,38 @@ func (nd *Node) writeLoop(p *peer) {
 		}
 		return true
 	}
+	flush := func() bool {
+		if len(bufs) == 0 {
+			return true
+		}
+		vb := bufs
+		_, err := vb.WriteTo(out)
+		recycle()
+		if err != nil {
+			if !nd.closing.Load() {
+				nd.logf("net: rank %d write to %d: %v", nd.rank, p.rank, err)
+			}
+			return false
+		}
+		return true
+	}
 	for {
 		select {
 		case m := <-p.out:
-			if !send(m) {
+			if !encode(m) {
 				return
 			}
-			// Drain without flushing while more is queued.
+			// Drain without writing while more is queued and the batch
+			// bounds allow.
 			for {
+				if len(frames) >= maxBatchFrames || pending >= maxBatchBytes {
+					if !flush() {
+						return
+					}
+				}
 				select {
 				case m := <-p.out:
-					if !send(m) {
+					if !encode(m) {
 						return
 					}
 					continue
@@ -605,20 +679,17 @@ func (nd *Node) writeLoop(p *peer) {
 				}
 				break
 			}
-			if err := bw.Flush(); err != nil {
-				if !nd.closing.Load() {
-					nd.logf("net: rank %d flush to %d: %v", nd.rank, p.rank, err)
-				}
+			if !flush() {
 				return
 			}
 		case <-nd.quit:
-			// Flush what was queued before shutdown (a master's final
+			// Write what was queued before shutdown (a master's final
 			// Done announcement, trailing acks); post() stops producing
 			// once quit is closed, so this drain is bounded.
 			for {
 				select {
 				case m := <-p.out:
-					if !send(m) {
+					if !encode(m) {
 						return
 					}
 					continue
@@ -626,7 +697,7 @@ func (nd *Node) writeLoop(p *peer) {
 				}
 				break
 			}
-			bw.Flush()
+			flush()
 			return
 		}
 	}

@@ -34,7 +34,7 @@ func (r *AppRunner) RunApp(n int, app workload.App, opts workload.AppRunOptions)
 	net := r.Network.Normalized()
 	eng := NewEngine()
 	eng.MaxSteps = opts.MaxSteps
-	h := &appHost{app: app, opts: opts, busySince: make([]float64, n)}
+	h := &appHost{app: app, opts: opts, busySince: make([]float64, n), termAt: -1}
 	for i := range h.busySince {
 		h.busySince[i] = -1
 	}
@@ -83,6 +83,14 @@ type appHost struct {
 	// it is not; busyTime accumulates the closed intervals.
 	busySince []float64
 	busyTime  float64
+
+	// lastDone is the virtual time of the latest Compute completion;
+	// termAt is the virtual time the detector first broadcast CtrlTerm
+	// (-1 until it does). Their difference is the run's detection
+	// latency: how long the cluster sat finished before the detector
+	// noticed and said so.
+	lastDone float64
+	termAt   float64
 }
 
 // ---- workload.AppHost ---------------------------------------------------
@@ -102,7 +110,10 @@ func (h *appHost) SendData(from, to int, m workload.DataMsg) {
 }
 
 func (h *appHost) Compute(rank int, seconds float64, done func()) {
-	h.rt.Compute(h.rt.Procs[rank], Duration(seconds*h.opts.SpeedOf(rank)), done)
+	h.rt.Compute(h.rt.Procs[rank], Duration(seconds*h.opts.SpeedOf(rank)), func() {
+		h.lastDone = float64(h.rt.Now())
+		done()
+	})
 }
 
 // appCtx is one rank's core.Context: mechanism sends on the prioritized
@@ -140,6 +151,9 @@ func (c detCtx) Rank() int { return c.rank }
 func (c detCtx) N() int    { return c.h.N() }
 
 func (c detCtx) SendCtrl(to int, ct termdet.Ctrl) {
+	if ct.Kind == termdet.CtrlTerm && c.h.termAt < 0 {
+		c.h.termAt = float64(c.h.rt.Now())
+	}
 	c.h.rt.Send(&Message{
 		From: c.rank, To: to, Channel: CtrlChannel,
 		Kind: int(ct.Kind), Payload: ct, Bytes: core.BytesCtrl,
@@ -198,6 +212,9 @@ func (h *appHost) report() *workload.AppReport {
 	rep := &workload.AppReport{
 		Time:  float64(h.rt.Now()),
 		Steps: h.rt.Eng.Steps(),
+	}
+	if h.termAt >= h.lastDone && h.termAt >= 0 {
+		rep.DetectLatency = h.termAt - h.lastDone
 	}
 	for _, p := range h.rt.Procs {
 		rep.PausedTime += float64(p.PausedTime())

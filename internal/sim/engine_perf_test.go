@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestEngineEventAllocs pins the pooled engine's allocation budget: with
+// a warm free list, one scheduled-and-fired event costs at most one
+// allocation — and in practice zero, since At recycles event records
+// and the heap/fast-lane arrays keep their capacity. The budget of one
+// leaves room for an occasional slice growth without letting a
+// per-event allocation regression (the pre-pooling behavior) back in.
+func TestEngineEventAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	for _, lane := range []struct {
+		name  string
+		delay Duration
+	}{
+		{"heap", 1}, // future events ride the priority queue
+		{"nowQ", 0}, // same-instant events ride the FIFO fast lane
+	} {
+		t.Run(lane.name, func(t *testing.T) {
+			eng := NewEngine()
+			fn := func() {}
+			// Warm the free list and array capacities.
+			for i := 0; i < 256; i++ {
+				eng.After(lane.delay, fn)
+			}
+			if err := eng.Run(); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				eng.After(lane.delay, fn)
+				if err := eng.Run(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > 1 {
+				t.Errorf("schedule+fire: %v allocs/op, want <= 1", allocs)
+			}
+		})
+	}
+}
+
+// TestEngineMassCancelCompacts drives repeated waves of
+// schedule-then-cancel through the engine and checks that neither
+// Pending() nor the resident heap grows with the number of canceled
+// events: lazy cancellation must compact once canceled events outnumber
+// live ones, so a mass cancel (a chaos plan killing a rank with
+// thousands of queued deliveries) cannot hold the heap's memory
+// hostage.
+func TestEngineMassCancelCompacts(t *testing.T) {
+	eng := NewEngine()
+	fired := 0
+	fn := func() { fired++ }
+	const waves, perWave = 50, 1000
+	for w := 0; w < waves; w++ {
+		handles := make([]EventHandle, 0, perWave)
+		for i := 0; i < perWave; i++ {
+			handles = append(handles, eng.At(Time(w+1), fn))
+		}
+		// Cancel all but one event of the wave.
+		for _, h := range handles[1:] {
+			eng.Cancel(h)
+		}
+		if got, want := eng.Pending(), w+1; got != want {
+			t.Fatalf("wave %d: Pending() = %d, want %d", w, got, want)
+		}
+		// The resident heap must stay proportional to the live events,
+		// not to the total ever canceled: compaction keeps canceled
+		// residents at most half the heap (plus the trigger threshold).
+		if resident := len(eng.events); resident > 2*(w+1)+130 {
+			t.Fatalf("wave %d: %d resident events for %d live — compaction did not run", w, resident, w+1)
+		}
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != waves {
+		t.Fatalf("fired %d events, want %d (one survivor per wave)", fired, waves)
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("Pending() = %d after drain, want 0", eng.Pending())
+	}
+}
+
+// TestEngineCancelAfterFireIsNoOp pins the generation counter: a handle
+// to a fired event must not cancel the recycled event record that took
+// its slot.
+func TestEngineCancelAfterFireIsNoOp(t *testing.T) {
+	eng := NewEngine()
+	h1 := eng.At(1, func() {})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The record behind h1 is now on the free list; schedule again so it
+	// is recycled with a bumped generation.
+	fired := false
+	h2 := eng.At(2, func() { fired = true })
+	if h2.e != h1.e {
+		t.Skip("free list did not recycle the record (allocator change?)")
+	}
+	eng.Cancel(h1) // stale handle: must not touch the new scheduling
+	if h1.Valid() {
+		t.Error("stale handle still reports valid")
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("stale Cancel killed a recycled event")
+	}
+}
+
+// BenchmarkEngine measures raw schedule+fire throughput on both lanes:
+// the heap path (future events) and the same-instant fast lane that
+// carries the bulk of a big simulation's wakeups.
+func BenchmarkEngine(b *testing.B) {
+	b.Run("heap", func(b *testing.B) {
+		eng := NewEngine()
+		fn := func() {}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng.After(1, fn)
+			if err := eng.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("nowQ", func(b *testing.B) {
+		eng := NewEngine()
+		fn := func() {}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng.After(0, fn)
+			if err := eng.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("heap-depth-1024", func(b *testing.B) {
+		// Schedule+fire with 1024 events resident, the realistic queue
+		// depth of a large simulation: each op pays real sift costs.
+		eng := NewEngine()
+		fn := func() {}
+		for i := 0; i < 1024; i++ {
+			eng.After(Duration(1e9+i), fn)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng.After(1, fn)
+			if err := eng.RunUntil(eng.Now() + 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

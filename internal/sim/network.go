@@ -113,8 +113,21 @@ type Network struct {
 	counts [NumChannels]MessageCount
 	// PerKind counts messages and bytes by (channel, kind) for the
 	// experiment harness (Table 6 reports mechanism messages only; the
-	// PR-3 counters report per-kind volume too).
-	perKind map[[2]int]MessageCount
+	// PR-3 counters report per-kind volume too). Entries are pointers so
+	// the hot path hashes the key once per message, not twice.
+	perKind map[[2]int]*MessageCount
+
+	// Delivery batching: messages scheduled back to back for the same
+	// virtual instant share one engine event (a broadcast fan-out lands
+	// as a handful of events instead of n-1). pending is the open batch;
+	// it accepts another message only while pendingSeq still equals the
+	// engine's next sequence number, which proves no other event was
+	// scheduled in between — so batched delivery is observably identical
+	// to one event per message. Records and their closures are pooled.
+	pending     *delivery
+	pendingAt   Time
+	pendingSeq  uint64
+	freeBatches []*delivery
 
 	// Fault-injection state (nil/empty without an active chaos plan).
 	chaosRNG *chaos.RNG
@@ -138,7 +151,7 @@ func NewNetwork(eng *Engine, n int, cfg NetworkConfig, deliver func(*Message)) *
 		deliver:     deliver,
 		linkFree:    make([]Time, n*n),
 		ingressFree: make([]Time, n),
-		perKind:     make(map[[2]int]MessageCount),
+		perKind:     make(map[[2]int]*MessageCount),
 	}
 	if cfg.Chaos.Active() {
 		nw.chaosRNG = cfg.Chaos.RNGFor(n)
@@ -245,12 +258,60 @@ func (nw *Network) Send(m *Message) {
 	m.Arrived = arrive
 	nw.counts[m.Channel].Messages++
 	nw.counts[m.Channel].Bytes += m.Bytes
-	pk := nw.perKind[[2]int{int(m.Channel), m.Kind}]
+	key := [2]int{int(m.Channel), m.Kind}
+	pk := nw.perKind[key]
+	if pk == nil {
+		pk = &MessageCount{}
+		nw.perKind[key] = pk
+	}
 	pk.Messages++
 	pk.Bytes += m.Bytes
-	nw.perKind[[2]int{int(m.Channel), m.Kind}] = pk
 
-	nw.eng.At(arrive, func() { nw.deliver(m) })
+	nw.schedule(m, arrive)
+}
+
+// delivery is a reusable batch of messages arriving at one virtual
+// instant, with a closure built once so scheduling a delivery allocates
+// nothing in steady state.
+type delivery struct {
+	msgs []*Message
+	fn   func()
+}
+
+// schedule hands m to the engine for delivery at arrive, joining the open
+// batch when that is provably order-preserving (same instant, consecutive
+// engine sequence numbers).
+func (nw *Network) schedule(m *Message, arrive Time) {
+	if d := nw.pending; d != nil && nw.pendingAt == arrive && nw.eng.Seq() == nw.pendingSeq {
+		d.msgs = append(d.msgs, m)
+		return
+	}
+	var d *delivery
+	if n := len(nw.freeBatches); n > 0 {
+		d = nw.freeBatches[n-1]
+		nw.freeBatches[n-1] = nil
+		nw.freeBatches = nw.freeBatches[:n-1]
+	} else {
+		d = &delivery{}
+		d.fn = func() { nw.fire(d) }
+	}
+	d.msgs = append(d.msgs, m)
+	nw.eng.At(arrive, d.fn)
+	nw.pending, nw.pendingAt, nw.pendingSeq = d, arrive, nw.eng.Seq()
+}
+
+// fire delivers a batch and recycles the record.
+func (nw *Network) fire(d *delivery) {
+	if nw.pending == d {
+		nw.pending = nil
+	}
+	msgs := d.msgs
+	for i, m := range msgs {
+		msgs[i] = nil
+		nw.deliver(m)
+	}
+	d.msgs = msgs[:0]
+	nw.freeBatches = append(nw.freeBatches, d)
 }
 
 // Broadcast sends a copy of the template message to every rank except from.
@@ -303,12 +364,18 @@ func (nw *Network) Count(c Channel) MessageCount { return nw.counts[c] }
 // KindCount returns how many messages of the given channel and kind were
 // sent.
 func (nw *Network) KindCount(c Channel, kind int) int64 {
-	return nw.perKind[[2]int{int(c), kind}].Messages
+	if pk := nw.perKind[[2]int{int(c), kind}]; pk != nil {
+		return pk.Messages
+	}
+	return 0
 }
 
 // KindTally returns the message and byte totals of one (channel, kind).
 func (nw *Network) KindTally(c Channel, kind int) MessageCount {
-	return nw.perKind[[2]int{int(c), kind}]
+	if pk := nw.perKind[[2]int{int(c), kind}]; pk != nil {
+		return *pk
+	}
+	return MessageCount{}
 }
 
 // Kinds returns the kinds seen on a channel, in unspecified order.

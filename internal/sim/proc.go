@@ -53,6 +53,13 @@ type Proc struct {
 	// pollPending coalesces poll-tick events (threaded model).
 	pollPending bool
 
+	// Reusable engine callbacks, built once by NewRuntime so the hot
+	// scheduling paths (wake, poll tick, compute completion) do not
+	// allocate a fresh closure per event.
+	wakeFn     func()
+	pollFn     func()
+	completeFn func()
+
 	// Stats.
 	computeTime Duration
 	idleSince   Time

@@ -1,0 +1,8 @@
+//go:build !race
+
+package sim
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count regression tests skip under it (instrumentation adds
+// allocations the production build does not make).
+const raceEnabled = false

@@ -70,7 +70,20 @@ func NewRuntime(eng *Engine, n int, cfg NetworkConfig, app App) *Runtime {
 	rt.Net = NewNetwork(eng, n, cfg, rt.arrive)
 	rt.Procs = make([]*Proc, n)
 	for i := range rt.Procs {
-		rt.Procs[i] = &Proc{ID: i}
+		p := &Proc{ID: i}
+		// The engine callbacks of p are built once here: scheduling a
+		// wake, poll tick or completion on the hot path reuses these
+		// closures instead of allocating a capture per event.
+		p.wakeFn = func() {
+			p.wakePending = false
+			rt.step(p)
+		}
+		p.pollFn = func() {
+			p.pollPending = false
+			rt.pollTick(p)
+		}
+		p.completeFn = func() { rt.completeTask(p) }
+		rt.Procs[i] = p
 	}
 	return rt
 }
@@ -106,7 +119,7 @@ func (rt *Runtime) Compute(p *Proc, d Duration, onDone func()) {
 	p.remaining = d
 	p.startedAt = rt.Eng.Now()
 	p.onDone = onDone
-	p.completion = rt.Eng.After(d, func() { rt.completeTask(p) })
+	p.completion = rt.Eng.After(d, p.completeFn)
 }
 
 func (rt *Runtime) completeTask(p *Proc) {
@@ -150,7 +163,7 @@ func (rt *Runtime) resume(p *Proc) {
 	p.paused = false
 	p.state = Computing
 	p.startedAt = rt.Eng.Now()
-	p.completion = rt.Eng.After(p.remaining, func() { rt.completeTask(p) })
+	p.completion = rt.Eng.After(p.remaining, p.completeFn)
 }
 
 // arrive is the network delivery callback.
@@ -194,10 +207,7 @@ func (rt *Runtime) wake(p *Proc) {
 		return
 	}
 	p.wakePending = true
-	rt.Eng.At(rt.Eng.Now(), func() {
-		p.wakePending = false
-		rt.step(p)
-	})
+	rt.Eng.At(rt.Eng.Now(), p.wakeFn)
 }
 
 // schedulePoll arranges the next helper-thread tick for p. Ticks land on
@@ -216,10 +226,7 @@ func (rt *Runtime) schedulePoll(p *Proc) {
 	// Next grid point strictly in the future (the thread is asleep now).
 	k := Time(int64(now/period) + 1)
 	tick := k * period
-	rt.Eng.At(tick, func() {
-		p.pollPending = false
-		rt.pollTick(p)
-	})
+	rt.Eng.At(tick, p.pollFn)
 }
 
 // pollTick is one helper-thread iteration (§4.5 algorithm): treat every

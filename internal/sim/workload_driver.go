@@ -116,6 +116,7 @@ func (d *WorkloadDriver) Run(w workload.Workload, mech core.Mech, cfg core.Confi
 		rep.FinalViews = append(rep.FinalViews, view)
 	}
 	rep.Elapsed = time.Since(start)
+	rep.SimEvents = eng.Steps()
 	return rep, nil
 }
 

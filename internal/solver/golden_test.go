@@ -20,6 +20,14 @@ import (
 // cells: the distribution refactor changed who tracks progress, not
 // what the application computes. Any drift here means the event
 // sequence changed, not just the plumbing.
+//
+// The steps column was re-derived once more for the engine-throughput
+// work (PR 9): the network now coalesces same-instant deliveries into
+// one engine event (provably order-preserving — consecutive sequence
+// numbers, same timestamp), so fewer events are popped for the same
+// delivery sequence. Time, peak memory, decisions and all message
+// counts are bit-identical to the pre-batching goldens; only the
+// event-pop count shrank.
 func TestSimGoldens(t *testing.T) {
 	type golden struct {
 		mech      core.Mech
@@ -39,21 +47,21 @@ func TestSimGoldens(t *testing.T) {
 	cases := map[string][]golden{
 		// buildMapping(8, 8, 8, 8)
 		"8x8x8@8p": {
-			{"increments", "workload", 0.006046, 3110.500000, 9, 718, 121, 135, 1365},
-			{"increments", "memory", 0.006505, 2451.500000, 9, 711, 103, 117, 1356},
-			{"snapshot", "workload", 0.007346, 3555.000000, 9, 217, 117, 131, 856},
-			{"snapshot", "memory", 0.008415, 2153.500000, 9, 216, 92, 106, 810},
-			{"naive", "workload", 0.006046, 3110.500000, 9, 738, 121, 135, 1371},
-			{"naive", "memory", 0.006505, 2451.500000, 9, 722, 103, 117, 1363},
+			{"increments", "workload", 0.006046, 3110.500000, 9, 718, 121, 135, 971},
+			{"increments", "memory", 0.006505, 2451.500000, 9, 711, 103, 117, 979},
+			{"snapshot", "workload", 0.007346, 3555.000000, 9, 217, 117, 131, 764},
+			{"snapshot", "memory", 0.008415, 2153.500000, 9, 216, 92, 106, 718},
+			{"naive", "workload", 0.006046, 3110.500000, 9, 738, 121, 135, 955},
+			{"naive", "memory", 0.006505, 2451.500000, 9, 722, 103, 117, 970},
 		},
 		// buildMapping(10, 10, 10, 16)
 		"10x10x10@16p": {
-			{"increments", "workload", 0.013745, 4950.000000, 29, 3355, 459, 489, 5631},
-			{"increments", "memory", 0.018574, 5376.000000, 29, 3187, 371, 401, 5142},
-			{"snapshot", "workload", 0.023794, 4950.000000, 29, 1600, 484, 514, 4560},
-			{"snapshot", "memory", 0.033843, 7323.500000, 29, 1577, 368, 398, 4350},
-			{"naive", "workload", 0.014155, 4950.000000, 29, 3717, 465, 495, 6036},
-			{"naive", "memory", 0.020804, 5776.500000, 29, 3494, 405, 435, 5814},
+			{"increments", "workload", 0.013745, 4950.000000, 29, 3355, 459, 489, 3669},
+			{"increments", "memory", 0.018574, 5376.000000, 29, 3187, 371, 401, 3218},
+			{"snapshot", "workload", 0.023794, 4950.000000, 29, 1600, 484, 514, 3820},
+			{"snapshot", "memory", 0.033843, 7323.500000, 29, 1577, 368, 398, 3675},
+			{"naive", "workload", 0.014155, 4950.000000, 29, 3717, 465, 495, 3849},
+			{"naive", "memory", 0.020804, 5776.500000, 29, 3494, 405, 435, 3658},
 		},
 	}
 	build := map[string]func() [4]int{

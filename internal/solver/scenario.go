@@ -56,9 +56,18 @@ func (s *appScenario) Programs(workload.Params) ([]workload.Program, error) {
 
 // gridFor sizes the generated 3D problem from the cluster: enough tree
 // above the subtree layer for a healthy number of Type 2 decisions,
-// small enough that a cell stays sub-second on every runtime.
+// small enough that a cell stays fast on every runtime. The 1024/4096
+// tiers exist for the engine-throughput scale runs: at those ranks the
+// smaller grids leave most of the cluster idle, while these keep a few
+// hundred Type 2 decisions in flight and still complete in seconds on
+// the pooled/batched simulator.
 func gridFor(procs int) int {
-	if procs >= 16 {
+	switch {
+	case procs >= 4096:
+		return 14
+	case procs >= 1024:
+		return 12
+	case procs >= 16:
 		return 10
 	}
 	return 8

@@ -220,6 +220,12 @@ type AppReport struct {
 	// WireMsgs / WireBytes are inbound transport totals (net hosts
 	// only).
 	WireMsgs, WireBytes int64
+	// DetectLatency is the gap between the last compute completion and
+	// the detector's termination broadcast, in application seconds
+	// (virtual on the simulator, wall clock elsewhere): how long the
+	// finished cluster waited for the detector to say so. Zero when the
+	// host could not observe both endpoints.
+	DetectLatency float64
 }
 
 // AppRunner hosts an App to completion on one runtime.
@@ -299,6 +305,8 @@ func ReportFromApp(scenario, runtime string, mech core.Mech, n int, hr *AppRepor
 		AppResult:      out.Result,
 	}
 	rep.WireMsgs, rep.WireBytes = hr.WireMsgs, hr.WireBytes
+	rep.SimEvents = hr.Steps
+	rep.DetectLatency = hr.DetectLatency
 	return rep
 }
 

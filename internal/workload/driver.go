@@ -67,6 +67,13 @@ type Report struct {
 	AppResult any `json:"-"`
 	// WireMsgs/WireBytes are inbound transport totals (net runtime only).
 	WireMsgs, WireBytes int64
+	// SimEvents is the engine's fired-event count (sim runtime only):
+	// with Elapsed it yields the simulator's events/second throughput.
+	SimEvents uint64
+	// DetectLatency is the gap between the last work completion and the
+	// termination detector's broadcast, in application seconds (virtual
+	// on sim, wall clock on live/net); zero when unobserved.
+	DetectLatency float64
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
 }
