@@ -253,6 +253,9 @@ func runClusterForkedWith(exe string, p *nodeParams) ([]nodeStats, error) {
 		if p.traceDir != "" {
 			args = append(args, "-trace", p.traceDir)
 		}
+		if p.tele > 0 {
+			args = append(args, "-tele", p.tele.String())
+		}
 		cmd := exec.Command(exe, args...)
 		cmd.Stderr = os.Stderr
 		stdin, err := cmd.StdinPipe()
@@ -375,6 +378,8 @@ func readChild(rank int, cmd *exec.Cmd, stdout io.Reader, events chan<- childEve
 			events <- childEvent{rank: rank, kind: "addr", payload: rest}
 		} else if rest, ok := strings.CutPrefix(line, "STATS "); ok {
 			events <- childEvent{rank: rank, kind: "stats", payload: rest}
+		} else if rest, ok := strings.CutPrefix(line, "TELE "); ok {
+			printTele(rank, rest)
 		} else {
 			fmt.Fprintln(os.Stderr, line)
 		}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/core"
 	xnet "repro/internal/net"
+	"repro/internal/obs"
 	"repro/internal/termdet"
 	"repro/internal/workload"
 )
@@ -86,5 +87,25 @@ func runList(args []string) error {
 	fmt.Fprintln(w)
 
 	fmt.Fprintf(w, "codecs (-codec, net runtime): %s\n", strings.Join(xnet.CodecNames(), ", "))
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "metrics (-obs on node/serve/run exposes /metrics; per-rank series merge mesh-wide when the `rank` label drops):")
+	tw = tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	for _, m := range obs.Catalog() {
+		labels := m.Labels
+		if labels == "" {
+			labels = "-"
+		}
+		fmt.Fprintf(tw, "  %s\t%s\t%s\t%s\t%s\n", m.Name, m.Kind, labels, m.Runtimes, m.Help)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "span kinds (-trace records them; `loadex report` draws the timeline, `loadex validate` checks nesting):")
+	tw = tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	for _, s := range obs.SpanKinds() {
+		fmt.Fprintf(tw, "  %s\t%s\t%s\t%s\n", s.Name, s.Track, s.Runtimes, s.Help)
+	}
+	tw.Flush()
 	return nil
 }

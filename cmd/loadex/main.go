@@ -37,6 +37,11 @@
 //	loadex submit  [-addr a] [-kind k] [...]    submit one job to a
 //	                                            serving instance
 //	loadex job     <status|result|cancel|metrics> query a serving instance
+//	loadex top     [-addr a] [-interval d]      per-rank telemetry dashboard
+//	                                            over a serving instance
+//	loadex report  [-dir d]                     render recorded traces into
+//	                                            Chrome trace_event timelines
+//	                                            and latency tables
 //	loadex list    print the registered scenarios (program and app),
 //	               mechanisms, topologies, termination protocols,
 //	               runtimes and codecs — the sweep axes
@@ -108,6 +113,18 @@ func main() {
 		case "job":
 			if err := runJobCmd(os.Args[2:]); err != nil {
 				fmt.Fprintln(os.Stderr, "loadex job:", err)
+				os.Exit(1)
+			}
+			return
+		case "top":
+			if err := runTop(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "loadex top:", err)
+				os.Exit(1)
+			}
+			return
+		case "report":
+			if err := runReport(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "loadex report:", err)
 				os.Exit(1)
 			}
 			return
@@ -250,5 +267,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "       loadex serve [-procs n] [-mech m] [-term t] [-addr host:port]   (persistent scheduler service)")
 	fmt.Fprintln(os.Stderr, "       loadex submit [-addr a] [-kind synthetic|app] [-wait] ...   (submit one job to a serving instance)")
 	fmt.Fprintln(os.Stderr, "       loadex job <status|result|cancel|metrics> [-addr a] [-id n]   (query a serving instance)")
+	fmt.Fprintln(os.Stderr, "       loadex top -addr a [-interval d] [-count k]   (per-rank telemetry dashboard over a serving instance)")
+	fmt.Fprintln(os.Stderr, "       loadex report -dir d   (render recorded traces into Chrome trace_event timelines + latency tables)")
 	fmt.Fprintln(os.Stderr, "       loadex list   (print registered scenarios, mechanisms, topologies, chaos plans, runtimes and codecs)")
 }

@@ -33,6 +33,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/core"
 	xnet "repro/internal/net"
+	"repro/internal/obs"
 	"repro/internal/solver"
 	"repro/internal/termdet"
 	"repro/internal/workload"
@@ -78,6 +79,8 @@ type nodeParams struct {
 	statsTimeout time.Duration
 	chaos        string
 	traceDir     string
+	obsAddr      string
+	tele         time.Duration
 }
 
 func (p *nodeParams) register(fs *flag.FlagSet) {
@@ -102,7 +105,11 @@ func (p *nodeParams) register(fs *flag.FlagSet) {
 	fs.StringVar(&p.chaos, "chaos", "",
 		"fault-injection plan: "+strings.Join(chaos.Names(), "|")+" (empty = none; `loadex list` describes them)")
 	fs.StringVar(&p.traceDir, "trace", "",
-		"record per-rank JSONL trace events under this directory for `loadex validate`")
+		"record per-rank JSONL trace events under this directory for `loadex validate` and `loadex report`")
+	fs.StringVar(&p.obsAddr, "obs", "",
+		"serve Prometheus /metrics, /healthz and /debug/pprof on this address (e.g. :9090; empty = off)")
+	fs.DurationVar(&p.tele, "tele", 0,
+		"print a TELE <json> telemetry line every period (0 = off; `loadex cluster` forwards it to forked ranks)")
 }
 
 // mechNames lists the registered mechanism names: the paper's three
@@ -234,6 +241,14 @@ func (p *nodeParams) validate(matrix bool) error {
 			return fmt.Errorf("application scenario %q needs the full topology (its solver addresses arbitrary ranks); got -topo %s",
 				p.scenario, name)
 		}
+	}
+	if p.obsAddr != "" {
+		if err := obs.ValidateAddr(p.obsAddr); err != nil {
+			return err
+		}
+	}
+	if p.tele < 0 {
+		return fmt.Errorf("negative -tele period %s", p.tele)
 	}
 	if !(matrix && strings.Contains(p.chaos, ",")) {
 		if _, err := chaos.Get(p.chaos); err != nil {
@@ -369,6 +384,11 @@ func runNode(args []string) error {
 	if err := nd.Start(addrs); err != nil {
 		return err
 	}
+	stopObs, err := startNodeObs(nd, &p)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 	armCrash(p.chaosPlan(), *rank, rec)
 
 	stats, err := runNodeProgram(nd, progs[*rank], &p)
@@ -496,6 +516,7 @@ func runAppScenarioNode(p *nodeParams, rank int, listen string, rec *chaos.Recor
 		Codec: codec,
 		Logf:  nodeLogf,
 		Chaos: p.chaosPlan(),
+		Rec:   rec,
 	})
 	if err != nil {
 		return err
@@ -515,6 +536,11 @@ func runAppScenarioNode(p *nodeParams, rank int, listen string, rec *chaos.Recor
 	if err := nd.Start(addrs); err != nil {
 		return err
 	}
+	stopObs, err := startNodeObs(nd, p)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 	armCrash(p.chaosPlan(), rank, rec)
 	hr, err := an.Run(p.quiesceTimeout())
 	if err != nil {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/live"
 	xnet "repro/internal/net"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -77,6 +78,20 @@ func runRun(args []string) (retErr error) {
 			retErr = err
 		}
 	}()
+	// -obs on the matrix runner serves /healthz and live /debug/pprof for
+	// the sweep's duration (per-rank /metrics live on `loadex node` and
+	// `loadex serve`, which own long-lived nodes to register).
+	if p.obsAddr != "" {
+		reg := obs.NewRegistry()
+		srv, err := obs.ServeHTTP(p.obsAddr, reg.Gather, func() obs.Health {
+			return obs.Health{Rank: -1, Procs: p.procs}
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("OBS %s\n", srv.Addr())
+		defer srv.Close()
+	}
 
 	// Visit every cell even when one fails: an `all` sweep must report
 	// which cells broke, not abort on (or worse, report only) the last

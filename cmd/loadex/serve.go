@@ -19,11 +19,14 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/termdet"
 )
@@ -37,11 +40,28 @@ func runServe(args []string) error {
 	conc := fs.Int("conc", 4, "max concurrently running jobs")
 	queue := fs.Int("queue", 64, "admission queue capacity")
 	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "bound on the SIGTERM drain")
+	obsAddr := fs.String("obs", "", "serve Prometheus /metrics, /healthz and /debug/pprof on this address (e.g. :9090; empty = off)")
+	traceDir := fs.String("trace", "", "record job lifecycle spans under this directory for `loadex report`")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if _, err := core.New(core.Mech(*mech), 2, 0, core.Config{}); err != nil {
 		return fmt.Errorf("unknown mechanism %q (available: %s)", *mech, strings.Join(mechNames(), ", "))
+	}
+	if *obsAddr != "" {
+		if err := obs.ValidateAddr(*obsAddr); err != nil {
+			return err
+		}
+	}
+	var rec *chaos.Recorder
+	if *traceDir != "" {
+		var err error
+		rec, err = chaos.OpenRecorder(filepath.Join(*traceDir, "serve.jsonl"))
+		if err != nil {
+			return err
+		}
+		rec.Record(chaos.Event{Ev: chaos.EvMeta, N: *procs, Scenario: "serve", Mech: *mech, Term: termNameOf(*term)})
+		defer rec.Close()
 	}
 	s, err := service.New(service.Config{
 		Procs:         *procs,
@@ -49,6 +69,7 @@ func runServe(args []string) error {
 		Term:          *term,
 		MaxConcurrent: *conc,
 		QueueCap:      *queue,
+		Rec:           rec,
 	})
 	if err != nil {
 		return err
@@ -61,6 +82,16 @@ func runServe(args []string) error {
 	// The SERVE line is the machine-readable handshake (CI and scripts
 	// read the bound address from it, like the forked nodes' ADDR line).
 	fmt.Printf("SERVE %s procs=%d mech=%s term=%s\n", ln.Addr(), *procs, *mech, termNameOf(*term))
+	if *obsAddr != "" {
+		srv, err := obs.ServeHTTP(*obsAddr, func() []obs.Sample { return s.Registry().Gather() }, s.Health)
+		if err != nil {
+			s.Close()
+			ln.Close()
+			return err
+		}
+		fmt.Printf("OBS %s\n", srv.Addr())
+		defer srv.Close()
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)

@@ -1,0 +1,75 @@
+package main
+
+// loadex top: a textual dashboard over a serving `loadex serve`
+// instance — the mesh-wide job metrics header plus one telemetry row
+// per resident rank, sampled through the service API's `top` op. One
+// shot by default; -interval/-count poll.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/service"
+)
+
+func runTop(args []string) error {
+	fs := flag.NewFlagSet("loadex top", flag.ExitOnError)
+	addr := fs.String("addr", "", "service API address (the `SERVE <addr>` line)")
+	interval := fs.Duration("interval", 2*time.Second, "refresh period when sampling more than once")
+	count := fs.Int("count", 1, "samples to print (0 = until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("loadex top needs -addr (the `SERVE <addr>` line `loadex serve` printed)")
+	}
+	if *interval <= 0 {
+		return fmt.Errorf("refresh period must be positive, got -interval %s", *interval)
+	}
+	c, err := service.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	for i := 0; *count == 0 || i < *count; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		if err := printTop(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printTop fetches one metrics + telemetry sample and renders it.
+func printTop(c *service.Client) error {
+	m, err := c.Metrics()
+	if err != nil {
+		return err
+	}
+	ranks, err := c.Top()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("jobs: %d running, %d queued | %d admitted, %d completed, %d failed, %d canceled\n",
+		m.Running, m.Queue, m.Admitted, m.Completed, m.Failed, m.Canceled)
+	if m.Makespan.Count > 0 {
+		fmt.Printf("makespan: p50 %.3fs p95 %.3fs p99 %.3fs | queue wait: p50 %.3fs p95 %.3fs p99 %.3fs\n",
+			m.Makespan.P50, m.Makespan.P95, m.Makespan.P99,
+			m.QueueWait.P50, m.QueueWait.P95, m.QueueWait.P99)
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\tup\tlinks\texecuted\tdecisions\tbusy\tmsgs in/out\tbytes in/out")
+	for _, t := range ranks {
+		fmt.Fprintf(tw, "%d\t%.1fs\t%d\t%d\t%d\t%.3fs\t%d/%d\t%d/%d\n",
+			t.Rank, t.UptimeS, t.Links, t.Executed, t.Decisions, t.BusyS,
+			t.MsgsIn, t.MsgsOut, t.BytesIn, t.BytesOut)
+	}
+	tw.Flush()
+	fmt.Println()
+	return nil
+}

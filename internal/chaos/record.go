@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Event kinds recorded in trace files. One JSONL line per event.
@@ -39,6 +40,14 @@ const (
 	// reports its completed-item count. A rank with no final crashed or
 	// lost its trace.
 	EvFinal = "final"
+	// EvSpanBegin / EvSpanEnd bracket one named duration on a rank
+	// (decision acquire→plan→transfer, snapshot round, termdet idle,
+	// job admit→complete). Span names the kind, Sid pairs the two
+	// events, T stamps them; `loadex report` renders the pairs as a
+	// timeline and `loadex validate` checks balance and per-track
+	// nesting.
+	EvSpanBegin = "sb"
+	EvSpanEnd   = "se"
 )
 
 // Event is one trace record. Only the fields meaningful for its Ev kind
@@ -46,6 +55,17 @@ const (
 type Event struct {
 	Ev   string `json:"ev"`
 	Rank int    `json:"rank"`
+
+	// T is the event's timestamp in seconds since the recording
+	// rank's run start (virtual time on the sim runtime). Span events
+	// always carry it; compute start/done events carry it when the
+	// emitting host has a clock. Forked ranks start their clocks at
+	// fork, so cross-rank comparison skews by the fork spread.
+	T float64 `json:"t,omitempty"`
+	// Span names the span kind and Sid pairs a begin with its end
+	// within one rank's trace (EvSpanBegin/EvSpanEnd).
+	Span string `json:"span,omitempty"`
+	Sid  int64  `json:"sid,omitempty"`
 
 	// Peer is the destination (EvSend) or source (EvRecv) rank.
 	Peer int `json:"peer,omitempty"`
@@ -87,6 +107,7 @@ type Recorder struct {
 	f   *os.File
 	buf *bufio.Writer
 	enc *json.Encoder
+	sid atomic.Int64
 }
 
 // OpenRecorder creates (or truncates) a JSONL trace file, creating the
@@ -111,6 +132,27 @@ func (r *Recorder) Record(e Event) {
 	r.mu.Lock()
 	r.enc.Encode(e)
 	r.mu.Unlock()
+}
+
+// SpanBegin records the start of one named duration at local time t
+// (seconds since the rank's run start) and returns the span id to
+// close it with. A nil recorder returns 0, which SpanEnd ignores — so
+// span emission needs no tracing-enabled branches either.
+func (r *Recorder) SpanBegin(rank int, span string, t float64) int64 {
+	if r == nil {
+		return 0
+	}
+	sid := r.sid.Add(1)
+	r.Record(Event{Ev: EvSpanBegin, Rank: rank, Span: span, Sid: sid, T: t})
+	return sid
+}
+
+// SpanEnd closes a span opened by SpanBegin at local time t.
+func (r *Recorder) SpanEnd(rank int, span string, sid int64, t float64) {
+	if r == nil || sid == 0 {
+		return
+	}
+	r.Record(Event{Ev: EvSpanEnd, Rank: rank, Span: span, Sid: sid, T: t})
 }
 
 // Close flushes and closes the trace file.

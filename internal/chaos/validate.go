@@ -28,6 +28,10 @@ type Report struct {
 	Scenario, Mech, Term, Plan, Topo string
 	// Event tallies.
 	Events, Sends, Recvs, Starts, Dones, Decides, States int
+	// SpanBegins/SpanEnds tally span events; SpanKinds counts
+	// completed spans per kind.
+	SpanBegins, SpanEnds int
+	SpanKinds            map[string]int
 	// Finals is how many ranks closed their trace with a final event.
 	Finals int
 	// Violations is every failed invariant, empty for a clean run.
@@ -43,6 +47,13 @@ func (r *Report) Format(w io.Writer) {
 		r.N, orDash(r.Scenario), orDash(r.Mech), orDash(r.Term), orDash(r.Plan), orDash(r.Topo))
 	fmt.Fprintf(w, "events: %d (%d send, %d recv, %d state, %d start, %d done, %d decide, %d/%d final)\n",
 		r.Events, r.Sends, r.Recvs, r.States, r.Starts, r.Dones, r.Decides, r.Finals, r.N)
+	if r.SpanBegins > 0 || r.SpanEnds > 0 {
+		fmt.Fprintf(w, "spans: %d begin, %d end", r.SpanBegins, r.SpanEnds)
+		for _, k := range sortedStrs(r.SpanKinds) {
+			fmt.Fprintf(w, ", %d %s", r.SpanKinds[k], k)
+		}
+		fmt.Fprintln(w)
+	}
 	if r.OK() {
 		fmt.Fprintf(w, "OK: all invariants hold\n")
 		return
@@ -112,6 +123,30 @@ func Validate(events []Event) *Report {
 		m[p][k]++
 	}
 
+	// Span bookkeeping: begins awaiting their end (per rank, per span
+	// id) and the LIFO stack per (rank, track). Nesting is only
+	// enforced within a track — spans of different subsystems
+	// (decision vs snapshot-round busy intervals) legitimately
+	// interleave on one rank, but within a track (decision.acquire
+	// inside decision) strict containment is the contract.
+	type spanBegin struct {
+		span  string
+		track string
+		t     float64
+	}
+	type trackKey struct {
+		rank  int
+		track string
+	}
+	openSpans := map[int]map[int64]spanBegin{}
+	spanStacks := map[trackKey][]int64{}
+	spanViol := 0
+	spanBad := func(format string, args ...any) {
+		if spanViol++; spanViol <= maxViolationsPerCheck {
+			r.violate("span", format, args...)
+		}
+	}
+
 	var decides, states []Event
 	selViol, consViol := 0, 0
 	for _, e := range events {
@@ -150,9 +185,69 @@ func Validate(events []Event) *Report {
 			r.Finals++
 			finals[e.Rank]++
 			executed[e.Rank] = e.Executed
+		case EvSpanBegin:
+			r.SpanBegins++
+			if e.Span == "" || e.Sid == 0 {
+				spanBad("rank %d began a span without a kind or id", e.Rank)
+				continue
+			}
+			if openSpans[e.Rank] == nil {
+				openSpans[e.Rank] = map[int64]spanBegin{}
+			}
+			if _, dup := openSpans[e.Rank][e.Sid]; dup {
+				spanBad("rank %d reused span id %d while it was still open", e.Rank, e.Sid)
+				continue
+			}
+			track := spanTrack(e.Span)
+			openSpans[e.Rank][e.Sid] = spanBegin{span: e.Span, track: track, t: e.T}
+			tk := trackKey{e.Rank, track}
+			spanStacks[tk] = append(spanStacks[tk], e.Sid)
+		case EvSpanEnd:
+			r.SpanEnds++
+			b, ok := openSpans[e.Rank][e.Sid]
+			if !ok {
+				spanBad("rank %d ended span %q (id %d) that never began", e.Rank, e.Span, e.Sid)
+				continue
+			}
+			delete(openSpans[e.Rank], e.Sid)
+			if e.Span != "" && e.Span != b.span {
+				spanBad("rank %d span id %d began as %q but ended as %q", e.Rank, e.Sid, b.span, e.Span)
+			}
+			if e.T < b.t {
+				spanBad("rank %d span %q (id %d) ended at t=%.9g before it began at t=%.9g", e.Rank, b.span, e.Sid, e.T, b.t)
+			}
+			tk := trackKey{e.Rank, b.track}
+			st := spanStacks[tk]
+			if len(st) > 0 && st[len(st)-1] == e.Sid {
+				spanStacks[tk] = st[:len(st)-1]
+			} else {
+				spanBad("rank %d span %q (id %d) ended out of LIFO order within track %q", e.Rank, b.span, e.Sid, b.track)
+				for i := len(st) - 1; i >= 0; i-- {
+					if st[i] == e.Sid {
+						spanStacks[tk] = append(st[:i], st[i+1:]...)
+						break
+					}
+				}
+			}
+			if r.SpanKinds == nil {
+				r.SpanKinds = map[string]int{}
+			}
+			r.SpanKinds[b.span]++
 		default:
 			r.violate("quiescence", "rank %d recorded unknown event kind %q", e.Rank, e.Ev)
 		}
+	}
+
+	// Span balance: every begin must have closed by end of trace — an
+	// open span at quiescence is a truncated trace or an emitter bug.
+	for _, rk := range sortedIntKeys(openSpans) {
+		for _, sid := range sortedInt64Keys(openSpans[rk]) {
+			b := openSpans[rk][sid]
+			spanBad("rank %d span %q (id %d, began t=%.9g) never ended", rk, b.span, sid, b.t)
+		}
+	}
+	if spanViol > maxViolationsPerCheck {
+		r.violate("span", "... and %d more span violations", spanViol-maxViolationsPerCheck)
 	}
 
 	// Topology-dependent checks run after the whole soup is read: the
@@ -394,6 +489,45 @@ func sortedKeys(ms ...map[string]int) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// spanTrack groups span kinds into nesting tracks: the prefix before
+// the first dot ("decision.acquire" → "decision"). LIFO nesting is
+// enforced per (rank, track); cross-track interleaving is legitimate.
+func spanTrack(kind string) string {
+	for i := 0; i < len(kind); i++ {
+		if kind[i] == '.' {
+			return kind[:i]
+		}
+	}
+	return kind
+}
+
+func sortedStrs(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedIntKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedInt64Keys[V any](m map[int64]V) []int64 {
+	out := make([]int64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 func sortedInts(set map[int]bool) []int {

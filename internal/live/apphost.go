@@ -149,6 +149,9 @@ type liveAppRank struct {
 	// only): time.After would leave one uncollected runtime timer per
 	// compute interval.
 	timer *time.Timer
+	// idleSid is the rank's open termdet.idle span (rank goroutine
+	// only; 0 = none).
+	idleSid int64
 }
 
 type liveCompute struct {
@@ -189,10 +192,27 @@ type liveAppHost struct {
 	quit     chan struct{}
 
 	// lastDoneNS / termNS are wall-clock UnixNano stamps of the latest
-	// compute completion and the detector's first CtrlTerm broadcast;
-	// their difference is the run's detection latency.
-	lastDoneNS atomic.Int64
-	termNS     atomic.Int64
+	// compute completion and the detector's first CtrlTerm broadcast.
+	// detectLatNS latches their difference at the moment the term stamp
+	// wins its CAS: sampling at report time instead would race with a
+	// straggling rank storing a later lastDoneNS after termination and
+	// silently zero the latency.
+	lastDoneNS  atomic.Int64
+	termNS      atomic.Int64
+	detectLatNS atomic.Int64
+}
+
+// markTerm stamps the detector's first termination broadcast and
+// latches the detection latency under the same gate, so a compute
+// completion recorded after the broadcast cannot retroactively change
+// (or erase) the measurement.
+func (h *liveAppHost) markTerm() {
+	now := time.Now().UnixNano()
+	if h.termNS.CompareAndSwap(0, now) {
+		if done := h.lastDoneNS.Load(); done > 0 && now >= done {
+			h.detectLatNS.Store(now - done)
+		}
+	}
 }
 
 // ---- workload.AppHost ---------------------------------------------------
@@ -372,7 +392,7 @@ func (c liveDetCtx) N() int    { return c.h.N() }
 func (c liveDetCtx) SendCtrl(to int, ct termdet.Ctrl) {
 	h := c.h
 	if ct.Kind == termdet.CtrlTerm {
-		h.termNS.CompareAndSwap(0, time.Now().UnixNano())
+		h.markTerm()
 	}
 	h.counters[c.rank].AddCtrl(core.BytesCtrl)
 	// A crashed rank neither sends nor receives control frames (no rng
@@ -394,6 +414,7 @@ func (c liveDetCtx) SendCtrl(to int, ct termdet.Ctrl) {
 // the rank passive to the detector and blocks.
 func (h *liveAppHost) runRank(rank int) {
 	rk := &h.ranks[rank]
+	defer h.endIdle(rk, rank)
 	for {
 		select {
 		case <-h.quit:
@@ -462,6 +483,9 @@ func (h *liveAppHost) runRank(rank int) {
 			// this rank is passive. The detector reactivates it on the
 			// next data-message receipt; detection (on rank 0) closes
 			// the run.
+			if rec := h.opts.Rec; rec != nil && rk.idleSid == 0 {
+				rk.idleSid = rec.SpanBegin(rank, "termdet.idle", h.Now())
+			}
 			rk.det.Passive(liveDetCtx{h, rank})
 			h.checkTerminated(rk)
 		}
@@ -476,6 +500,16 @@ func (h *liveAppHost) runRank(rank int) {
 		case <-h.quit:
 			return
 		}
+		h.endIdle(rk, rank)
+	}
+}
+
+// endIdle closes the rank's open termdet.idle span, if any (rank
+// goroutine only).
+func (h *liveAppHost) endIdle(rk *liveAppRank, rank int) {
+	if rk.idleSid != 0 {
+		h.opts.Rec.SpanEnd(rank, "termdet.idle", rk.idleSid, h.Now())
+		rk.idleSid = 0
 	}
 }
 
@@ -548,8 +582,8 @@ func (h *liveAppHost) report() *workload.AppReport {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	rep := &workload.AppReport{Time: time.Since(h.start).Seconds()}
-	if term, done := h.termNS.Load(), h.lastDoneNS.Load(); term > 0 && done > 0 && term >= done {
-		rep.DetectLatency = float64(term-done) / float64(time.Second)
+	if lat := h.detectLatNS.Load(); lat > 0 {
+		rep.DetectLatency = float64(lat) / float64(time.Second)
 	}
 	for r := range h.counters {
 		c := h.counters[r].Clone()

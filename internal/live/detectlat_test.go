@@ -1,0 +1,56 @@
+package live
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDetectLatencyLatchedAgainstStragglers pins the race fix: the
+// detection latency is latched when the termination broadcast wins its
+// CAS, so a straggling compute completion stored AFTER termination
+// (the old report-time sampling raced with exactly this) can neither
+// zero nor change the measurement.
+func TestDetectLatencyLatchedAgainstStragglers(t *testing.T) {
+	h := &liveAppHost{start: time.Now()}
+	done := time.Now().Add(-50 * time.Millisecond).UnixNano()
+	h.lastDoneNS.Store(done)
+	h.markTerm()
+	lat := h.detectLatNS.Load()
+	if lat <= 0 {
+		t.Fatalf("latched latency %d, want > 0", lat)
+	}
+	if got := float64(lat) / float64(time.Second); got < 0.045 {
+		t.Fatalf("latched latency %.3fs, want >= ~0.05s", got)
+	}
+
+	// The race: a rank finishes a compute after the broadcast. Under
+	// the old report-time diff (term >= done guard) this zeroed the
+	// reported latency; the latch must be unaffected.
+	h.lastDoneNS.Store(time.Now().Add(time.Hour).UnixNano())
+	if got := h.detectLatNS.Load(); got != lat {
+		t.Fatalf("straggler changed latched latency: %d -> %d", lat, got)
+	}
+	rep := h.report()
+	if want := float64(lat) / float64(time.Second); rep.DetectLatency != want {
+		t.Fatalf("report latency %.6fs, want %.6fs", rep.DetectLatency, want)
+	}
+
+	// A second termination broadcast must not re-latch.
+	h.markTerm()
+	if got := h.detectLatNS.Load(); got != lat {
+		t.Fatalf("second markTerm re-latched: %d -> %d", lat, got)
+	}
+}
+
+// TestDetectLatencyUnobserved: no compute ever completed — the latency
+// must stay zero rather than going negative or garbage.
+func TestDetectLatencyUnobserved(t *testing.T) {
+	h := &liveAppHost{start: time.Now()}
+	h.markTerm()
+	if got := h.detectLatNS.Load(); got != 0 {
+		t.Fatalf("latency latched with no compute observed: %d", got)
+	}
+	if rep := h.report(); rep.DetectLatency != 0 {
+		t.Fatalf("report latency %.6f, want 0", rep.DetectLatency)
+	}
+}

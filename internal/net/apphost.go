@@ -66,21 +66,48 @@ type appBinding struct {
 
 	// lastDoneNS / termNS are wall-clock UnixNano stamps of the latest
 	// local compute completion and the detector's first CtrlTerm
-	// broadcast; their difference is the run's detection latency. Under
-	// fork only the process hosting rank 0 observes the broadcast, so
-	// other processes report zero (unobserved).
+	// broadcast. Under fork only the process hosting rank 0 observes
+	// the broadcast, so other processes report zero (unobserved).
 	lastDoneNS atomic.Int64
 	termNS     atomic.Int64
+	// detectLatNS is the detection latency, latched at the moment the
+	// CtrlTerm CAS succeeds — the same gate that orders the term
+	// broadcast. Deriving it later from the two stamps was racy: a
+	// late compute completion during drain could overwrite lastDoneNS
+	// past termNS and silently zero the metric.
+	detectLatNS atomic.Int64
+
+	// startNS is the host clock epoch (UnixNano, set before the app
+	// attaches); span timestamps in app mode use it so they share the
+	// compute events' time base.
+	startNS atomic.Int64
 }
 
-// detectLatency derives the detection latency from the binding's
-// stamps; zero when either endpoint was not observed locally.
+// detectLatency returns the latency latched at term broadcast; zero
+// when this process never observed both endpoints.
 func (b *appBinding) detectLatency() float64 {
-	term, done := b.termNS.Load(), b.lastDoneNS.Load()
-	if term == 0 || done == 0 || term < done {
+	return float64(b.detectLatNS.Load()) / float64(time.Second)
+}
+
+// markTerm latches the term-broadcast stamp and, on the winning CAS,
+// the detection latency — sampled under the same gate, so later
+// compute completions cannot perturb it.
+func (b *appBinding) markTerm() {
+	now := time.Now().UnixNano()
+	if b.termNS.CompareAndSwap(0, now) {
+		if done := b.lastDoneNS.Load(); done > 0 && now >= done {
+			b.detectLatNS.Store(now - done)
+		}
+	}
+}
+
+// now is the host-clock timestamp for trace events (0 before attach).
+func (b *appBinding) now() float64 {
+	s := b.startNS.Load()
+	if s == 0 {
 		return 0
 	}
-	return float64(term-done) / float64(time.Second)
+	return float64(time.Now().UnixNano()-s) / float64(time.Second)
 }
 
 // signalDone latches termination observed by a local detector.
@@ -98,7 +125,7 @@ func (c nodeDetCtx) N() int    { return c.nd.n }
 
 func (c nodeDetCtx) SendCtrl(to int, ct termdet.Ctrl) {
 	if ct.Kind == termdet.CtrlTerm {
-		c.nd.appB.termNS.CompareAndSwap(0, time.Now().UnixNano())
+		c.nd.appB.markTerm()
 	}
 	c.nd.est.AddCtrl(core.BytesCtrl)
 	c.nd.post(to, CtrlMessage(c.nd.rank, ct))
@@ -111,8 +138,15 @@ func (c nodeDetCtx) SendCtrl(to int, ct termdet.Ctrl) {
 // Blocked gating, application data messages, TryStart, and a passivity
 // declaration to the detector before blocking when idle.
 func (nd *Node) runApp() {
-	defer close(nd.done)
 	b := nd.appB
+	rec := nd.opts.Rec
+	defer func() {
+		if nd.idleSid != 0 {
+			rec.SpanEnd(nd.rank, "termdet.idle", nd.idleSid, b.now())
+			nd.idleSid = 0
+		}
+		close(nd.done)
+	}()
 	select {
 	case <-b.ready:
 	case <-nd.quit:
@@ -188,6 +222,11 @@ func (nd *Node) runApp() {
 			// Nothing pending, nothing startable, not snapshot-blocked:
 			// declare the rank passive. The detector reactivates it on
 			// the next data-message receipt; detection closes the run.
+			// The park below is a termdet.idle trace span — the per-rank
+			// idle time the paper's blocked-time argument is about.
+			if rec != nil && nd.idleSid == 0 {
+				nd.idleSid = rec.SpanBegin(nd.rank, "termdet.idle", b.now())
+			}
 			nd.appDet.Passive(nodeDetCtx{nd})
 			if nd.appDet.Terminated() {
 				b.signalDone()
@@ -195,15 +234,28 @@ func (nd *Node) runApp() {
 		}
 		select {
 		case m := <-nd.ctrlCh:
+			nd.endIdleSpan()
 			nd.appHandleCtrl(m)
 		case m := <-nd.stateCh:
+			nd.endIdleSpan()
 			nd.appHandleState(m)
 		case m := <-nd.appCh:
+			nd.endIdleSpan()
 			nd.appHandleData(m)
 		case <-nd.wakeCh:
+			nd.endIdleSpan()
 		case <-nd.quit:
 			return
 		}
+	}
+}
+
+// endIdleSpan closes the open termdet.idle span, if any — the rank
+// just woke up. Node goroutine only.
+func (nd *Node) endIdleSpan() {
+	if nd.idleSid != 0 {
+		nd.opts.Rec.SpanEnd(nd.rank, "termdet.idle", nd.idleSid, nd.appB.now())
+		nd.idleSid = 0
 	}
 }
 
@@ -384,6 +436,12 @@ func (r *AppRunner) RunApp(n int, app workload.App, opts workload.AppRunOptions)
 	}
 	nodeOpts := r.Opts
 	nodeOpts.Initial, nodeOpts.Speed = nil, nil
+	if nodeOpts.Rec == nil {
+		// App cells record through the workload layer; the nodes share
+		// the same recorder so host-level spans (termdet.idle) land in
+		// the same trace.
+		nodeOpts.Rec = opts.Rec
+	}
 
 	nodes := make([]*Node, 0, n)
 	stop := func() {
@@ -437,6 +495,7 @@ func (r *AppRunner) RunApp(n int, app workload.App, opts workload.AppRunOptions)
 	}
 
 	host := &netAppHost{b: b, nodes: nodes, start: time.Now()}
+	b.startNS.Store(host.start.UnixNano())
 	b.mu.Lock()
 	err := app.Attach(host)
 	b.mu.Unlock()
@@ -509,6 +568,7 @@ func (an *AppNode) Run(timeout time.Duration) (*workload.AppReport, error) {
 		timeout = 120 * time.Second
 	}
 	an.host.start = time.Now()
+	an.b.startNS.Store(an.host.start.UnixNano())
 	an.b.mu.Lock()
 	err := an.b.app.Attach(an.host)
 	an.b.mu.Unlock()

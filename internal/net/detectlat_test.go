@@ -1,0 +1,42 @@
+package net
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAppBindingDetectLatencyLatched pins the race fix on the TCP app
+// host: detection latency is latched at the termination broadcast's
+// CAS, so a straggling lastDoneNS store after termination cannot zero
+// it, and report-time reads are stable.
+func TestAppBindingDetectLatencyLatched(t *testing.T) {
+	b := &appBinding{}
+	done := time.Now().Add(-50 * time.Millisecond).UnixNano()
+	b.lastDoneNS.Store(done)
+	b.markTerm()
+	lat := b.detectLatency()
+	if lat < 0.045 {
+		t.Fatalf("latched latency %.3fs, want >= ~0.05s", lat)
+	}
+
+	// The race: a compute completion lands after the broadcast. The
+	// old report-time diff was zeroed by this; the latch must hold.
+	b.lastDoneNS.Store(time.Now().Add(time.Hour).UnixNano())
+	if got := b.detectLatency(); got != lat {
+		t.Fatalf("straggler changed latency: %.6f -> %.6f", lat, got)
+	}
+
+	// Second broadcast: first CAS wins, no re-latch.
+	b.markTerm()
+	if got := b.detectLatency(); got != lat {
+		t.Fatalf("second markTerm re-latched: %.6f -> %.6f", lat, got)
+	}
+}
+
+func TestAppBindingDetectLatencyUnobserved(t *testing.T) {
+	b := &appBinding{}
+	b.markTerm()
+	if got := b.detectLatency(); got != 0 {
+		t.Fatalf("latency %.6f with no compute observed, want 0", got)
+	}
+}

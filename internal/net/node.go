@@ -98,6 +98,7 @@ type TransportStats struct {
 // mechanism.
 type Node struct {
 	rank, n int
+	mech    core.Mech
 	exch    core.Exchanger
 	codec   Codec
 	opts    Options
@@ -156,10 +157,19 @@ type Node struct {
 
 	// Measurement state owned by the node goroutine (read elsewhere only
 	// through Invoke, or after Close when everything is quiesced).
-	est        core.Counters  // state/data tallies from the core byte hints
-	busy       core.BusyMeter // snapshot-blocked wall-clock time
-	decisions  int64
-	decLatency float64 // seconds, Acquire → view-ready, summed
+	est     core.Counters  // state/data tallies from the core byte hints
+	busy    core.BusyMeter // snapshot-blocked wall-clock time
+	busySid int64          // open snapshot.round span, 0 when idle
+	// decisions and the float-bits decLatency/busySec mirrors are
+	// written only by the node goroutine but read by the obs scrape
+	// path at any time, so they live in atomics.
+	decisions      atomic.Int64
+	decLatencyBits atomic.Uint64 // seconds, Acquire → view-ready, summed
+	busySecBits    atomic.Uint64 // busy.Seconds mirror for scrapes
+
+	// idleSid is the open termdet.idle trace span (app mode, node
+	// goroutine only).
+	idleSid int64
 
 	// sleepTimer is appSleep's reused compute timer (node goroutine
 	// only): short intervals over a long run would otherwise allocate
@@ -206,6 +216,7 @@ func NewNode(rank, n int, mech core.Mech, cfg core.Config, opts Options) (*Node,
 	}
 	return &Node{
 		rank: rank, n: n,
+		mech:    mech,
 		exch:    exch,
 		codec:   opts.Codec,
 		opts:    opts,
@@ -757,7 +768,15 @@ func (c nodeCtx) Broadcast(kind int, payload any, bytes float64) {
 // run is the node main loop — Algorithm 1 with a prioritized state
 // channel, identical in structure to internal/live.
 func (nd *Node) run() {
-	defer close(nd.done)
+	defer func() {
+		// A snapshot round still in flight at shutdown would leave its
+		// span unbalanced in the trace.
+		if nd.busySid != 0 {
+			nd.opts.Rec.SpanEnd(nd.rank, "snapshot.round", nd.busySid, nodeCtx{nd}.Now())
+			nd.busySid = 0
+		}
+		close(nd.done)
+	}()
 	for {
 		// Priority 1: drain state-information messages.
 		for {
@@ -796,19 +815,39 @@ func (nd *Node) run() {
 func (nd *Node) handle(m inMsg) {
 	if m.ctl != nil {
 		m.ctl()
-		nd.busy.Observe(nd.exch.Busy())
+		nd.observeBusy()
 		return
 	}
 	nd.exch.HandleMessage(nodeCtx{nd}, m.from, m.kind, m.payload)
-	nd.busy.Observe(nd.exch.Busy())
+	nd.observeBusy()
+}
+
+// observeBusy feeds the busy meter and brackets each busy interval —
+// one snapshot round in flight — with a snapshot.round trace span.
+// Node goroutine only.
+func (nd *Node) observeBusy() {
+	busy := nd.exch.Busy()
+	nd.busy.Observe(busy)
+	nd.busySecBits.Store(floatBits(nd.busy.Seconds))
+	if rec := nd.opts.Rec; rec != nil {
+		if busy && nd.busySid == 0 {
+			nd.busySid = rec.SpanBegin(nd.rank, "snapshot.round", nodeCtx{nd}.Now())
+		} else if !busy && nd.busySid != 0 {
+			rec.SpanEnd(nd.rank, "snapshot.round", nd.busySid, nodeCtx{nd}.Now())
+			nd.busySid = 0
+		}
+	}
 }
 
 // execute performs one work item (spin scaled by this node's speed
 // factor) and acknowledges it to the assigner.
 func (nd *Node) execute(w workMsg) {
-	nd.opts.Rec.Record(chaos.Event{Ev: chaos.EvRecv, Rank: nd.rank, Peer: w.from,
-		Kind: int32(TypeWork), Work: w.load[core.Workload], Spin: w.spin.Seconds()})
-	nd.opts.Rec.Record(chaos.Event{Ev: chaos.EvStart, Rank: nd.rank})
+	if rec := nd.opts.Rec; rec != nil {
+		now := nodeCtx{nd}.Now()
+		rec.Record(chaos.Event{Ev: chaos.EvRecv, Rank: nd.rank, Peer: w.from,
+			Kind: int32(TypeWork), Work: w.load[core.Workload], Spin: w.spin.Seconds(), T: now})
+		rec.Record(chaos.Event{Ev: chaos.EvStart, Rank: nd.rank, T: now})
+	}
 	c := nodeCtx{nd}
 	nd.exch.LocalChange(c, w.load, true)
 	if w.spin > 0 {
@@ -824,7 +863,9 @@ func (nd *Node) execute(w workMsg) {
 	}
 	nd.exch.LocalChange(c, neg, true)
 	nd.executed.Add(1)
-	nd.opts.Rec.Record(chaos.Event{Ev: chaos.EvDone, Rank: nd.rank})
+	if rec := nd.opts.Rec; rec != nil {
+		rec.Record(chaos.Event{Ev: chaos.EvDone, Rank: nd.rank, T: nodeCtx{nd}.Now()})
+	}
 	nd.post(w.from, Message{Type: TypeWorkDone, From: int32(nd.rank)})
 }
 
@@ -852,8 +893,10 @@ func (nd *Node) Invoke(fn func(ctx core.Context, exch core.Exchanger)) {
 func (nd *Node) AssignWork(to int, load core.Load, spin time.Duration) {
 	nd.outstanding.Add(1)
 	nd.est.AddData(core.BytesWorkItem)
-	nd.opts.Rec.Record(chaos.Event{Ev: chaos.EvSend, Rank: nd.rank, Peer: to,
-		Kind: int32(TypeWork), Work: load[core.Workload], Spin: spin.Seconds()})
+	if rec := nd.opts.Rec; rec != nil {
+		rec.Record(chaos.Event{Ev: chaos.EvSend, Rank: nd.rank, Peer: to,
+			Kind: int32(TypeWork), Work: load[core.Workload], Spin: spin.Seconds(), T: nodeCtx{nd}.Now()})
+	}
 	nd.post(to, Message{Type: TypeWork, From: int32(nd.rank), Load: load, Spin: int64(spin)})
 }
 
@@ -868,12 +911,24 @@ func (nd *Node) Decide(totalWork float64, slaves int, spin time.Duration) (core.
 	dec := core.Decision{Master: nd.rank}
 	done := make(chan struct{})
 	nd.Invoke(func(ctx core.Context, exch core.Exchanger) {
+		rec := nd.opts.Rec
+		beginT := nodeCtx{nd}.Now()
+		sidDec := rec.SpanBegin(nd.rank, "decision", beginT)
+		sidAcq := rec.SpanBegin(nd.rank, "decision.acquire", beginT)
 		acquireAt := time.Now()
 		exch.Acquire(ctx, func() {
-			nd.decisions++
-			nd.decLatency += time.Since(acquireAt).Seconds()
+			lat := time.Since(acquireAt).Seconds()
+			nd.decisions.Add(1)
+			nd.decLatencyBits.Store(floatBits(floatFromBits(nd.decLatencyBits.Load()) + lat))
+			// The acquire span closes at exactly beginT+lat: its traced
+			// duration IS the latency added to the counter, so summed
+			// decision.acquire spans reconcile with decision_latency to
+			// float rounding (the `loadex report` acceptance check).
+			acqEnd := beginT + lat
+			rec.SpanEnd(nd.rank, "decision.acquire", sidAcq, acqEnd)
+			sidPlan := rec.SpanBegin(nd.rank, "decision.plan", acqEnd)
 			dec = core.PlanDecisionOn(nd.topo, exch.View(), nd.rank, slaves, totalWork)
-			if nd.opts.Rec != nil {
+			if rec != nil {
 				ev := chaos.Event{Ev: chaos.EvDecide, Rank: nd.rank,
 					Work: totalWork, Slaves: slaves}
 				for _, l := range dec.View {
@@ -882,16 +937,28 @@ func (nd *Node) Decide(totalWork float64, slaves int, spin time.Duration) (core.
 				for _, a := range dec.Assignments {
 					ev.Sel = append(ev.Sel, int(a.Proc))
 				}
-				nd.opts.Rec.Record(ev)
+				rec.Record(ev)
 			}
 			// The cumulative counter leads Commit: any snapshot cut that
 			// observed this decision's credits is covered by a later
 			// read of Assigned() (the conservation tests rely on it).
 			nd.assigned.Add(int64(len(dec.Assignments)))
 			exch.Commit(ctx, dec.Assignments)
+			planEnd := nodeCtx{nd}.Now()
+			if planEnd < acqEnd {
+				planEnd = acqEnd
+			}
+			rec.SpanEnd(nd.rank, "decision.plan", sidPlan, planEnd)
+			sidXfer := rec.SpanBegin(nd.rank, "decision.transfer", planEnd)
 			for _, a := range dec.Assignments {
 				nd.AssignWork(int(a.Proc), a.Delta, spin)
 			}
+			endT := nodeCtx{nd}.Now()
+			if endT < planEnd {
+				endT = planEnd
+			}
+			rec.SpanEnd(nd.rank, "decision.transfer", sidXfer, endT)
+			rec.SpanEnd(nd.rank, "decision", sidDec, endT)
 			close(done)
 		})
 	})
@@ -1003,8 +1070,8 @@ func (nd *Node) MechStats() core.Stats {
 // the node goroutine, or the node must be stopped.
 func (nd *Node) sampleCounters() core.Counters {
 	c := core.Counters{
-		Decisions:       nd.decisions,
-		DecisionLatency: nd.decLatency,
+		Decisions:       nd.decisions.Load(),
+		DecisionLatency: floatFromBits(nd.decLatencyBits.Load()),
 		BusyTime:        nd.busy.Seconds,
 		SnapshotRounds:  core.SnapshotRoundsOf(nd.exch.Stats()),
 		DataMsgs:        nd.workMsgsOut.Load(),

@@ -1,0 +1,86 @@
+package obs
+
+// The static catalog: every metric and span kind the layer emits, in
+// one place. `loadex list` prints it, the README table is generated
+// from the same data, and the CI smoke lane greps for names listed
+// here — so a rename that misses a call site fails loudly.
+
+// MetricDef describes one catalog metric.
+type MetricDef struct {
+	Name     string
+	Kind     Kind
+	Labels   string // comma-separated label names
+	Runtimes string // which layers emit it
+	Help     string
+}
+
+// Catalog returns the metric catalog, stable order.
+func Catalog() []MetricDef {
+	return []MetricDef{
+		{"loadex_state_msgs_total", KindCounter, "rank", "sim,live,net", "state-channel messages sent (load information exchange)"},
+		{"loadex_state_bytes_total", KindCounter, "rank", "sim,live,net", "state-channel bytes sent"},
+		{"loadex_data_msgs_total", KindCounter, "rank", "sim,live,net", "data-channel messages sent (work transfer)"},
+		{"loadex_data_bytes_total", KindCounter, "rank", "sim,live,net", "data-channel bytes sent"},
+		{"loadex_ctrl_msgs_total", KindCounter, "rank", "sim,live,net", "control-channel messages sent (termination detection)"},
+		{"loadex_ctrl_bytes_total", KindCounter, "rank", "sim,live,net", "control-channel bytes sent"},
+		{"loadex_decisions_total", KindCounter, "rank", "sim,live,net,service", "committed dynamic scheduling decisions"},
+		{"loadex_decision_latency_seconds_total", KindCounter, "rank", "sim,live,net,service", "summed view-acquire-to-decision latency"},
+		{"loadex_busy_seconds_total", KindCounter, "rank", "net", "wall-clock time the exchanger was busy (snapshot rounds in flight)"},
+		{"loadex_executed_total", KindCounter, "rank", "net", "work items completed"},
+		{"loadex_frames_in_total", KindCounter, "rank", "net", "wire frames received"},
+		{"loadex_frames_out_total", KindCounter, "rank", "net", "wire frames sent"},
+		{"loadex_wire_bytes_in_total", KindCounter, "rank", "net", "wire bytes received"},
+		{"loadex_wire_bytes_out_total", KindCounter, "rank", "net", "wire bytes sent"},
+		{"loadex_links_up", KindGauge, "rank", "net", "peer links currently connected"},
+		{"loadex_jobs_admitted_total", KindCounter, "", "service", "jobs admitted to the queue"},
+		{"loadex_jobs_completed_total", KindCounter, "", "service", "jobs completed successfully"},
+		{"loadex_jobs_failed_total", KindCounter, "", "service", "jobs that failed"},
+		{"loadex_jobs_canceled_total", KindCounter, "", "service", "jobs canceled"},
+		{"loadex_jobs_running", KindGauge, "", "service", "jobs currently running"},
+		{"loadex_jobs_queued", KindGauge, "", "service", "jobs waiting in the admission queue"},
+		{"loadex_job_makespan_seconds", KindHistogram, "", "service", "per-job submit-to-finish makespan"},
+		{"loadex_job_queue_wait_seconds", KindHistogram, "", "service", "per-job admission-queue wait"},
+	}
+}
+
+// SpanDef describes one decision-span kind recorded in chaos traces.
+type SpanDef struct {
+	Name     string
+	Track    string // timeline row the reporter draws it on
+	Runtimes string
+	Help     string
+}
+
+// SpanKinds returns the registered span kinds, stable order. The
+// "compute" track is synthesized by the reporter from the existing
+// start/done compute events rather than span begin/end pairs.
+func SpanKinds() []SpanDef {
+	return []SpanDef{
+		{"decision", "decision", "net,service", "whole dynamic decision: view acquire through work transfer"},
+		{"decision.acquire", "decision", "net,service", "waiting for a coherent view (the paper's decision latency)"},
+		{"decision.plan", "decision", "net,service", "least-loaded selection and work split"},
+		{"decision.transfer", "decision", "net,service", "handing assigned work to the selected slaves"},
+		{"snapshot.round", "snapshot", "sim,net", "one snapshot round in flight (exchanger busy interval)"},
+		{"termdet.idle", "termdet", "sim,live,net", "rank passive in the termination detector, waiting for work or term"},
+		{"job.queued", "job", "service", "job admitted, waiting for a run slot"},
+		{"job.run", "job", "service", "job running on the mesh"},
+		{"compute", "compute", "sim,live,net", "one compute interval (synthesized from start/done events)"},
+	}
+}
+
+// SpanTrack returns the timeline track a span kind draws on: the
+// catalog's entry when registered, else the prefix before the first
+// dot. The validator's LIFO-nesting check applies per (rank, track).
+func SpanTrack(kind string) string {
+	for _, d := range SpanKinds() {
+		if d.Name == kind {
+			return d.Track
+		}
+	}
+	for i := 0; i < len(kind); i++ {
+		if kind[i] == '.' {
+			return kind[:i]
+		}
+	}
+	return kind
+}

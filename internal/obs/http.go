@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Link is one peer connection's state for /healthz.
+type Link struct {
+	Peer  int    `json:"peer"`
+	State string `json:"state"` // "up" | "down"
+}
+
+// Health is the /healthz document: who this process is in the mesh and
+// whether its seams are alive.
+type Health struct {
+	Rank       int     `json:"rank"`
+	Procs      int     `json:"procs,omitempty"`
+	Mech       string  `json:"mech,omitempty"`
+	Term       string  `json:"term,omitempty"`
+	Detector   string  `json:"detector,omitempty"` // protocol name
+	Terminated bool    `json:"terminated"`
+	Links      []Link  `json:"links,omitempty"`
+	UptimeS    float64 `json:"uptime_s"`
+}
+
+// Server is one process's observability endpoint: /metrics (Prometheus
+// text format), /healthz (JSON), and the stdlib pprof handlers under
+// /debug/pprof/.
+type Server struct {
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+}
+
+// ServeHTTP starts the endpoint on addr (":0" picks a free port).
+// gather supplies the scrape samples — typically reg.Gather, or a
+// closure merging several per-rank registries; health supplies the
+// /healthz document (nil serves a bare uptime). The server runs until
+// Close.
+func ServeHTTP(addr string, gather func() []Sample, health func() Health) (*Server, error) {
+	if err := ValidateAddr(addr); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var samples []Sample
+		if gather != nil {
+			samples = gather()
+		}
+		WriteProm(w, samples)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		var h Health
+		if health != nil {
+			h = health()
+		} else {
+			h.Rank = -1
+		}
+		h.UptimeS = time.Since(s.start).Seconds()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(h)
+	})
+	// pprof on an explicit mux: the endpoint is opt-in, so the default
+	// mux (which other packages could extend) stays out of it.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolved port for ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// ValidateAddr rejects malformed -obs addresses up front, with the
+// same listing-style error shape as -mech/-chaos validation: the
+// accepted forms are spelled out in the message.
+func ValidateAddr(addr string) error {
+	forms := `accepted forms: ":9090", "127.0.0.1:9090", "host:0"`
+	if addr == "" {
+		return fmt.Errorf("empty -obs address (%s)", forms)
+	}
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("malformed -obs address %q: %v (%s)", addr, err, forms)
+	}
+	if port == "" {
+		return fmt.Errorf("malformed -obs address %q: missing port (%s)", addr, forms)
+	}
+	if p, err := strconv.Atoi(port); err != nil || p < 0 || p > 65535 {
+		return fmt.Errorf("malformed -obs address %q: port %q is not in [0, 65535] (%s)", addr, port, forms)
+	}
+	if strings.ContainsAny(host, " \t") {
+		return fmt.Errorf("malformed -obs address %q: host contains whitespace (%s)", addr, forms)
+	}
+	return nil
+}

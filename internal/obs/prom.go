@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteProm renders gathered samples in the Prometheus text exposition
+// format (version 0.0.4). Histograms render as summaries: one
+// quantile series per p50/p95/p99 plus _sum and _count. HELP/TYPE
+// headers emit once per metric name, before its first sample.
+func WriteProm(w io.Writer, samples []Sample) error {
+	headered := map[string]bool{}
+	for _, s := range samples {
+		if !headered[s.Name] {
+			headered[s.Name] = true
+			if s.Help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", s.Name, escapeHelp(s.Help))
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, promType(s.Kind))
+		}
+		if s.Kind == KindHistogram {
+			if s.Hist == nil {
+				continue
+			}
+			for _, q := range []struct {
+				p float64
+				s string
+			}{{0.5, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}} {
+				ls := append(append([]Label(nil), s.Labels...), Label{"quantile", q.s})
+				fmt.Fprintf(w, "%s%s %s\n", s.Name, promLabels(ls), promFloat(s.Hist.Quantile(q.p)))
+			}
+			fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, promLabels(s.Labels), promFloat(s.Hist.Sum()))
+			fmt.Fprintf(w, "%s_count%s %d\n", s.Name, promLabels(s.Labels), s.Hist.Count())
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, promLabels(s.Labels), promFloat(s.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func promType(k Kind) string {
+	if k == KindHistogram {
+		return "summary"
+	}
+	return string(k)
+}
+
+func promLabels(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	// Integral values print without exponent noise; counters stay
+	// readable in scrapes and tests.
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,275 @@
+// Package obs is the runtime-agnostic observability layer: a typed
+// metrics registry that the runtimes, the net mesh, and the service
+// register into; Prometheus text exposition plus pprof over an opt-in
+// HTTP endpoint; and the trace→timeline reporter behind
+// `loadex report`.
+//
+// The registry is built for hot paths: owned counters and gauges are
+// single atomics, histograms are atomic log-linear bucket arrays with
+// striped sums, and sampled instruments (CounterFunc/GaugeFunc) read
+// existing atomic tallies at scrape time so instrumented code pays
+// nothing between scrapes.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// Kind classifies an instrument for exposition.
+type Kind string
+
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Label is one name=value dimension of an instrument.
+type Label struct {
+	Name, Value string
+}
+
+// L builds a label list from alternating name, value pairs:
+// obs.L("rank", "3", "mech", "snapshot").
+func L(pairs ...string) []Label {
+	if len(pairs)%2 != 0 {
+		panic("obs.L: odd number of label arguments")
+	}
+	ls := make([]Label, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		ls = append(ls, Label{Name: pairs[i], Value: pairs[i+1]})
+	}
+	return ls
+}
+
+// labelKey is the canonical (sorted) identity of a label set.
+func labelKey(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	s := append([]Label(nil), ls...)
+	sort.Slice(s, func(i, j int) bool { return s[i].Name < s[j].Name })
+	var b strings.Builder
+	for i, l := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// Counter is a monotonically increasing owned instrument. Integer
+// valued: message counts, bytes, events.
+type Counter struct {
+	v atomic.Int64
+}
+
+func (c *Counter) Add(n int64)  { c.v.Add(n) }
+func (c *Counter) Inc()         { c.v.Add(1) }
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an owned instantaneous value (float-valued: queue depth,
+// busy fraction).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+func (g *Gauge) Set(v float64)  { g.bits.Store(floatBits(v)) }
+func (g *Gauge) Value() float64 { return bitsFloat(g.bits.Load()) }
+
+// series is one registered instrument.
+type series struct {
+	name   string
+	help   string
+	kind   Kind
+	labels []Label
+	// Exactly one of the following is set.
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64 // sampled counter/gauge
+}
+
+// Registry holds instruments keyed by name + label set. Registration
+// is idempotent: asking for an existing (name, labels) instrument
+// returns the registered one, so every layer can register without
+// coordinating.
+type Registry struct {
+	mu     sync.Mutex
+	byKey  map[string]*series
+	order  []*series // registration order, for stable exposition
+	frozen map[string]Kind
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: map[string]*series{}, frozen: map[string]Kind{}}
+}
+
+func (r *Registry) register(name, help string, kind Kind, labels []Label) *series {
+	key := name + "{" + labelKey(labels) + "}"
+	if s, ok := r.byKey[key]; ok {
+		if s.kind != kind {
+			panic(fmt.Sprintf("obs: %s re-registered as %s (was %s)", name, kind, s.kind))
+		}
+		return s
+	}
+	if k, ok := r.frozen[name]; ok && k != kind {
+		panic(fmt.Sprintf("obs: metric %s registered with conflicting kinds %s and %s", name, k, kind))
+	}
+	r.frozen[name] = kind
+	s := &series{name: name, help: help, kind: kind, labels: append([]Label(nil), labels...)}
+	r.byKey[key] = s
+	r.order = append(r.order, s)
+	return s
+}
+
+// Counter registers (or fetches) an owned counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.register(name, help, KindCounter, labels)
+	if s.counter == nil && s.fn == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge registers (or fetches) an owned gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.register(name, help, KindGauge, labels)
+	if s.gauge == nil && s.fn == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// Histogram registers (or fetches) an owned streaming histogram.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.register(name, help, KindHistogram, labels)
+	if s.hist == nil {
+		s.hist = NewHistogram()
+	}
+	return s.hist
+}
+
+// CounterFunc registers a sampled counter: fn is called at scrape time
+// and must be monotonic (typically a closure over an existing atomic
+// tally — that is how core.Counters, node frame counts and service
+// totals register into the layer without restructuring).
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.register(name, help, KindCounter, labels)
+	s.fn = fn
+	s.counter = nil
+}
+
+// GaugeFunc registers a sampled gauge.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.register(name, help, KindGauge, labels)
+	s.fn = fn
+	s.gauge = nil
+}
+
+// Sample is one scraped time-series value. Histograms carry the digest
+// instead of Value.
+type Sample struct {
+	Name   string
+	Help   string
+	Kind   Kind
+	Labels []Label
+	Value  float64
+	Hist   *stats.StreamHist // histogram samples only
+}
+
+// Gather snapshots every instrument. Sampled funcs run at gather time;
+// the registry lock is held, so funcs must not re-enter the registry.
+func (r *Registry) Gather() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Sample, 0, len(r.order))
+	for _, s := range r.order {
+		smp := Sample{Name: s.name, Help: s.help, Kind: s.kind, Labels: s.labels}
+		switch {
+		case s.fn != nil:
+			smp.Value = s.fn()
+		case s.counter != nil:
+			smp.Value = float64(s.counter.Value())
+		case s.gauge != nil:
+			smp.Value = s.gauge.Value()
+		case s.hist != nil:
+			smp.Hist = s.hist.Snapshot()
+		}
+		out = append(out, smp)
+	}
+	return out
+}
+
+// Merge folds per-rank samples into mesh-level totals: counters and
+// histogram buckets add across identical (name, labels-minus-"rank")
+// series, gauges keep the last value per merged key. The rank label is
+// dropped from the merged identity so a mesh of per-rank registries
+// exposes one combined series per metric.
+func Merge(samples []Sample) []Sample {
+	type agg struct {
+		s    Sample
+		hist *stats.StreamHist
+	}
+	byKey := map[string]*agg{}
+	var order []string
+	for _, s := range samples {
+		var kept []Label
+		for _, l := range s.Labels {
+			if l.Name != "rank" {
+				kept = append(kept, l)
+			}
+		}
+		key := s.Name + "{" + labelKey(kept) + "}"
+		a, ok := byKey[key]
+		if !ok {
+			a = &agg{s: Sample{Name: s.Name, Help: s.Help, Kind: s.Kind, Labels: kept}}
+			byKey[key] = a
+			order = append(order, key)
+		}
+		switch s.Kind {
+		case KindHistogram:
+			if s.Hist != nil {
+				if a.hist == nil {
+					a.hist = &stats.StreamHist{}
+				}
+				a.hist.Merge(s.Hist)
+			}
+		case KindCounter:
+			a.s.Value += s.Value
+		default:
+			a.s.Value = s.Value
+		}
+	}
+	out := make([]Sample, 0, len(order))
+	for _, key := range order {
+		a := byKey[key]
+		a.s.Hist = a.hist
+		out = append(out, a.s)
+	}
+	return out
+}
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

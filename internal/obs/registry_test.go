@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("m_total", "help", L("rank", "0")...)
+	c2 := r.Counter("m_total", "help", L("rank", "0")...)
+	if c1 != c2 {
+		t.Fatalf("same (name, labels) returned distinct counters")
+	}
+	c3 := r.Counter("m_total", "help", L("rank", "1")...)
+	if c1 == c3 {
+		t.Fatalf("distinct labels returned the same counter")
+	}
+	c1.Add(5)
+	c3.Add(7)
+	samples := r.Gather()
+	if len(samples) != 2 {
+		t.Fatalf("gathered %d samples, want 2", len(samples))
+	}
+	if samples[0].Value != 5 || samples[1].Value != 7 {
+		t.Fatalf("values %v %v, want 5 7", samples[0].Value, samples[1].Value)
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("conflicting kind registration did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestSampledInstruments(t *testing.T) {
+	r := NewRegistry()
+	var tally atomic.Int64
+	r.CounterFunc("sampled_total", "reads an existing atomic", func() float64 {
+		return float64(tally.Load())
+	})
+	tally.Store(42)
+	s := r.Gather()
+	if len(s) != 1 || s[0].Value != 42 {
+		t.Fatalf("sampled counter = %+v, want 42", s)
+	}
+	tally.Store(99)
+	if got := r.Gather()[0].Value; got != 99 {
+		t.Fatalf("sampled counter did not track the atomic: %g", got)
+	}
+}
+
+// TestRegistryConcurrency is the -race acceptance check: concurrent
+// writers on every instrument kind plus concurrent gathers must be
+// race-free and lose no counts.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	var wg, scrapers sync.WaitGroup
+	stop := make(chan struct{})
+	// Scrapers run throughout.
+	for i := 0; i < 2; i++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					WriteProm(&strings.Builder{}, Merge(r.Gather()))
+				}
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Half the workers share one label set, half get their own —
+			// exercises both same-instrument contention and concurrent
+			// registration.
+			rank := "0"
+			if w%2 == 1 {
+				rank = "1"
+			}
+			c := r.Counter("conc_total", "", L("rank", rank)...)
+			g := r.Gauge("conc_gauge", "", L("rank", rank)...)
+			h := r.Histogram("conc_hist", "", L("rank", rank)...)
+			for i := 0; i < perW; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i%100) + 0.5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scrapers.Wait()
+
+	var total float64
+	var histN int64
+	for _, s := range Merge(r.Gather()) {
+		switch s.Name {
+		case "conc_total":
+			total = s.Value
+		case "conc_hist":
+			histN = s.Hist.Count()
+		}
+	}
+	if want := float64(workers * perW); total != want {
+		t.Fatalf("counter lost updates: %g, want %g", total, want)
+	}
+	if want := int64(workers * perW); histN != want {
+		t.Fatalf("histogram lost samples: %d, want %d", histN, want)
+	}
+}
+
+func TestHistogramStripesMergeExactly(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 1; i <= 1000; i++ {
+				h.Observe(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count() != 4000 {
+		t.Fatalf("count %d, want 4000", snap.Count())
+	}
+	if math.Abs(snap.Sum()-4*500500) > 1e-6 {
+		t.Fatalf("sum %g, want %g", snap.Sum(), 4.0*500500)
+	}
+	if snap.Min() != 1 || snap.Max() != 1000 {
+		t.Fatalf("min/max %g/%g", snap.Min(), snap.Max())
+	}
+}
+
+func TestMergeDropsRankLabel(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "", L("rank", "0", "mech", "snapshot")...).Add(3)
+	r.Counter("m_total", "", L("rank", "1", "mech", "snapshot")...).Add(4)
+	merged := Merge(r.Gather())
+	if len(merged) != 1 {
+		t.Fatalf("merged %d series, want 1", len(merged))
+	}
+	if merged[0].Value != 7 {
+		t.Fatalf("merged value %g, want 7", merged[0].Value)
+	}
+	for _, l := range merged[0].Labels {
+		if l.Name == "rank" {
+			t.Fatalf("rank label survived merge: %+v", merged[0].Labels)
+		}
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("msgs_total", "messages sent", L("rank", "0")...).Add(12)
+	r.Gauge("queue_depth", "").Set(3.5)
+	h := r.Histogram("lat_seconds", "latency")
+	for i := 0; i < 100; i++ {
+		h.Observe(0.25)
+	}
+	var b strings.Builder
+	if err := WriteProm(&b, r.Gather()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE msgs_total counter",
+		`msgs_total{rank="0"} 12`,
+		"# TYPE queue_depth gauge",
+		"queue_depth 3.5",
+		"# TYPE lat_seconds summary",
+		`lat_seconds{quantile="0.5"} 0.25`,
+		"lat_seconds_sum 25",
+		"lat_seconds_count 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCatalogCoversSpanTracks(t *testing.T) {
+	for _, d := range SpanKinds() {
+		if got := SpanTrack(d.Name); got != d.Track {
+			t.Errorf("SpanTrack(%q) = %q, want %q (prefix rule and catalog must agree)", d.Name, got, d.Track)
+		}
+	}
+	if len(Catalog()) == 0 {
+		t.Fatal("empty metric catalog")
+	}
+	seen := map[string]bool{}
+	for _, m := range Catalog() {
+		if seen[m.Name] {
+			t.Errorf("duplicate catalog metric %s", m.Name)
+		}
+		seen[m.Name] = true
+		if !strings.HasPrefix(m.Name, "loadex_") {
+			t.Errorf("catalog metric %s missing loadex_ prefix", m.Name)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+func TestBuildTimeline(t *testing.T) {
+	events := []chaos.Event{
+		{Ev: chaos.EvSpanBegin, Rank: 0, Span: "decision", Sid: 1, T: 1.0},
+		{Ev: chaos.EvSpanBegin, Rank: 0, Span: "decision.acquire", Sid: 2, T: 1.0},
+		{Ev: chaos.EvSpanEnd, Rank: 0, Span: "decision.acquire", Sid: 2, T: 1.5},
+		{Ev: chaos.EvSpanEnd, Rank: 0, Span: "decision", Sid: 1, T: 2.0},
+		{Ev: chaos.EvStart, Rank: 1, T: 0.5},
+		{Ev: chaos.EvDone, Rank: 1, T: 0.75},
+		// Span on another rank with the same sid numbering: must not
+		// collide (pairing is per rank).
+		{Ev: chaos.EvSpanBegin, Rank: 1, Span: "termdet.idle", Sid: 1, T: 3.0},
+		{Ev: chaos.EvSpanEnd, Rank: 1, Span: "termdet.idle", Sid: 1, T: 4.0},
+	}
+	tl := BuildTimeline(events)
+	if tl.Spans != 4 {
+		t.Fatalf("spans = %d, want 4", tl.Spans)
+	}
+	if tl.Unmatched != 0 {
+		t.Fatalf("unmatched = %d, want 0", tl.Unmatched)
+	}
+	if got := tl.SpanTotal("decision.acquire"); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("decision.acquire total = %g, want 0.5", got)
+	}
+	if got := tl.SpanTotal("compute"); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("compute total = %g, want 0.25", got)
+	}
+
+	var b strings.Builder
+	if err := tl.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	// The output must be loadable Chrome trace JSON: an object with a
+	// traceEvents array of ph/ts/pid records.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("chrome JSON does not parse: %v", err)
+	}
+	var complete int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			complete++
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Fatalf("complete event without ts: %v", ev)
+			}
+		case "M":
+		default:
+			t.Fatalf("unexpected phase %v", ev["ph"])
+		}
+	}
+	if complete != 4 {
+		t.Fatalf("chrome JSON has %d complete events, want 4", complete)
+	}
+
+	var md strings.Builder
+	tl.WriteMarkdown(&md)
+	for _, want := range []string{"| span |", "decision.acquire", "compute", "termdet.idle"} {
+		if !strings.Contains(md.String(), want) {
+			t.Errorf("markdown breakdown missing %q:\n%s", want, md.String())
+		}
+	}
+}
+
+func TestBuildTimelineUnmatched(t *testing.T) {
+	events := []chaos.Event{
+		{Ev: chaos.EvSpanBegin, Rank: 0, Span: "decision", Sid: 1, T: 1.0},
+		{Ev: chaos.EvSpanEnd, Rank: 0, Span: "decision", Sid: 99, T: 2.0},
+	}
+	tl := BuildTimeline(events)
+	if tl.Spans != 0 || tl.Unmatched != 2 {
+		t.Fatalf("spans=%d unmatched=%d, want 0/2", tl.Spans, tl.Unmatched)
+	}
+}

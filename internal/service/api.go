@@ -24,6 +24,7 @@ const (
 	OpResult  = "result"
 	OpCancel  = "cancel"
 	OpMetrics = "metrics"
+	OpTop     = "top"
 )
 
 // Request is one client API frame.
@@ -44,6 +45,8 @@ type Response struct {
 	ID      int32      `json:"id,omitempty"`
 	Job     *JobStatus `json:"job,omitempty"`
 	Metrics *Metrics   `json:"metrics,omitempty"`
+	// Ranks is the per-rank telemetry snapshot (top only).
+	Ranks []xnet.Telemetry `json:"ranks,omitempty"`
 }
 
 // Serve accepts API connections until the listener closes (Close the
@@ -139,6 +142,8 @@ func (s *Server) handle(req Request) Response {
 	case OpMetrics:
 		m := s.Metrics()
 		return Response{OK: true, Metrics: &m}
+	case OpTop:
+		return Response{OK: true, Ranks: s.Top()}
 	}
 	return fail(fmt.Errorf("unknown op %q", req.Op))
 }
@@ -232,4 +237,13 @@ func (c *Client) Metrics() (*Metrics, error) {
 		return nil, err
 	}
 	return resp.Metrics, nil
+}
+
+// Top fetches the per-rank telemetry snapshot.
+func (c *Client) Top() ([]xnet.Telemetry, error) {
+	resp, err := c.roundTrip(Request{Op: OpTop})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Ranks, nil
 }

@@ -97,9 +97,9 @@ func (c appJobCtx) Broadcast(kind int, payload any, bytes float64) {
 // appJobHost implements workload.AppHost over the job's ports.
 type appJobHost struct{ a *appJob }
 
-func (h appJobHost) N() int            { return len(h.a.ports) }
-func (h appJobHost) Local(int) bool    { return true }
-func (h appJobHost) Now() float64      { return time.Since(h.a.start).Seconds() }
+func (h appJobHost) N() int         { return len(h.a.ports) }
+func (h appJobHost) Local(int) bool { return true }
+func (h appJobHost) Now() float64   { return time.Since(h.a.start).Seconds() }
 func (h appJobHost) Context(rank int) core.Context {
 	return appJobCtx{h.a, rank}
 }

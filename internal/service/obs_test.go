@@ -1,0 +1,152 @@
+package service
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// TestJobCountersMatchRegistry is the per-job accounting cross-check:
+// over a multi-job run, the sum of each finished job's own counters
+// (the JobPort view) must equal the service's merged job total, and the
+// observability registry's service-level series must agree with the
+// Metrics surface — two independent paths over the same run.
+func TestJobCountersMatchRegistry(t *testing.T) {
+	const jobs = 8
+	s := newTestServer(t, core.MechIncrements, 4)
+	ids := make([]int32, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		id, err := s.Submit(JobSpec{Decisions: 2, Work: 50, Slaves: 2, Masters: 2})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids = append(ids, id)
+	}
+	var perJob core.Counters
+	for _, id := range ids {
+		st, err := s.Result(id, time.Minute)
+		if err != nil {
+			t.Fatalf("result %d: %v", id, err)
+		}
+		if st.State != StateDone {
+			t.Fatalf("job %d state %s (err %q)", id, st.State, st.Err)
+		}
+		perJob.Merge(st.Counters)
+	}
+	m := s.Metrics()
+	if m.Jobs.DataMsgs != perJob.DataMsgs || m.Jobs.DataBytes != perJob.DataBytes {
+		t.Errorf("merged job data traffic %d msgs/%g bytes, per-job sum %d/%g",
+			m.Jobs.DataMsgs, m.Jobs.DataBytes, perJob.DataMsgs, perJob.DataBytes)
+	}
+	if m.Jobs.CtrlMsgs != perJob.CtrlMsgs || m.Jobs.Decisions != perJob.Decisions {
+		t.Errorf("merged job ctrl/decisions %d/%d, per-job sum %d/%d",
+			m.Jobs.CtrlMsgs, m.Jobs.Decisions, perJob.CtrlMsgs, perJob.Decisions)
+	}
+
+	// Registry view: the same totals through the scrape path.
+	vals := map[string]float64{}
+	var makespanCount, queueWaitCount int64
+	for _, smp := range obs.Merge(s.Registry().Gather()) {
+		switch smp.Name {
+		case "loadex_jobs_admitted_total", "loadex_jobs_completed_total",
+			"loadex_jobs_failed_total", "loadex_jobs_running", "loadex_jobs_queued":
+			vals[smp.Name] = smp.Value
+		case "loadex_job_makespan_seconds":
+			makespanCount = smp.Hist.Count()
+		case "loadex_job_queue_wait_seconds":
+			queueWaitCount = smp.Hist.Count()
+		}
+	}
+	if vals["loadex_jobs_admitted_total"] != jobs || vals["loadex_jobs_completed_total"] != float64(m.Completed) {
+		t.Errorf("registry admitted/completed %g/%g, metrics %d/%d",
+			vals["loadex_jobs_admitted_total"], vals["loadex_jobs_completed_total"], m.Admitted, m.Completed)
+	}
+	if vals["loadex_jobs_running"] != 0 || vals["loadex_jobs_queued"] != 0 {
+		t.Errorf("registry shows %g running / %g queued after all results collected",
+			vals["loadex_jobs_running"], vals["loadex_jobs_queued"])
+	}
+	if makespanCount != int64(m.Completed) {
+		t.Errorf("makespan histogram holds %d samples, %d jobs completed", makespanCount, m.Completed)
+	}
+	if queueWaitCount != jobs {
+		t.Errorf("queue-wait histogram holds %d samples, %d jobs started", queueWaitCount, jobs)
+	}
+
+	// The histogram digest surfaced by the metrics API matches the raw
+	// makespan samples (same count; quantiles within bucket resolution).
+	if m.Makespan.Count != int64(m.Completed) {
+		t.Errorf("metrics makespan digest count %d, want %d", m.Makespan.Count, m.Completed)
+	}
+	if m.QueueWait.Count != jobs {
+		t.Errorf("metrics queue-wait digest count %d, want %d", m.QueueWait.Count, jobs)
+	}
+	if m.Makespan.P50 <= 0 || m.Makespan.P99 < m.Makespan.P50 {
+		t.Errorf("makespan digest inconsistent: %+v", m.Makespan)
+	}
+	// The digest and the legacy exact percentiles interpolate
+	// differently (log-linear buckets vs sorted-sample rank), which
+	// matters at these tiny sample counts — only pin the same order of
+	// magnitude and the digest's own envelope.
+	if m.Makespan.P50 < m.MakespanP50/2 || m.Makespan.P50 > m.MakespanP50*2 {
+		t.Errorf("digest p50 %.6f not within 2x of exact %.6f", m.Makespan.P50, m.MakespanP50)
+	}
+	if m.Makespan.P50 < m.Makespan.Min || m.Makespan.P99 > m.Makespan.Max+1e-12 {
+		t.Errorf("digest quantiles escape [min,max]: %+v", m.Makespan)
+	}
+}
+
+// TestServiceJobSpans: with a recorder configured, every job leaves a
+// balanced job.queued -> job.run span pair that the trace validator
+// accepts.
+func TestServiceJobSpans(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "svc.jsonl")
+	rec, err := chaos.OpenRecorder(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Procs: 4, Mech: core.MechIncrements, MaxConcurrent: 2, Rec: rec})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	const jobs = 4
+	for i := 0; i < jobs; i++ {
+		id, err := s.Submit(JobSpec{Decisions: 2, Work: 40, Slaves: 2, Masters: 2})
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		if st, err := s.Result(id, time.Minute); err != nil || st.State != StateDone {
+			t.Fatalf("result: %v (state %v)", err, st.State)
+		}
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := chaos.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var begins, ends, queued, run int
+	for _, ev := range evs {
+		switch ev.Ev {
+		case chaos.EvSpanBegin:
+			begins++
+			if ev.Span == "job.queued" {
+				queued++
+			}
+		case chaos.EvSpanEnd:
+			ends++
+			if ev.Span == "job.run" {
+				run++
+			}
+		}
+	}
+	if begins != ends || queued != jobs || run != jobs {
+		t.Fatalf("spans unbalanced: %d begins / %d ends, %d queued / %d run (want %d each)",
+			begins, ends, queued, run, jobs)
+	}
+}

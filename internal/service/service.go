@@ -30,11 +30,14 @@ package service
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	xnet "repro/internal/net"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/termdet"
 	"repro/internal/workload"
@@ -62,6 +65,10 @@ type Config struct {
 	// TimeScale is the wall-clock duration of one application second of
 	// hosted-app compute (default 1).
 	TimeScale float64
+	// Rec, when non-nil, receives job lifecycle spans (job.queued from
+	// admission to start, job.run from start to terminal state) in the
+	// chaos trace schema.
+	Rec *chaos.Recorder
 }
 
 func (c *Config) normalize() error {
@@ -151,10 +158,10 @@ func (sp *JobSpec) normalize(procs int) error {
 
 // JobStatus is the externally visible state of one job.
 type JobStatus struct {
-	ID    int32   `json:"id"`
-	Kind  string  `json:"kind"`
-	State string  `json:"state"`
-	Err   string  `json:"err,omitempty"`
+	ID    int32  `json:"id"`
+	Kind  string `json:"kind"`
+	State string `json:"state"`
+	Err   string `json:"err,omitempty"`
 	// Submitted/Started/Finished are seconds since the server started
 	// (zero when the phase has not been reached).
 	Submitted float64 `json:"submitted"`
@@ -192,6 +199,12 @@ type Metrics struct {
 	MakespanP50 float64 `json:"makespan_p50_s"`
 	MakespanP99 float64 `json:"makespan_p99_s"`
 
+	// Makespan / QueueWait are streaming-histogram digests (count, min,
+	// max, mean, p50/p95/p99) over finished jobs' makespans and over
+	// admission-to-start queue waits, in seconds.
+	Makespan  stats.HistSummary `json:"makespan"`
+	QueueWait stats.HistSummary `json:"queue_wait"`
+
 	// Mesh is the resident mesh's own counter total (the shared
 	// mechanism's state traffic plus wire-tallied job frames), merged
 	// over ranks; Jobs is the per-job counter total merged over every
@@ -220,6 +233,10 @@ type job struct {
 	cancelOnce sync.Once
 	// doneCh closes when the job reaches a terminal state.
 	doneCh chan struct{}
+
+	// queuedSid/runSid are the job's open trace spans (0 = none; only
+	// set when the server records).
+	queuedSid, runSid int64
 }
 
 // Server is the scheduler service: a resident mesh plus a job table.
@@ -247,6 +264,13 @@ type Server struct {
 	admitted, completed, failed, canceled int64
 	makespans                             []float64
 	jobCounters                           core.Counters
+
+	// reg is the server's observability registry: the mesh nodes'
+	// per-rank tallies plus the service-level job metrics below. It is
+	// what an opt-in /metrics endpoint scrapes.
+	reg        *obs.Registry
+	makespanH  *obs.Histogram
+	queueWaitH *obs.Histogram
 
 	quit chan struct{}
 	wg   sync.WaitGroup
@@ -313,9 +337,65 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s.nodes = nodes
+	s.registerObs()
 	s.wg.Add(1)
 	go s.schedule()
 	return s, nil
+}
+
+// registerObs builds the server's observability registry: every mesh
+// node registers its per-rank tallies, and the service adds its
+// job-stream metrics (sampled funcs over the job table plus owned
+// streaming histograms for makespan and queue wait).
+func (s *Server) registerObs() {
+	s.reg = obs.NewRegistry()
+	for _, nd := range s.nodes {
+		nd.RegisterObs(s.reg)
+	}
+	locked := func(read func() float64) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return read()
+		}
+	}
+	s.reg.CounterFunc("loadex_jobs_admitted_total", "jobs admitted to the queue", locked(func() float64 { return float64(s.admitted) }))
+	s.reg.CounterFunc("loadex_jobs_completed_total", "jobs finished successfully", locked(func() float64 { return float64(s.completed) }))
+	s.reg.CounterFunc("loadex_jobs_failed_total", "jobs finished with an error", locked(func() float64 { return float64(s.failed) }))
+	s.reg.CounterFunc("loadex_jobs_canceled_total", "jobs canceled before completion", locked(func() float64 { return float64(s.canceled) }))
+	s.reg.GaugeFunc("loadex_jobs_running", "jobs currently running", locked(func() float64 { return float64(s.running) }))
+	s.reg.GaugeFunc("loadex_jobs_queued", "jobs waiting in the admission queue", locked(func() float64 { return float64(len(s.queue)) }))
+	s.makespanH = s.reg.Histogram("loadex_job_makespan_seconds", "finished jobs' start-to-finish wall time")
+	s.queueWaitH = s.reg.Histogram("loadex_job_queue_wait_seconds", "jobs' admission-to-start wait")
+}
+
+// Registry exposes the server's observability registry (per-rank node
+// tallies plus service job metrics) for an opt-in /metrics endpoint.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Health reports the mesh's /healthz document: one entry per resident
+// rank with its peer link states.
+func (s *Server) Health() obs.Health {
+	h := obs.Health{Procs: s.cfg.Procs, Mech: string(s.cfg.Mech), Term: termName(s.cfg.Term), UptimeS: time.Since(s.start).Seconds()}
+	h.Rank = -1 // service-level document, not one rank's
+	for _, nd := range s.nodes {
+		nh := nd.Health()
+		for _, l := range nh.Links {
+			if l.State != "up" {
+				h.Links = append(h.Links, obs.Link{Peer: l.Peer, State: "down from rank " + strconv.Itoa(nh.Rank)})
+			}
+		}
+	}
+	return h
+}
+
+// Top samples every resident rank's telemetry snapshot, rank order.
+func (s *Server) Top() []xnet.Telemetry {
+	out := make([]xnet.Telemetry, 0, len(s.nodes))
+	for _, nd := range s.nodes {
+		out = append(out, nd.Telemetry())
+	}
+	return out
 }
 
 // Submit admits one job to the queue and returns its id.
@@ -346,9 +426,16 @@ func (s *Server) Submit(spec JobSpec) (int32, error) {
 	s.jobs[j.id] = j
 	s.queue = append(s.queue, j)
 	s.admitted++
+	if rec := s.cfg.Rec; rec != nil {
+		j.queuedSid = rec.SpanBegin(0, "job.queued", s.sinceStart())
+	}
 	s.nudge()
 	return j.id, nil
 }
+
+// sinceStart is the span timestamp base: seconds since the server came
+// up, matching JobStatus's Submitted/Started/Finished epoch.
+func (s *Server) sinceStart() float64 { return time.Since(s.start).Seconds() }
 
 // nudge wakes the scheduler loop (caller holds mu or doesn't care).
 func (s *Server) nudge() {
@@ -371,6 +458,13 @@ func (s *Server) schedule() {
 			}
 			j.state = StateRunning
 			j.started = time.Now()
+			s.queueWaitH.Observe(j.started.Sub(j.submitted).Seconds())
+			if rec := s.cfg.Rec; rec != nil {
+				now := s.sinceStart()
+				rec.SpanEnd(0, "job.queued", j.queuedSid, now)
+				j.queuedSid = 0
+				j.runSid = rec.SpanBegin(0, "job.run", now)
+			}
 			s.running++
 			s.wg.Add(1)
 			go s.runJob(j)
@@ -418,7 +512,13 @@ func (s *Server) runJob(j *job) {
 	default:
 		j.state = StateDone
 		s.completed++
-		s.makespans = append(s.makespans, j.finished.Sub(j.started).Seconds())
+		makespan := j.finished.Sub(j.started).Seconds()
+		s.makespans = append(s.makespans, makespan)
+		s.makespanH.Observe(makespan)
+	}
+	if rec := s.cfg.Rec; rec != nil && j.runSid != 0 {
+		rec.SpanEnd(0, "job.run", j.runSid, s.sinceStart())
+		j.runSid = 0
 	}
 	s.jobCounters.Merge(j.counters)
 	s.running--
@@ -504,6 +604,10 @@ func (s *Server) Cancel(id int32) error {
 		j.state = StateCanceled
 		j.finished = time.Now()
 		s.canceled++
+		if rec := s.cfg.Rec; rec != nil && j.queuedSid != 0 {
+			rec.SpanEnd(0, "job.queued", j.queuedSid, s.sinceStart())
+			j.queuedSid = 0
+		}
 		s.mu.Unlock()
 		close(j.doneCh)
 		s.nudge()
@@ -545,6 +649,8 @@ func (s *Server) Metrics() Metrics {
 		m.MakespanP50 = stats.Percentile(sorted, 0.50)
 		m.MakespanP99 = stats.Percentile(sorted, 0.99)
 	}
+	m.Makespan = s.makespanH.Snapshot().Summary()
+	m.QueueWait = s.queueWaitH.Snapshot().Summary()
 	return m
 }
 

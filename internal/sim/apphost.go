@@ -34,7 +34,10 @@ func (r *AppRunner) RunApp(n int, app workload.App, opts workload.AppRunOptions)
 	net := r.Network.Normalized()
 	eng := NewEngine()
 	eng.MaxSteps = opts.MaxSteps
-	h := &appHost{app: app, opts: opts, busySince: make([]float64, n), termAt: -1}
+	h := &appHost{
+		app: app, opts: opts, busySince: make([]float64, n), termAt: -1,
+		busySid: make([]int64, n), idleSid: make([]int64, n),
+	}
 	for i := range h.busySince {
 		h.busySince[i] = -1
 	}
@@ -91,6 +94,12 @@ type appHost struct {
 	// noticed and said so.
 	lastDone float64
 	termAt   float64
+
+	// busySid/idleSid are each rank's open snapshot.round and
+	// termdet.idle trace spans (0 = none); the simulator is
+	// single-threaded, so plain slices suffice.
+	busySid []int64
+	idleSid []int64
 }
 
 // ---- workload.AppHost ---------------------------------------------------
@@ -168,6 +177,7 @@ func (h *appHost) HandleState(p *Proc, m *Message) {
 }
 
 func (h *appHost) HandleData(p *Proc, m *Message) {
+	h.endIdle(p.ID)
 	h.dets[p.ID].OnReceive(detCtx{h, p.ID}, m.From)
 	h.app.HandleData(p.ID, m.From, m.Payload.(workload.DataMsg))
 }
@@ -181,13 +191,27 @@ func (h *appHost) HandleCtrl(p *Proc, m *Message) {
 func (h *appHost) TryStart(p *Proc) bool {
 	started := h.app.TryStart(p.ID)
 	h.busyCheck(p.ID)
-	if !started && !h.app.Blocked(p.ID) {
+	if started {
+		h.endIdle(p.ID)
+	} else if !h.app.Blocked(p.ID) {
 		// The loop is about to park with empty queues, no running task
 		// and no startable work: this rank is passive (the detector
 		// reactivates it on the next data-message receipt).
+		if rec := h.opts.Rec; rec != nil && h.idleSid[p.ID] == 0 {
+			h.idleSid[p.ID] = rec.SpanBegin(p.ID, "termdet.idle", h.Now())
+		}
 		h.dets[p.ID].Passive(detCtx{h, p.ID})
 	}
 	return started
+}
+
+// endIdle closes the rank's open termdet.idle span: the rank is active
+// again (a data message arrived or a task started).
+func (h *appHost) endIdle(r int) {
+	if h.idleSid[r] != 0 {
+		h.opts.Rec.SpanEnd(r, "termdet.idle", h.idleSid[r], h.Now())
+		h.idleSid[r] = 0
+	}
 }
 
 func (h *appHost) Blocked(p *Proc) bool { return h.app.Blocked(p.ID) }
@@ -199,9 +223,16 @@ func (h *appHost) busyCheck(r int) {
 	blocked := h.app.Blocked(r)
 	if blocked && h.busySince[r] < 0 {
 		h.busySince[r] = float64(h.rt.Now())
+		if rec := h.opts.Rec; rec != nil {
+			h.busySid[r] = rec.SpanBegin(r, "snapshot.round", h.busySince[r])
+		}
 	} else if !blocked && h.busySince[r] >= 0 {
 		h.busyTime += float64(h.rt.Now()) - h.busySince[r]
 		h.busySince[r] = -1
+		if rec := h.opts.Rec; rec != nil && h.busySid[r] != 0 {
+			rec.SpanEnd(r, "snapshot.round", h.busySid[r], float64(h.rt.Now()))
+			h.busySid[r] = 0
+		}
 	}
 }
 
@@ -209,6 +240,20 @@ func (h *appHost) busyCheck(r int) {
 // counters, plus the engine and threading metrics only the simulator
 // has.
 func (h *appHost) report() *workload.AppReport {
+	if rec := h.opts.Rec; rec != nil {
+		// Balance any spans still open at quiescence.
+		now := h.Now()
+		for r := range h.idleSid {
+			if h.idleSid[r] != 0 {
+				rec.SpanEnd(r, "termdet.idle", h.idleSid[r], now)
+				h.idleSid[r] = 0
+			}
+			if h.busySid[r] != 0 {
+				rec.SpanEnd(r, "snapshot.round", h.busySid[r], now)
+				h.busySid[r] = 0
+			}
+		}
+	}
 	rep := &workload.AppReport{
 		Time:  float64(h.rt.Now()),
 		Steps: h.rt.Eng.Steps(),

@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestStreamHistBasics(t *testing.T) {
+	var h StreamHist
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatalf("zero-value hist not empty: %+v", h.Summary())
+	}
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("min/max = %g/%g, want 1/100", h.Min(), h.Max())
+	}
+	if got, want := h.Sum(), 5050.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	// Quantiles within one bucket width (12.5% relative) of exact.
+	for _, tc := range []struct{ p, want float64 }{{0.5, 50.5}, {0.95, 95.05}, {0.99, 99.01}} {
+		got := h.Quantile(tc.p)
+		if rel := math.Abs(got-tc.want) / tc.want; rel > 1.0/histSub {
+			t.Errorf("q(%g) = %g, want ≈%g (rel err %.3f)", tc.p, got, tc.want, rel)
+		}
+	}
+	if h.Quantile(0) != 1 || h.Quantile(1) != 100 {
+		t.Errorf("q(0)=%g q(1)=%g, want exact extremes 1/100", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+func TestStreamHistNonPositive(t *testing.T) {
+	var h StreamHist
+	h.Add(0)
+	h.Add(-3)
+	h.Add(math.NaN())
+	h.Add(2)
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if q := h.Quantile(0.25); q != h.Min() {
+		t.Errorf("low quantile over underflow bucket = %g, want min %g", q, h.Min())
+	}
+}
+
+func TestStreamHistQuantileVsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h StreamHist
+	var xs []float64
+	for i := 0; i < 5000; i++ {
+		// Log-uniform over ~9 orders of magnitude: the regime the
+		// log-linear buckets are built for.
+		v := math.Exp(rng.Float64()*20 - 10)
+		h.Add(v)
+		xs = append(xs, v)
+	}
+	sort.Float64s(xs)
+	for _, p := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99} {
+		exact := Percentile(xs, p)
+		got := h.Quantile(p)
+		if rel := math.Abs(got-exact) / exact; rel > 1.0/histSub+0.01 {
+			t.Errorf("q(%g) = %g, exact %g (rel err %.3f > bucket width)", p, got, exact, rel)
+		}
+	}
+}
+
+// TestStreamHistMergeAssociativity is the satellite property test:
+// (a⊕b)⊕c and a⊕(b⊕c) must agree exactly on bucket counts, count,
+// min, max (and hence every quantile), with sums equal to float
+// tolerance. Randomized over many shard shapes.
+func TestStreamHistMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		parts := make([]*StreamHist, 3)
+		var all []float64
+		for i := range parts {
+			parts[i] = new(StreamHist)
+			n := rng.Intn(200) // some shards may be empty
+			for j := 0; j < n; j++ {
+				v := math.Exp(rng.NormFloat64() * 3)
+				if rng.Intn(10) == 0 {
+					v = 0 // exercise the underflow bucket
+				}
+				parts[i].Add(v)
+				all = append(all, v)
+			}
+		}
+		clone := func(h *StreamHist) *StreamHist { c := *h; return &c }
+
+		left := clone(parts[0]) // (a⊕b)⊕c
+		left.Merge(parts[1])
+		left.Merge(parts[2])
+
+		bc := clone(parts[1]) // a⊕(b⊕c)
+		bc.Merge(parts[2])
+		right := clone(parts[0])
+		right.Merge(bc)
+
+		if !left.Equal(right) {
+			t.Fatalf("trial %d: merge not associative:\n left %+v\nright %+v", trial, left.Summary(), right.Summary())
+		}
+		if math.Abs(left.Sum()-right.Sum()) > 1e-9*(1+math.Abs(left.Sum())) {
+			t.Fatalf("trial %d: sums diverge: %g vs %g", trial, left.Sum(), right.Sum())
+		}
+		// Commutativity ride-along: c⊕b⊕a matches too.
+		rev := clone(parts[2])
+		rev.Merge(parts[1])
+		rev.Merge(parts[0])
+		if !left.Equal(rev) {
+			t.Fatalf("trial %d: merge not commutative", trial)
+		}
+		// Merged hist equals the hist of the concatenated stream.
+		var whole StreamHist
+		for _, v := range all {
+			whole.Add(v)
+		}
+		if !left.Equal(&whole) {
+			t.Fatalf("trial %d: merged shards disagree with unsharded stream", trial)
+		}
+		if left.Count() != int64(len(all)) {
+			t.Fatalf("trial %d: merged count %d, want %d", trial, left.Count(), len(all))
+		}
+	}
+}
+
+func TestStreamHistSummary(t *testing.T) {
+	var h StreamHist
+	for i := 0; i < 1000; i++ {
+		h.Add(1.0) // all mass in one bucket
+	}
+	s := h.Summary()
+	if s.Count != 1000 || s.Min != 1 || s.Max != 1 {
+		t.Fatalf("summary %+v", s)
+	}
+	// Degenerate distribution: every quantile is exactly the value.
+	if s.P50 != 1 || s.P95 != 1 || s.P99 != 1 {
+		t.Fatalf("degenerate quantiles drifted: %+v", s)
+	}
+	if math.Abs(s.Mean-1) > 1e-12 {
+		t.Fatalf("mean = %g, want 1", s.Mean)
+	}
+}
+
+func TestBucketBoundsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		v := math.Exp(rng.Float64()*40 - 20)
+		b := bucketIndex(v)
+		lo, hi := bucketBounds(b)
+		if v < lo || v >= hi {
+			t.Fatalf("value %g landed in bucket %d = [%g, %g)", v, b, lo, hi)
+		}
+	}
+	// Clamps.
+	if bucketIndex(math.MaxFloat64) != histBuckets-1 {
+		t.Errorf("huge value should clamp to top bucket")
+	}
+	if bucketIndex(1e-300) != 0 {
+		t.Errorf("tiny value should clamp to underflow bucket")
+	}
+}

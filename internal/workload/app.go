@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 )
 
@@ -192,6 +193,10 @@ type AppRunOptions struct {
 	// Term names the termination-detection protocol every host runs
 	// per rank (internal/termdet; empty = termdet.Default).
 	Term string
+	// Rec, when non-nil, receives host-level span events (termdet.idle,
+	// snapshot.round) in the same trace the Recorded wrapper writes
+	// application events to. Hosts that do not trace ignore it.
+	Rec *chaos.Recorder
 }
 
 // SpeedOf returns the rank's speed factor, defaulting to 1.
@@ -322,6 +327,7 @@ func RunAppScenario(runner AppRunner, as AppScenario, mech core.Mech, cfg core.C
 	}
 	if p.Record != nil {
 		app = Recorded(app, p.Record)
+		opts.Rec = p.Record
 	}
 	if p.Term != "" {
 		opts.Term = p.Term

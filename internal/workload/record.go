@@ -58,11 +58,19 @@ func (r *recordedApp) HandleState(rank, from, kind int, payload any) {
 	r.app.HandleState(rank, from, kind, payload)
 }
 
+// now stamps events with the host clock; before Attach it reads 0.
+func (r *recordedApp) now() float64 {
+	if r.host == nil {
+		return 0
+	}
+	return r.host.Now()
+}
+
 func (r *recordedApp) HandleData(rank, from int, m DataMsg) {
 	r.rec.Record(chaos.Event{
 		Ev: chaos.EvRecv, Rank: rank, Peer: from,
 		Kind: m.Kind, Node: m.Node, Count: m.Count,
-		Work: m.Work, Size: m.Size,
+		Work: m.Work, Size: m.Size, T: r.now(),
 	})
 	r.app.HandleData(rank, from, m)
 }
@@ -98,15 +106,15 @@ func (h *recordedHost) SendData(from, to int, m DataMsg) {
 	h.r.rec.Record(chaos.Event{
 		Ev: chaos.EvSend, Rank: from, Peer: to,
 		Kind: m.Kind, Node: m.Node, Count: m.Count,
-		Work: m.Work, Size: m.Size,
+		Work: m.Work, Size: m.Size, T: h.r.now(),
 	})
 	h.AppHost.SendData(from, to, m)
 }
 
 func (h *recordedHost) Compute(rank int, seconds float64, done func()) {
-	h.r.rec.Record(chaos.Event{Ev: chaos.EvStart, Rank: rank, Spin: seconds})
+	h.r.rec.Record(chaos.Event{Ev: chaos.EvStart, Rank: rank, Spin: seconds, T: h.r.now()})
 	h.AppHost.Compute(rank, seconds, func() {
-		h.r.rec.Record(chaos.Event{Ev: chaos.EvDone, Rank: rank, Spin: seconds})
+		h.r.rec.Record(chaos.Event{Ev: chaos.EvDone, Rank: rank, Spin: seconds, T: h.r.now()})
 		h.r.countDone(rank)
 		done()
 	})
